@@ -1,0 +1,143 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic corpora.
+//
+//	experiments -run all -scale 4
+//	experiments -run t4,t5 -scale 2
+//
+// Experiment ids: t2 t3 f4 f6f7 f8 t4 t5 f9 f10 f11 f12 ablation multiseed
+// (or "all").
+// -scale divides the preset corpus sizes (1 = paper scale; larger is
+// faster). Results print to stdout in the paper's row/series layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"triclust/internal/core"
+	"triclust/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids or 'all'")
+	scale := flag.Int("scale", 4, "divide preset corpus sizes by this factor")
+	iters := flag.Int("iters", 40, "solver iteration budget per fit")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	enabled := func(id string) bool { return all || want[id] }
+
+	s30, err := experiments.NewSetup(experiments.Prop30, *scale)
+	check(err)
+	s37, err := experiments.NewSetup(experiments.Prop37, *scale)
+	check(err)
+	w := os.Stdout
+
+	if enabled("t2") {
+		experiments.RenderTable2(w, experiments.Table2TopWords(s37, 8))
+		fmt.Fprintln(w)
+	}
+	if enabled("t3") {
+		experiments.RenderTable3(w, []experiments.Table3Row{
+			experiments.Table3Stats(s30), experiments.Table3Stats(s37),
+		})
+		fmt.Fprintln(w)
+	}
+	if enabled("f4") {
+		experiments.RenderFigure4(w, experiments.Figure4FeatureEvolution(s30))
+		fmt.Fprintln(w)
+	}
+	if enabled("f6f7") || enabled("f6") || enabled("f7") {
+		alphas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+		betas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+		sweep, err := experiments.Figure6and7ParamSweep(s30, alphas, betas, *iters)
+		check(err)
+		experiments.RenderSweep(w, sweep, alphas, betas)
+		bestU := sweep.Best(func(c experiments.SweepCell) float64 { return c.User.Accuracy })
+		bestT := sweep.Best(func(c experiments.SweepCell) float64 { return c.Tweet.Accuracy })
+		fmt.Fprintf(w, "best user-level cell: α=%.1f β=%.1f acc=%.2f%%\n", bestU.Alpha, bestU.Beta, bestU.User.Accuracy*100)
+		fmt.Fprintf(w, "best tweet-level cell: α=%.1f β=%.1f acc=%.2f%%\n\n", bestT.Alpha, bestT.Beta, bestT.Tweet.Accuracy*100)
+	}
+	if enabled("f8") {
+		conv, err := experiments.Figure8Convergence(s30, 100)
+		check(err)
+		experiments.RenderFigure8(w, conv)
+		fmt.Fprintln(w)
+	}
+	if enabled("t4") {
+		r30, err := experiments.Table4TweetLevel(s30, false)
+		check(err)
+		r37, err := experiments.Table4TweetLevel(s37, false)
+		check(err)
+		experiments.RenderComparison(w, "Table 4: tweet-level sentiment analysis comparison",
+			[]*experiments.ComparisonResult{r30, r37})
+		fmt.Fprintln(w)
+	}
+	if enabled("t5") {
+		r30, err := experiments.Table5UserLevel(s30, false)
+		check(err)
+		r37, err := experiments.Table5UserLevel(s37, false)
+		check(err)
+		experiments.RenderComparison(w, "Table 5: user-level sentiment analysis comparison",
+			[]*experiments.ComparisonResult{r30, r37})
+		fmt.Fprintln(w)
+	}
+	if enabled("f9") {
+		grid := []float64{0, 0.3, 0.6, 0.9}
+		cells, err := experiments.Figure9OnlineAlphaTau(s30, grid, grid, *iters)
+		// τ weighs recency inside the window; the sweep runs at the
+		// harness window (w=4) where multiple snapshots contribute.
+		check(err)
+		experiments.RenderOnlineSweep(w, "Figure 9: online accuracy when varying α and τ (Prop 30)", cells, false)
+		fmt.Fprintln(w)
+	}
+	if enabled("f10") {
+		cells, err := experiments.Figure10Gamma(s30, []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}, *iters)
+		check(err)
+		experiments.RenderOnlineSweep(w, "Figure 10: accuracy when varying γ (Prop 30)", cells, true)
+		fmt.Fprintln(w)
+	}
+	if enabled("f11") {
+		cfg := core.DefaultOnlineConfig()
+		cfg.Window = 4 // thin synthetic days; see experiments.Table4TweetLevel
+		cfg.MaxIter = *iters
+		tl, err := experiments.Figure11and12Online(s30, cfg, 1)
+		check(err)
+		experiments.RenderTimeline(w, tl)
+		fmt.Fprintln(w)
+	}
+	if enabled("f12") {
+		cfg := core.DefaultOnlineConfig()
+		cfg.Window = 4
+		cfg.MaxIter = *iters
+		tl, err := experiments.Figure11and12Online(s37, cfg, 1)
+		check(err)
+		experiments.RenderTimeline(w, tl)
+		fmt.Fprintln(w)
+	}
+	if enabled("ablation") {
+		rows, err := experiments.Ablation(s30, *iters)
+		check(err)
+		experiments.RenderAblation(w, experiments.Prop30, rows)
+		fmt.Fprintln(w)
+	}
+	if enabled("multiseed") {
+		r, err := experiments.MultiSeed(experiments.Prop30, *scale, []int64{1, 2, 3, 4, 5}, *iters < 60)
+		check(err)
+		experiments.RenderMultiSeed(w, r)
+		fmt.Fprintln(w)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

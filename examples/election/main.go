@@ -1,0 +1,103 @@
+// Election: dynamic sentiment tracking with the online algorithm over an
+// election-style stream (the Figures 11/12 scenario).
+//
+// It generates a synthetic Proposition-37-like corpus with a volume burst
+// at "election day", processes it one day at a time through a Stream, and
+// reports per-day volume, runtime and tweet-level accuracy, plus how the
+// estimate of an opinion-flipping user (the paper's "Adam") evolves.
+//
+//	go run ./examples/election
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"triclust"
+	"triclust/internal/eval"
+	"triclust/internal/synth"
+)
+
+func main() {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = 99
+	cfg.NumUsers = 150
+	cfg.Days = 24
+	cfg.ElectionDay = 18
+	cfg.BurstMultiplier = 5
+	cfg.EvolveFrac = 0.08
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick an evolving user to follow.
+	flipUser, flipDay := -1, -1
+	for u, day := range d.EvolvingUsers() {
+		if day > 4 && day < cfg.Days-4 {
+			flipUser, flipDay = u, day
+			break
+		}
+	}
+
+	st, err := triclust.NewStream(d.Corpus.Users, triclust.DefaultStreamOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("day  n(t)  users  time      tweet-acc  tracked-user")
+	var total time.Duration
+	for day := 0; day < cfg.Days; day++ {
+		var batch []triclust.Tweet
+		var truth []int
+		for i, tw := range d.Corpus.Tweets {
+			if tw.Time != day {
+				continue
+			}
+			tw.RetweetOf = -1
+			batch = append(batch, tw)
+			truth = append(truth, d.TweetClass[i])
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		start := time.Now()
+		out, err := st.Process(day, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		total += el
+
+		pred := make([]int, len(batch))
+		for i := range batch {
+			pred[i] = out.TweetSentiments[i].Class
+		}
+		acc := eval.Accuracy(pred, truth)
+
+		tracked := "–"
+		if flipUser >= 0 {
+			if est, ok := st.UserEstimate(flipUser); ok {
+				tracked = fmt.Sprintf("%s (%.2f)", triclust.ClassName(est.Class), est.Confidence)
+			}
+		}
+		marker := " "
+		switch day {
+		case cfg.ElectionDay:
+			marker = "← election burst"
+		case flipDay:
+			marker = "← tracked user flips stance"
+		}
+		fmt.Printf("%3d  %4d  %5d  %-8s  %8.1f%%  %-18s %s\n",
+			day, len(batch), len(out.ActiveUsers), el.Round(time.Millisecond),
+			acc*100, tracked, marker)
+	}
+	fmt.Printf("\ntotal stream time: %v\n", total.Round(time.Millisecond))
+	if flipUser >= 0 {
+		fmt.Printf("tracked user %d planted stance: %s before day %d, %s after\n",
+			flipUser,
+			triclust.ClassName(d.StanceAt(flipUser, flipDay-1)), flipDay,
+			triclust.ClassName(d.StanceAt(flipUser, flipDay)))
+	}
+}

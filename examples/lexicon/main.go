@@ -1,0 +1,76 @@
+// Lexicon: bootstrap a topic-specific sentiment lexicon from a small
+// labeled slice of the stream and use it to seed the unsupervised
+// tri-clustering of the rest — the workflow behind the paper's
+// automatically built "Yes"/"No" word lists [Smith et al. 2013].
+//
+//	go run ./examples/lexicon
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"triclust"
+	"triclust/internal/eval"
+	"triclust/internal/synth"
+)
+
+func main() {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = 202
+	cfg.NumUsers = 140
+	cfg.Days = 16
+	cfg.ElectionDay = 12
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pretend only the first three days were hand-labeled.
+	labeledUntil := 3
+	var docs [][]string
+	var labels []int
+	for i, tw := range d.Corpus.Tweets {
+		if tw.Time < labeledUntil {
+			docs = append(docs, tw.Tokens)
+			labels = append(labels, d.TweetClass[i])
+		}
+	}
+	fmt.Printf("inducing lexicon from %d labeled tweets (days 0-%d)\n", len(docs), labeledUntil-1)
+	induced := triclust.InduceLexicon(docs, labels, 3, 2.0)
+
+	pos := induced.Words(triclust.Pos)
+	neg := induced.Words(triclust.Neg)
+	sort.Strings(pos)
+	sort.Strings(neg)
+	show := func(name string, words []string) {
+		if len(words) > 10 {
+			words = words[:10]
+		}
+		fmt.Printf("  %s list (%d words): %v…\n", name, len(words), words)
+	}
+	show("Yes", pos)
+	show("No", neg)
+
+	run := func(name string, lex *triclust.Lexicon) {
+		opts := triclust.DefaultOptions()
+		opts.Lexicon = lex
+		res, err := triclust.Fit(d.Corpus, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := make([]int, len(res.TweetSentiments))
+		for i, s := range res.TweetSentiments {
+			pred[i] = s.Class
+		}
+		m := eval.Evaluate(pred, d.TweetClass)
+		fmt.Printf("%-28s tweet accuracy %.2f%%, NMI %.2f%%\n", name, m.Accuracy*100, m.NMI*100)
+	}
+
+	fmt.Println("\nunsupervised tri-clustering seeded with:")
+	run("generic polarity lexicon", triclust.BuiltinLexicon())
+	merged := triclust.BuiltinLexicon()
+	merged.Merge(induced)
+	run("generic + induced topic lexicon", merged)
+}

@@ -1,0 +1,63 @@
+// Quickstart: offline tri-clustering on a hand-written micro-corpus.
+//
+// It mirrors Figure 1 of the paper: Bob's sarcastic "Monsanto is pure
+// evil" tweet would be misclassified alone, but clustering it jointly
+// with his other tweets and his retweet relations recovers his positive
+// stance toward GMO labeling.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triclust"
+)
+
+func main() {
+	corpus := &triclust.Corpus{
+		Users: []triclust.User{
+			{Name: "adam"}, {Name: "bob"}, {Name: "carol"}, {Name: "dave"},
+		},
+		Tweets: []triclust.Tweet{
+			// Adam: against labeling.
+			{Text: "Should India go back to poverty? #GMOs feed millions", User: 0, Time: 0, RetweetOf: -1, Label: triclust.NoLabel},
+			{Text: "GM crops increased farm incomes worldwide, great science", User: 0, Time: 0, RetweetOf: -1, Label: triclust.NoLabel},
+			{Text: "GM crops pose no greater risk than conventional food, safe and smart", User: 0, Time: 1, RetweetOf: -1, Label: triclust.NoLabel},
+			// Bob: supports labeling; tweet 4 looks negative in isolation.
+			{Text: "Monsanto is pure evil", User: 1, Time: 1, RetweetOf: -1, Label: triclust.NoLabel},
+			{Text: "Ah ha! Love this Yes on #Prop37 ad :) #labelgmo", User: 1, Time: 1, RetweetOf: -1, Label: triclust.NoLabel},
+			// Carol: supports labeling, retweets Bob's prop37 tweet.
+			{Text: "Support the #California #GMO Labeling Ballot Initiative #prop37 right to know", User: 2, Time: 1, RetweetOf: -1, Label: triclust.NoLabel},
+			{Text: "yes we love the right to know whats in our food #labelgmo", User: 2, Time: 2, RetweetOf: 4, Label: triclust.NoLabel},
+			// Dave: against, retweets Adam.
+			{Text: "no on 37, bad law, hurts farmers and raises costs", User: 3, Time: 2, RetweetOf: -1, Label: triclust.NoLabel},
+			{Text: "agree, great science feeds the world", User: 3, Time: 2, RetweetOf: 1, Label: triclust.NoLabel},
+		},
+	}
+
+	opts := triclust.DefaultOptions()
+	opts.MinDF = 1    // the corpus is tiny; keep every word
+	opts.Config.K = 2 // pos / neg only
+	opts.Config.Seed = 7
+
+	res, err := triclust.Fit(corpus, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged=%v after %d iterations\n\n", res.Converged, res.Iterations)
+	fmt.Println("tweet-level sentiment:")
+	for i, s := range res.TweetSentiments {
+		txt := corpus.Tweets[i].Text
+		if len(txt) > 56 {
+			txt = txt[:53] + "..."
+		}
+		fmt.Printf("  %-8s (%.2f)  %s\n", triclust.ClassName(s.Class), s.Confidence, txt)
+	}
+	fmt.Println("\nuser-level sentiment:")
+	for i, s := range res.UserSentiments {
+		fmt.Printf("  %-6s → %-8s (%.2f)\n", corpus.Users[i].Name, triclust.ClassName(s.Class), s.Confidence)
+	}
+}

@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"triclust/internal/lexicon"
+	"triclust/internal/sparse"
+	"triclust/internal/text"
+)
+
+// LexiconVote is the classical lexicon-based classifier (the MPQA-style
+// approach [33] that ESSA was shown to outperform): each tweet is scored
+// by the weighted count of positive vs negative lexicon words; ties and
+// lexicon-free tweets fall to neutral when k = 3, or to the positive
+// class when k = 2.
+//
+// x is the n×l tweet–feature matrix over vocab. The returned classes use
+// the lexicon package's constants.
+func LexiconVote(x *sparse.CSR, vocab *text.Vocabulary, lex *lexicon.Lexicon, k int) []int {
+	if x.Cols() != vocab.Len() {
+		panic("baseline: LexiconVote vocabulary mismatch")
+	}
+	// Precompute per-feature polarity: +1 pos, −1 neg, 0 unknown.
+	sign := make([]float64, vocab.Len())
+	for j := 0; j < vocab.Len(); j++ {
+		if c, ok := lex.Class(vocab.Word(j)); ok {
+			if c == lexicon.Pos {
+				sign[j] = 1
+			} else {
+				sign[j] = -1
+			}
+		}
+	}
+	out := make([]int, x.Rows())
+	for i := range out {
+		cols, vals := x.Row(i)
+		var score float64
+		for p, j := range cols {
+			score += sign[j] * vals[p]
+		}
+		switch {
+		case score > 0:
+			out[i] = lexicon.Pos
+		case score < 0:
+			out[i] = lexicon.Neg
+		default:
+			if k >= 3 {
+				out[i] = lexicon.Neu
+			} else {
+				out[i] = lexicon.Pos
+			}
+		}
+	}
+	return out
+}
+
+// LexiconVoteUsers aggregates tweet votes per user (majority), the
+// simplest possible user-level lexicon method.
+func LexiconVoteUsers(x *sparse.CSR, vocab *text.Vocabulary, lex *lexicon.Lexicon, owner []int, numUsers, k int) []int {
+	return AggregateUserFromTweets(LexiconVote(x, vocab, lex, k), owner, numUsers, k)
+}

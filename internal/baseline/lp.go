@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"triclust/internal/mat"
+	"triclust/internal/sparse"
+)
+
+// LPOptions configure label propagation.
+type LPOptions struct {
+	// Iterations bounds the propagation sweeps.
+	Iterations int
+	// Clamp keeps labeled nodes at their seed distribution after each
+	// sweep (standard Zhu-style LP).
+	Clamp bool
+}
+
+// DefaultLPOptions returns 30 clamped sweeps.
+func DefaultLPOptions() LPOptions { return LPOptions{Iterations: 30, Clamp: true} }
+
+// LabelPropagationGraph runs semi-supervised label propagation on an
+// arbitrary (weighted) graph g: Y ← D⁻¹ G Y, re-clamping seeds. Nodes with
+// label ≥ 0 are seeds; the result is the argmax class per node, with −1
+// for nodes no label mass ever reaches. This is the user-level LP of Tan
+// et al. [30] applied to the user–user retweet graph (§5).
+func LabelPropagationGraph(g *sparse.CSR, labels []int, k int, opts LPOptions) []int {
+	n := g.Rows()
+	if len(labels) != n {
+		panic("baseline: labels length mismatch")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 30
+	}
+	y := mat.NewDense(n, k)
+	seed := mat.NewDense(n, k)
+	for i, c := range labels {
+		if c >= 0 && c < k {
+			seed.Set(i, c, 1)
+			y.Set(i, c, 1)
+		}
+	}
+	deg := g.RowSums()
+	for it := 0; it < opts.Iterations; it++ {
+		ny := g.MulDense(y)
+		for i := 0; i < n; i++ {
+			row := ny.Row(i)
+			if deg[i] > 0 {
+				inv := 1 / deg[i]
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+		if opts.Clamp {
+			for i, c := range labels {
+				if c >= 0 && c < k {
+					row := ny.Row(i)
+					for j := range row {
+						row[j] = 0
+					}
+					row[c] = 1
+				}
+			}
+		}
+		y = ny
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		best, bestV := -1, 0.0
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// LabelPropagationBipartite propagates tweet labels through shared
+// features (the "lexical links" of Speriosu et al. [29]): each sweep is
+// Y_f ← norm(Xᵀ Y_p); Y_p ← norm(X Y_f), with labeled tweets clamped.
+// x is the n×l tweet–feature matrix. Returns per-tweet classes (−1 when
+// unreachable).
+func LabelPropagationBipartite(x *sparse.CSR, labels []int, k int, opts LPOptions) []int {
+	n := x.Rows()
+	if len(labels) != n {
+		panic("baseline: labels length mismatch")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 30
+	}
+	yp := mat.NewDense(n, k)
+	for i, c := range labels {
+		if c >= 0 && c < k {
+			yp.Set(i, c, 1)
+		}
+	}
+	rowDeg := x.RowSums()
+	colDeg := x.ColSums()
+	for it := 0; it < opts.Iterations; it++ {
+		yf := x.MulTDense(yp) // l×k
+		for j := 0; j < yf.Rows(); j++ {
+			if colDeg[j] > 0 {
+				row := yf.Row(j)
+				inv := 1 / colDeg[j]
+				for q := range row {
+					row[q] *= inv
+				}
+			}
+		}
+		ny := x.MulDense(yf) // n×k
+		for i := 0; i < n; i++ {
+			if rowDeg[i] > 0 {
+				row := ny.Row(i)
+				inv := 1 / rowDeg[i]
+				for q := range row {
+					row[q] *= inv
+				}
+			}
+		}
+		if opts.Clamp {
+			for i, c := range labels {
+				if c >= 0 && c < k {
+					row := ny.Row(i)
+					for q := range row {
+						row[q] = 0
+					}
+					row[c] = 1
+				}
+			}
+		}
+		yp = ny
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := yp.Row(i)
+		best, bestV := -1, 0.0
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RevealLabels returns a copy of truth with only every nodes whose index
+// hashes below frac revealed — a deterministic "x% labels" split used for
+// LP-5 / LP-10 / UserReg-10. Items with truth < 0 stay hidden.
+func RevealLabels(truth []int, frac float64, seed int64) []int {
+	out := make([]int, len(truth))
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i, c := range truth {
+		out[i] = -1
+		if c < 0 {
+			continue
+		}
+		// SplitMix64-style hash for a deterministic pseudo-random subset.
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if float64(z%1000000)/1000000 < frac {
+			out[i] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package baseline implements the comparison methods of the paper's
+// experimental section (Tables 4 and 5): multinomial Naive Bayes [11],
+// linear SVM [28] (via Pegasos), graph label propagation [12, 29, 30],
+// UserReg-style semi-supervised user regularization [7], the unsupervised
+// ESSA [15] (emotional-signal NMTF without user coupling), and BACG-style
+// attributed-graph user clustering [34], plus the mini-batch / full-batch
+// drivers used as the online extremes in Figures 11–12.
+package baseline
+
+import (
+	"math"
+
+	"triclust/internal/sparse"
+)
+
+// NaiveBayes is a multinomial Naive Bayes classifier over sparse count
+// features (Go et al. [11] style, minus the distant-supervision step —
+// labels come from the training subset instead of emoticons).
+type NaiveBayes struct {
+	k        int
+	logPrior []float64
+	logCond  [][]float64 // [class][feature]
+}
+
+// TrainNaiveBayes fits the classifier on the rows of x whose label ≥ 0,
+// with Laplace smoothing. k is the number of classes.
+func TrainNaiveBayes(x *sparse.CSR, labels []int, k int) *NaiveBayes {
+	if len(labels) != x.Rows() {
+		panic("baseline: labels length mismatch")
+	}
+	l := x.Cols()
+	counts := make([][]float64, k)
+	totals := make([]float64, k)
+	docs := make([]float64, k)
+	for c := range counts {
+		counts[c] = make([]float64, l)
+	}
+	var labeled float64
+	for i := 0; i < x.Rows(); i++ {
+		c := labels[i]
+		if c < 0 || c >= k {
+			continue
+		}
+		labeled++
+		docs[c]++
+		cols, vals := x.Row(i)
+		for p, j := range cols {
+			counts[c][j] += vals[p]
+			totals[c] += vals[p]
+		}
+	}
+	nb := &NaiveBayes{k: k, logPrior: make([]float64, k), logCond: make([][]float64, k)}
+	for c := 0; c < k; c++ {
+		nb.logPrior[c] = math.Log((docs[c] + 1) / (labeled + float64(k)))
+		nb.logCond[c] = make([]float64, l)
+		denom := totals[c] + float64(l)
+		for j := 0; j < l; j++ {
+			nb.logCond[c][j] = math.Log((counts[c][j] + 1) / denom)
+		}
+	}
+	return nb
+}
+
+// PredictRow returns the most likely class of one sparse row.
+func (nb *NaiveBayes) PredictRow(cols []int, vals []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := 0; c < nb.k; c++ {
+		s := nb.logPrior[c]
+		for p, j := range cols {
+			s += vals[p] * nb.logCond[c][j]
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Predict classifies every row of x.
+func (nb *NaiveBayes) Predict(x *sparse.CSR) []int {
+	out := make([]int, x.Rows())
+	for i := range out {
+		cols, vals := x.Row(i)
+		out[i] = nb.PredictRow(cols, vals)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"triclust/internal/sparse"
+)
+
+// SVM is a one-vs-rest linear SVM trained with the Pegasos stochastic
+// sub-gradient method (Smith et al. [28] use a linear SVM on tweet
+// features; Pegasos reproduces it without external solvers).
+type SVM struct {
+	k int
+	w [][]float64 // [class][feature]
+	b []float64
+}
+
+// SVMOptions configure training.
+type SVMOptions struct {
+	// Lambda is the L2 regularization strength.
+	Lambda float64
+	// Epochs is the number of passes over the labeled rows.
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+}
+
+// DefaultSVMOptions returns λ=1e-4, 12 epochs.
+func DefaultSVMOptions() SVMOptions { return SVMOptions{Lambda: 1e-4, Epochs: 12, Seed: 1} }
+
+// TrainSVM fits k one-vs-rest hyperplanes on the rows with label ≥ 0.
+func TrainSVM(x *sparse.CSR, labels []int, k int, opts SVMOptions) *SVM {
+	if len(labels) != x.Rows() {
+		panic("baseline: labels length mismatch")
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 1e-4
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 12
+	}
+	var rows []int
+	for i, c := range labels {
+		if c >= 0 && c < k {
+			rows = append(rows, i)
+		}
+	}
+	m := &SVM{k: k, w: make([][]float64, k), b: make([]float64, k)}
+	for c := range m.w {
+		m.w[c] = make([]float64, x.Cols())
+	}
+	if len(rows) == 0 {
+		return m
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := 1
+	steps := opts.Epochs * len(rows)
+	for s := 0; s < steps; s++ {
+		i := rows[rng.Intn(len(rows))]
+		cols, vals := x.Row(i)
+		eta := 1 / (opts.Lambda * float64(t))
+		t++
+		for c := 0; c < k; c++ {
+			y := -1.0
+			if labels[i] == c {
+				y = 1.0
+			}
+			// margin = y(w·x + b)
+			var dot float64
+			for p, j := range cols {
+				dot += m.w[c][j] * vals[p]
+			}
+			margin := y * (dot + m.b[c])
+			// w ← (1 − ηλ)w [+ ηy·x if margin < 1]
+			shrink := 1 - eta*opts.Lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			wc := m.w[c]
+			for j := range wc {
+				wc[j] *= shrink
+			}
+			if margin < 1 {
+				for p, j := range cols {
+					wc[j] += eta * y * vals[p]
+				}
+				m.b[c] += eta * y * 0.1 // damped bias update
+			}
+		}
+	}
+	return m
+}
+
+// Score returns the raw decision values of one row.
+func (m *SVM) Score(cols []int, vals []float64) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		s := m.b[c]
+		for p, j := range cols {
+			s += m.w[c][j] * vals[p]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// Predict classifies every row of x by the largest decision value.
+func (m *SVM) Predict(x *sparse.CSR) []int {
+	out := make([]int, x.Rows())
+	for i := range out {
+		cols, vals := x.Row(i)
+		scores := m.Score(cols, vals)
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range scores {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"triclust/internal/mat"
+	"triclust/internal/sparse"
+)
+
+// regScales computes the internal multipliers that turn the user-facing
+// relative weights α, β, γ ∈ [0,1] into absolute objective weights.
+//
+// The data-fidelity residuals are O(‖X‖²_F) while the regularizers are
+// O(l) (lexicon), O(nnz(Gu)) (graph) and O(m) (temporal) — several orders
+// of magnitude smaller on real corpora. The paper treats α and β as
+// *contribution* weights ("parameters α, β ∈ [0,1] to weigh the
+// contributions", §3) whose full range visibly moves the solution
+// (Figures 6–7), which is only possible if the terms are on a common
+// scale; we therefore scale each regularizer so that weight 1 makes it
+// comparable to one data term.
+func regScales(p *Problem) (alphaScale, betaScale, gammaScale float64) {
+	data := (p.Xp.FrobeniusSq() + p.Xu.FrobeniusSq() + p.Xr.FrobeniusSq()) / 3
+	if data <= 0 {
+		return 1, 1, 1
+	}
+	l := p.Xp.Cols()
+	if l < 1 {
+		l = 1
+	}
+	alphaScale = data / float64(l)
+	edges := 1
+	if p.Gu != nil && p.Gu.NNZ() > 0 {
+		edges = p.Gu.NNZ()
+	}
+	betaScale = data / float64(edges)
+	m := p.Xu.Rows()
+	if m < 1 {
+		m = 1
+	}
+	gammaScale = data / float64(m)
+	return alphaScale, betaScale, gammaScale
+}
+
+// FitOffline runs Algorithm 1: alternating multiplicative updates of
+// Sp (Eq. 9), Hp (Eq. 12), Su (Eq. 11), Hu (Eq. 13) and Sf (Eq. 7) until
+// the relative change of the objective (Eq. 1) falls below cfg.Tol or
+// cfg.MaxIter sweeps complete.
+func FitOffline(p *Problem, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := p.Validate(cfg.K); err != nil {
+		return nil, err
+	}
+	aScale, bScale, _ := regScales(p)
+	cfg.Alpha *= aScale
+	cfg.Beta *= bScale
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := initFactors(p, cfg, rng)
+	res := &Result{Factors: f}
+
+	prev := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		updateSp(p, &f, cfg)
+		updateHp(p, &f)
+		updateSu(p, &f, cfg, nil)
+		updateHu(p, &f)
+		updateSf(p, &f, cfg, p.Sf0)
+
+		loss := Loss(p, &f, cfg, nil)
+		res.History = append(res.History, loss)
+		res.Iterations = it + 1
+		if relChange(prev, loss.Total) < cfg.Tol {
+			res.Converged = true
+			break
+		}
+		prev = loss.Total
+	}
+	return res, nil
+}
+
+func relChange(prev, cur float64) float64 {
+	if math.IsInf(prev, 1) {
+		return math.Inf(1)
+	}
+	denom := math.Abs(prev)
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(prev-cur) / denom
+}
+
+// updateSp applies Eq. 9:
+//
+//	Sp ← Sp ∘ √( (Xp Sf Hpᵀ + Xrᵀ Su + Sp Δ⁻) /
+//	             (Sp Hp Sfᵀ Sf Hpᵀ + Sp Suᵀ Su + Sp Δ⁺) )
+//
+// with Δ = Spᵀ Xp Sf Hpᵀ − Hp Sfᵀ Sf Hpᵀ + Spᵀ Xrᵀ Su − Suᵀ Su.
+func updateSp(p *Problem, f *Factors, cfg Config) {
+	k := f.Sp.Cols()
+	sfHpT := mat.NewDense(f.Sf.Rows(), k)
+	sfHpT.MulABT(f.Sf, f.Hp)
+	c1 := p.Xp.MulDense(sfHpT) // n×k: Xp Sf Hpᵀ
+	c2 := p.Xr.MulTDense(f.Su) // n×k: Xrᵀ Su
+	c := mat.NewDense(c1.Rows(), k)
+	c.Add(c1, c2)
+
+	d1 := mat.NewDense(k, k) // Hp Gram(Sf) Hpᵀ
+	tmp := mat.Product(f.Hp, mat.Gram(f.Sf))
+	d1.MulABT(tmp, f.Hp)
+	d2 := mat.Gram(f.Su)
+	d := mat.NewDense(k, k)
+	d.Add(d1, d2)
+
+	delta := mat.NewDense(k, k) // Spᵀ(C) − D
+	delta.MulATB(f.Sp, c)
+	delta.Sub(delta, d)
+	dPos, dNeg := mat.SplitPosNeg(delta)
+
+	numer := mat.Product(f.Sp, dNeg)
+	numer.Add(numer, c)
+	denom := mat.NewDense(f.Sp.Rows(), k)
+	denom.Mul(f.Sp, d)
+	denom.Add(denom, mat.Product(f.Sp, dPos))
+
+	applyExtensions(numer, denom, f.Sp, cfg, cfg.GuidedTweetLabels)
+	mat.MulUpdate(f.Sp, numer, denom)
+}
+
+// updateSu applies Eq. 11 (offline; suw == nil) or Eqs. 24/26 (online;
+// suw carries the γ-weighted history rows and evolving marks which rows
+// have one):
+//
+//	Su ← Su ∘ √( (Xu Sf Huᵀ + Xr Sp + β Gu Su + Su Δ⁻ [+ γ Suw]) /
+//	             (Su Hu Sfᵀ Sf Huᵀ + Su Spᵀ Sp + β Du Su + Su Δ⁺ [+ γ Su]) )
+func updateSu(p *Problem, f *Factors, cfg Config, tr *temporalUser) {
+	k := f.Su.Cols()
+	sfHuT := mat.NewDense(f.Sf.Rows(), k)
+	sfHuT.MulABT(f.Sf, f.Hu)
+	e1 := p.Xu.MulDense(sfHuT) // m×k: Xu Sf Huᵀ
+	e2 := p.Xr.MulDense(f.Sp)  // m×k: Xr Sp
+	e := mat.NewDense(e1.Rows(), k)
+	e.Add(e1, e2)
+
+	f1 := mat.NewDense(k, k) // Hu Gram(Sf) Huᵀ
+	tmp := mat.Product(f.Hu, mat.Gram(f.Sf))
+	f1.MulABT(tmp, f.Hu)
+	f2 := mat.Gram(f.Sp)
+	fd := mat.NewDense(k, k)
+	fd.Add(f1, f2)
+
+	delta := mat.NewDense(k, k) // Suᵀ(E) − F − β SuᵀLuSu [− γ Suᵀ(Su−Suw)]
+	delta.MulATB(f.Su, e)
+	delta.Sub(delta, fd)
+
+	var gus, dus *mat.Dense
+	if cfg.Beta > 0 && p.Gu != nil {
+		lus := sparse.LaplacianMulDense(p.Gu, f.Su)
+		lap := mat.NewDense(k, k)
+		lap.MulATB(f.Su, lus)
+		delta.AddScaled(delta, -cfg.Beta, lap)
+		gus = p.Gu.MulDense(f.Su)
+		dus = sparse.DegreeMulDense(p.Gu, f.Su)
+	}
+	if tr != nil && tr.gamma > 0 {
+		// −γ Suᵀ(Su − Suw) restricted to rows with history.
+		diff := f.Su.Clone()
+		diff.Sub(diff, tr.suw)
+		tr.maskRowsWithoutHistory(diff)
+		g := mat.NewDense(k, k)
+		g.MulATB(f.Su, diff)
+		delta.AddScaled(delta, -tr.gamma, g)
+	}
+	dPos, dNeg := mat.SplitPosNeg(delta)
+
+	numer := mat.Product(f.Su, dNeg)
+	numer.Add(numer, e)
+	denom := mat.NewDense(f.Su.Rows(), k)
+	denom.Mul(f.Su, fd)
+	denom.Add(denom, mat.Product(f.Su, dPos))
+	if gus != nil {
+		numer.AddScaled(numer, cfg.Beta, gus)
+		denom.AddScaled(denom, cfg.Beta, dus)
+	}
+	if tr != nil && tr.gamma > 0 {
+		// Eq. 26: + γ Suw in the numerator, + γ Su in the denominator,
+		// only for rows with history (evolving users, Eq. 24 otherwise).
+		tr.addTemporalTerms(numer, denom, f.Su)
+	}
+
+	applyExtensions(numer, denom, f.Su, cfg, cfg.GuidedUserLabels)
+	mat.MulUpdate(f.Su, numer, denom)
+}
+
+// updateSf applies Eq. 7 (offline; prior = Sf0) and Eq. 23 (online;
+// prior = Sfw):
+//
+//	Sf ← Sf ∘ √( (Xuᵀ Su Hu + Xpᵀ Sp Hp + α·prior + Sf Δ⁻) /
+//	             (Sf Huᵀ Suᵀ Su Hu + Sf Hpᵀ Spᵀ Sp Hp + α Sf + Sf Δ⁺) )
+func updateSf(p *Problem, f *Factors, cfg Config, prior *mat.Dense) {
+	k := f.Sf.Cols()
+	a1 := p.Xp.MulTDense(mat.Product(f.Sp, f.Hp)) // l×k: Xpᵀ Sp Hp
+	a2 := p.Xu.MulTDense(mat.Product(f.Su, f.Hu)) // l×k: Xuᵀ Su Hu
+	a := mat.NewDense(a1.Rows(), k)
+	a.Add(a1, a2)
+
+	b1 := mat.NewDense(k, k) // Hpᵀ Gram(Sp) Hp
+	b1.MulATB(f.Hp, mat.Product(mat.Gram(f.Sp), f.Hp))
+	b2 := mat.NewDense(k, k) // Huᵀ Gram(Su) Hu
+	b2.MulATB(f.Hu, mat.Product(mat.Gram(f.Su), f.Hu))
+	b := mat.NewDense(k, k)
+	b.Add(b1, b2)
+
+	delta := mat.NewDense(k, k) // Sfᵀ(A) − B − α Sfᵀ(Sf − prior)
+	delta.MulATB(f.Sf, a)
+	delta.Sub(delta, b)
+	if cfg.Alpha > 0 && prior != nil {
+		diff := f.Sf.Clone()
+		diff.Sub(diff, prior)
+		g := mat.NewDense(k, k)
+		g.MulATB(f.Sf, diff)
+		delta.AddScaled(delta, -cfg.Alpha, g)
+	}
+	dPos, dNeg := mat.SplitPosNeg(delta)
+
+	numer := mat.Product(f.Sf, dNeg)
+	numer.Add(numer, a)
+	denom := mat.NewDense(f.Sf.Rows(), k)
+	denom.Mul(f.Sf, b)
+	denom.Add(denom, mat.Product(f.Sf, dPos))
+	if cfg.Alpha > 0 && prior != nil {
+		numer.AddScaled(numer, cfg.Alpha, prior)
+		denom.AddScaled(denom, cfg.Alpha, f.Sf)
+	}
+
+	applyExtensions(numer, denom, f.Sf, cfg, nil)
+	mat.MulUpdate(f.Sf, numer, denom)
+}
+
+// updateHp applies Eq. 12: Hp ← Hp ∘ √(Spᵀ Xp Sf / Spᵀ Sp Hp Sfᵀ Sf).
+func updateHp(p *Problem, f *Factors) {
+	k := f.Hp.Rows()
+	numer := mat.NewDense(k, k)
+	numer.MulATB(f.Sp, p.Xp.MulDense(f.Sf))
+	denom := mat.Product(mat.Product(mat.Gram(f.Sp), f.Hp), mat.Gram(f.Sf))
+	mat.MulUpdate(f.Hp, numer, denom)
+}
+
+// updateHu applies Eq. 13: Hu ← Hu ∘ √(Suᵀ Xu Sf / Suᵀ Su Hu Sfᵀ Sf).
+func updateHu(p *Problem, f *Factors) {
+	k := f.Hu.Rows()
+	numer := mat.NewDense(k, k)
+	numer.MulATB(f.Su, p.Xu.MulDense(f.Sf))
+	denom := mat.Product(mat.Product(mat.Gram(f.Su), f.Hu), mat.Gram(f.Sf))
+	mat.MulUpdate(f.Hu, numer, denom)
+}
+
+// applyExtensions adds the §7 optional regularizer terms to a factor's
+// multiplicative numerator/denominator. labels may be nil (no guidance for
+// this factor).
+func applyExtensions(numer, denom, s *mat.Dense, cfg Config, labels []int) {
+	if cfg.SparsityLambda > 0 {
+		// ∂(λ‖S‖₁)/∂S = λ → pure denominator (shrinkage) term.
+		d := denom.Data()
+		for i := range d {
+			d[i] += cfg.SparsityLambda
+		}
+	}
+	if cfg.DiversityLambda > 0 {
+		// λ tr(Sᵀ S (𝟙𝟙ᵀ − I)): gradient 2λ S(𝟙𝟙ᵀ−I) ≥ 0 → denominator.
+		k := s.Cols()
+		ones := mat.NewDense(k, k)
+		ones.Fill(1)
+		for i := 0; i < k; i++ {
+			ones.Set(i, i, 0)
+		}
+		denom.AddScaled(denom, cfg.DiversityLambda, mat.Product(s, ones))
+	}
+	if cfg.GuidedLambda > 0 && labels != nil {
+		// λ‖S(i) − e_y(i)‖² on labeled rows: numerator += λ e_y(i),
+		// denominator += λ S(i).
+		k := s.Cols()
+		for i, y := range labels {
+			if y < 0 || y >= k || i >= s.Rows() {
+				continue
+			}
+			numer.Set(i, y, numer.At(i, y)+cfg.GuidedLambda)
+			srow := s.Row(i)
+			drow := denom.Row(i)
+			for j := range drow {
+				drow[j] += cfg.GuidedLambda * srow[j]
+			}
+		}
+	}
+}
+
+// Loss evaluates every term of the objective. tr is nil for the offline
+// objective (Eq. 1); online (Eq. 19) it supplies the temporal user term,
+// and the Lexicon field then measures α‖Sf − Sfw‖² via the prior recorded
+// in tr.
+func Loss(p *Problem, f *Factors, cfg Config, tr *temporalUser) LossBreakdown {
+	var lb LossBreakdown
+	lb.TweetFeature = p.Xp.ResidualFrobeniusSq(f.Sp, f.Hp, f.Sf)
+	lb.UserFeature = p.Xu.ResidualFrobeniusSq(f.Su, f.Hu, f.Sf)
+	lb.UserTweet = p.Xr.ResidualFrobeniusSq(f.Su, nil, f.Sp)
+
+	prior := p.Sf0
+	if tr != nil && tr.sfPrior != nil {
+		prior = tr.sfPrior
+	}
+	if cfg.Alpha > 0 && prior != nil {
+		lb.Lexicon = cfg.Alpha * mat.DiffFrobeniusSq(f.Sf, prior)
+	}
+	if cfg.Beta > 0 && p.Gu != nil {
+		lb.GraphReg = cfg.Beta * sparse.GraphRegularization(p.Gu, f.Su)
+	}
+	if tr != nil && tr.gamma > 0 {
+		diff := f.Su.Clone()
+		diff.Sub(diff, tr.suw)
+		tr.maskRowsWithoutHistory(diff)
+		lb.Temporal = tr.gamma * diff.FrobeniusSq()
+	}
+	if cfg.SparsityLambda > 0 {
+		lb.Sparsity = cfg.SparsityLambda * (f.Sp.Sum() + f.Su.Sum() + f.Sf.Sum())
+	}
+	if cfg.DiversityLambda > 0 {
+		lb.Diversity = cfg.DiversityLambda * (diversityPenalty(f.Sp) + diversityPenalty(f.Su) + diversityPenalty(f.Sf))
+	}
+	if cfg.GuidedLambda > 0 {
+		lb.Guided = cfg.GuidedLambda * (guidedPenalty(f.Sp, cfg.GuidedTweetLabels) + guidedPenalty(f.Su, cfg.GuidedUserLabels))
+	}
+	lb.Total = lb.TweetFeature + lb.UserFeature + lb.UserTweet +
+		lb.Lexicon + lb.GraphReg + lb.Temporal + lb.Sparsity + lb.Diversity + lb.Guided
+	return lb
+}
+
+func diversityPenalty(s *mat.Dense) float64 {
+	g := mat.Gram(s)
+	var off float64
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			if i != j {
+				off += g.At(i, j)
+			}
+		}
+	}
+	return off
+}
+
+func guidedPenalty(s *mat.Dense, labels []int) float64 {
+	if labels == nil {
+		return 0
+	}
+	var sum float64
+	k := s.Cols()
+	for i, y := range labels {
+		if y < 0 || y >= k || i >= s.Rows() {
+			continue
+		}
+		row := s.Row(i)
+		for j, v := range row {
+			d := v
+			if j == y {
+				d = v - 1
+			}
+			sum += d * d
+		}
+	}
+	return sum
+}

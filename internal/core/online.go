@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"triclust/internal/mat"
+)
+
+// OnlineConfig extends Config with the temporal parameters of Eq. 19.
+// In the online objective α re-weighs the feature temporal regularizer
+// α‖Sf(t) − Sfw(t)‖² (the lexicon only seeds the very first snapshot).
+type OnlineConfig struct {
+	Config
+	// Gamma weighs the user temporal regularizer γ‖Su(d,e)(t) − Suw(t)‖².
+	Gamma float64
+	// Tau ∈ (0,1] is the exponential decay of past results
+	// (Sfw(t)=Σ τⁱ Sf(t−i)).
+	Tau float64
+	// Window is w: snapshots [t−w, t) contribute to the history
+	// aggregates.
+	Window int
+}
+
+// DefaultOnlineConfig returns the parameters the paper settles on for the
+// online experiments (§5.2): α = τ = 0.9, γ = 0.2, β = 0.8, w = 2.
+func DefaultOnlineConfig() OnlineConfig {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.9
+	return OnlineConfig{Config: cfg, Gamma: 0.2, Tau: 0.9, Window: 2}
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Tau == 0 {
+		c.Tau = 0.9
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+	return c
+}
+
+// temporalUser carries the per-snapshot user history terms consumed by
+// updateSu (Eq. 24 for rows without history, Eq. 26 for rows with one)
+// and by Loss.
+type temporalUser struct {
+	gamma   float64
+	suw     *mat.Dense // m_t×k; zero rows where hasHist is false
+	hasHist []bool
+	sfPrior *mat.Dense // Sfw(t); replaces Sf0 in the Sf update and loss
+}
+
+// maskRowsWithoutHistory zeroes the rows of d belonging to users without
+// history so the γ terms only touch evolving/disappeared users.
+func (tr *temporalUser) maskRowsWithoutHistory(d *mat.Dense) {
+	for i, ok := range tr.hasHist {
+		if ok {
+			continue
+		}
+		row := d.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// addTemporalTerms adds γ·Suw to the numerator and γ·Su to the denominator
+// on rows with history (the extra terms of Eq. 26 relative to Eq. 24).
+func (tr *temporalUser) addTemporalTerms(numer, denom, su *mat.Dense) {
+	for i, ok := range tr.hasHist {
+		if !ok {
+			continue
+		}
+		nrow, drow := numer.Row(i), denom.Row(i)
+		wrow, srow := tr.suw.Row(i), su.Row(i)
+		for j := range nrow {
+			nrow[j] += tr.gamma * wrow[j]
+			drow[j] += tr.gamma * srow[j]
+		}
+	}
+}
+
+type sfSnapshot struct {
+	time int
+	sf   *mat.Dense
+	// seen[j] is true when feature j actually occurred in the
+	// snapshot's data; rows of sf for unseen words carry no evidence.
+	seen []bool
+}
+
+type userSnapshot struct {
+	time int
+	row  []float64
+}
+
+// Online is the stateful dynamic tri-clustering solver (Algorithm 2).
+// Feed it one snapshot per timestamp via Step; it carries the decayed
+// history Sfw / Suw across calls.
+type Online struct {
+	cfg      OnlineConfig
+	sfHist   []sfSnapshot
+	userHist map[int][]userSnapshot
+	lastHp   *mat.Dense
+	lastHu   *mat.Dense
+	rng      *rand.Rand
+}
+
+// NewOnline returns a solver with empty history.
+func NewOnline(cfg OnlineConfig) *Online {
+	cfg = cfg.withDefaults()
+	return &Online{
+		cfg:      cfg,
+		userHist: make(map[int][]userSnapshot),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Config returns the solver's configuration.
+func (o *Online) Config() OnlineConfig { return o.cfg }
+
+// HistoryLen returns the number of feature snapshots currently retained.
+func (o *Online) HistoryLen() int { return len(o.sfHist) }
+
+// Step processes the snapshot at timestamp t. p holds the snapshot's
+// matrices with tweets and *active users* locally indexed; active[i] is
+// the global id of local user i (so history can follow users across
+// snapshots). Timestamps must be strictly increasing across calls.
+func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
+	cfg := o.cfg
+	if err := p.Validate(cfg.K); err != nil {
+		return nil, err
+	}
+	if len(active) != p.Xu.Rows() {
+		return nil, fmt.Errorf("core: %d active users for %d Xu rows", len(active), p.Xu.Rows())
+	}
+	if n := len(o.sfHist); n > 0 && o.sfHist[n-1].time >= t {
+		return nil, fmt.Errorf("core: non-increasing timestamp %d after %d", t, o.sfHist[n-1].time)
+	}
+
+	// Rescale the relative weights to this snapshot's data magnitude
+	// (see regScales).
+	aScale, bScale, gScale := regScales(p)
+	cfg.Alpha *= aScale
+	cfg.Beta *= bScale
+
+	tr := o.buildTemporal(t, p, active)
+	tr.gamma = o.cfg.Gamma * gScale
+
+	// Line 1 of Algorithm 2: initialize Sf(t) = Sfw(t) and
+	// Su(d,e)(t) = Suw(t); line 2: random init for the rest. Beyond the
+	// letter of the algorithm we also propagate the *learned* feature
+	// sentiments into the Sp/Su seeding (Observation 1: previous feature
+	// results improve the clustering of new tweets) and warm-start the
+	// association cores from the previous snapshot.
+	f := initFactors(p, cfg.Config, o.rng)
+	if tr.sfPrior != nil {
+		f.Sf = tr.sfPrior.Clone()
+		mat.PerturbPositive(o.rng, f.Sf, 0.01)
+		if cfg.LexiconInit {
+			f.Sp = p.Xp.MulDense(tr.sfPrior)
+			f.Sp.NormalizeRowsL1()
+			mat.PerturbPositive(o.rng, f.Sp, 0.05)
+			f.Su = p.Xu.MulDense(tr.sfPrior)
+			f.Su.NormalizeRowsL1()
+			mat.PerturbPositive(o.rng, f.Su, 0.05)
+		}
+	}
+	if o.lastHp != nil {
+		f.Hp = o.lastHp.Clone()
+		f.Hu = o.lastHu.Clone()
+	}
+	for i, ok := range tr.hasHist {
+		if ok {
+			copy(f.Su.Row(i), tr.suw.Row(i))
+			for j, v := range f.Su.Row(i) {
+				if v <= 0 {
+
+					f.Su.Row(i)[j] = 1e-6
+				}
+			}
+		}
+	}
+
+	res := &Result{Factors: f}
+	prev := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		// Lines 4–8 of Algorithm 2.
+		updateSf(p, &f, cfg.Config, tr.sfPrior)
+		updateSp(p, &f, cfg.Config)
+		updateHp(p, &f)
+		updateHu(p, &f)
+		updateSu(p, &f, cfg.Config, tr)
+
+		loss := Loss(p, &f, cfg.Config, tr)
+		res.History = append(res.History, loss)
+		res.Iterations = it + 1
+		if relChange(prev, loss.Total) < cfg.Tol {
+			res.Converged = true
+			break
+		}
+		prev = loss.Total
+	}
+	res.Factors = f
+
+	o.lastHp, o.lastHu = f.Hp.Clone(), f.Hu.Clone()
+	o.record(t, p, &f, active)
+	return res, nil
+}
+
+// buildTemporal assembles Sfw(t), Suw(t) and the history mask from the
+// retained snapshots within [t−w, t) as the τ-decayed weighted average
+//
+//	Sfw(t) = Σᵢ τ^(i−1) Sf(t−i) / Σᵢ τ^(i−1)
+//
+// i.e. τ is a pure recency weight ("an exponential decay is used to
+// forget out-of-date results", §4). Eq. 18's literal unnormalized sum
+// also scales the target magnitude by Στⁱ, which couples τ to the
+// factorization's scale and destabilizes the multiplicative updates
+// (small τ shrinks the prior toward zero, collapsing clusters); the
+// normalized form keeps the paper's forgetting semantics with the target
+// on the scale of one snapshot. τ = 0 degenerates to "previous snapshot
+// only"; an empty window falls back to the lexicon prior, matching the
+// offline framework's behaviour on the first snapshot.
+func (o *Online) buildTemporal(t int, p *Problem, active []int) *temporalUser {
+	cfg := o.cfg
+	tr := &temporalUser{gamma: cfg.Gamma, hasHist: make([]bool, len(active))}
+	tr.suw = mat.NewDense(len(active), cfg.K)
+
+	var totalW float64
+	var acc *mat.Dense
+	var seenAny []bool
+	for _, s := range o.sfHist {
+		age := t - s.time
+		if age < 1 || age >= cfg.Window {
+			continue
+		}
+		w := math.Pow(cfg.Tau, float64(age-1))
+		if acc == nil {
+			acc = mat.NewDense(s.sf.Rows(), s.sf.Cols())
+			seenAny = make([]bool, s.sf.Rows())
+		}
+		acc.AddScaled(acc, w, s.sf)
+		for j, sj := range s.seen {
+			if sj && j < len(seenAny) {
+				seenAny[j] = true
+			}
+		}
+		totalW += w
+	}
+	if acc != nil && totalW > 0 && acc.Rows() == p.Xp.Cols() {
+		acc.Scale(1/totalW, acc)
+		// Words that never occurred inside the window left no
+		// "intermediate clustering results" to utilize — their history
+		// rows are pure solver noise. Fall back to the lexicon prior
+		// for those rows (the offline behaviour), keeping the learned
+		// rows for words with actual evidence.
+		if p.Sf0 != nil {
+			for j, sj := range seenAny {
+				if !sj {
+					copy(acc.Row(j), p.Sf0.Row(j))
+				}
+			}
+		}
+		tr.sfPrior = acc
+	} else if p.Sf0 != nil {
+		// First snapshot, τ = 0, or vocabulary mismatch: fall back to
+		// the lexicon prior, as in the offline framework.
+		tr.sfPrior = p.Sf0
+	}
+
+	// Suw rows per active user (same unnormalized decayed sum).
+	for i, g := range active {
+		hist := o.userHist[g]
+		var wsum float64
+		row := tr.suw.Row(i)
+		for _, h := range hist {
+			age := t - h.time
+			if age < 1 || age >= cfg.Window {
+				continue
+			}
+			w := math.Pow(cfg.Tau, float64(age-1))
+			for j, v := range h.row {
+				if j < len(row) {
+					row[j] += w * v
+				}
+			}
+			wsum += w
+		}
+		if wsum > 0 {
+			tr.hasHist[i] = true
+			for j := range row {
+				row[j] /= wsum
+			}
+		}
+	}
+	return tr
+}
+
+// record retains the snapshot's Sf and the active users' Su rows, pruning
+// entries that fell out of the window. Sf is stored row-normalized: on a
+// thin snapshot most vocabulary words receive no data evidence and their
+// rows only shrink (the denominator's global k×k term applies to every
+// row), so recording raw magnitudes would compound into a collapsing
+// feature memory across snapshots; the row's class *distribution* is the
+// information Observation 1 says persists.
+func (o *Online) record(t int, p *Problem, f *Factors, active []int) {
+	sf := f.Sf.Clone()
+	sf.NormalizeRowsL1()
+	seen := make([]bool, p.Xp.Cols())
+	for _, cs := range [][]float64{p.Xp.ColSums(), p.Xu.ColSums()} {
+		for j, v := range cs {
+			if v != 0 {
+				seen[j] = true
+			}
+		}
+	}
+	o.sfHist = append(o.sfHist, sfSnapshot{time: t, sf: sf, seen: seen})
+	minTime := t - o.cfg.Window + 1
+	pruned := o.sfHist[:0]
+	for _, s := range o.sfHist {
+		if s.time >= minTime {
+			pruned = append(pruned, s)
+		}
+	}
+	o.sfHist = pruned
+
+	for i, g := range active {
+		row := append([]float64(nil), f.Su.Row(i)...)
+		hist := append(o.userHist[g], userSnapshot{time: t, row: row})
+		kept := hist[:0]
+		for _, h := range hist {
+			if h.time >= minTime {
+				kept = append(kept, h)
+			}
+		}
+		if len(kept) == 0 {
+			// Keep the newest row regardless so LastUserEstimate can
+			// still report long-disappeared users (it carries no weight
+			// in Suw once outside the window).
+			kept = append(kept, hist[len(hist)-1])
+		}
+		o.userHist[g] = kept
+	}
+}
+
+// LastUserEstimate returns the most recent Su row recorded for global user
+// g, or nil if the user has never been active. The experiments use it to
+// score disappeared users at later timestamps (their sentiment persists
+// per Observation 2).
+func (o *Online) LastUserEstimate(g int) []float64 {
+	hist := o.userHist[g]
+	if len(hist) == 0 {
+		return nil
+	}
+	return append([]float64(nil), hist[len(hist)-1].row...)
+}
+
+// KnownUsers returns the number of users with recorded history.
+func (o *Online) KnownUsers() int { return len(o.userHist) }

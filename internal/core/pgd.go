@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"triclust/internal/mat"
+	"triclust/internal/sparse"
+)
+
+// PGOptions tune the projected-gradient solver.
+type PGOptions struct {
+	// InitialStep is the first trial step size per factor update.
+	InitialStep float64
+	// Backtracks bounds the step-halving attempts per update.
+	Backtracks int
+	// StepGrowth re-expands the accepted step between sweeps.
+	StepGrowth float64
+}
+
+// DefaultPGOptions returns a robust configuration.
+func DefaultPGOptions() PGOptions {
+	return PGOptions{InitialStep: 1e-3, Backtracks: 20, StepGrowth: 2}
+}
+
+// FitOfflinePG minimizes the offline objective (Eq. 1, without the
+// orthogonality penalties) by alternating *projected gradient descent*
+// with backtracking line search on each factor — the solver family the
+// paper's related work attributes to Lin [21] as the main alternative to
+// Lee–Seung multiplicative updates. It exists for cross-checking the
+// multiplicative solver and for the solver-choice ablation bench; the
+// multiplicative algorithm (FitOffline) is the paper's method.
+func FitOfflinePG(p *Problem, cfg Config, opts PGOptions) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := p.Validate(cfg.K); err != nil {
+		return nil, err
+	}
+	aScale, bScale, _ := regScales(p)
+	cfg.Alpha *= aScale
+	cfg.Beta *= bScale
+	if opts.InitialStep <= 0 {
+		opts.InitialStep = 1e-3
+	}
+	if opts.Backtracks <= 0 {
+		opts.Backtracks = 20
+	}
+	if opts.StepGrowth <= 1 {
+		opts.StepGrowth = 2
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := initFactors(p, cfg, rng)
+	res := &Result{Factors: f}
+
+	// Per-factor adaptive step sizes.
+	steps := map[string]float64{"Sp": opts.InitialStep, "Su": opts.InitialStep,
+		"Sf": opts.InitialStep, "Hp": opts.InitialStep, "Hu": opts.InitialStep}
+
+	objective := func() float64 { return Loss(p, &f, cfg, nil).Total }
+
+	descend := func(name string, factor *mat.Dense, grad *mat.Dense) {
+		cur := objective()
+		step := steps[name]
+		backup := factor.Clone()
+		for try := 0; try < opts.Backtracks; try++ {
+			factor.CopyFrom(backup)
+			factor.AddScaled(factor, -step, grad)
+			factor.ClampNonNegative()
+			if objective() < cur {
+				steps[name] = step * opts.StepGrowth
+				return
+			}
+			step /= 2
+		}
+		// No improving step found: restore and shrink future trials.
+		factor.CopyFrom(backup)
+		steps[name] = step
+	}
+
+	prev := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		descend("Sp", f.Sp, gradSp(p, &f))
+		descend("Hp", f.Hp, gradHp(p, &f))
+		descend("Su", f.Su, gradSu(p, &f, cfg))
+		descend("Hu", f.Hu, gradHu(p, &f))
+		descend("Sf", f.Sf, gradSf(p, &f, cfg))
+
+		lb := Loss(p, &f, cfg, nil)
+		res.History = append(res.History, lb)
+		res.Iterations = it + 1
+		if relChange(prev, lb.Total) < cfg.Tol {
+			res.Converged = true
+			break
+		}
+		prev = lb.Total
+	}
+	return res, nil
+}
+
+// gradSp = −2XpSfHpᵀ + 2SpHpGram(Sf)Hpᵀ − 2XrᵀSu + 2SpGram(Su).
+func gradSp(p *Problem, f *Factors) *mat.Dense {
+	k := f.Sp.Cols()
+	sfHpT := mat.NewDense(f.Sf.Rows(), k)
+	sfHpT.MulABT(f.Sf, f.Hp)
+	g := p.Xp.MulDense(sfHpT)
+	g.Add(g, p.Xr.MulTDense(f.Su))
+	g.Scale(-2, g)
+
+	d := mat.NewDense(k, k)
+	tmp := mat.Product(f.Hp, mat.Gram(f.Sf))
+	d.MulABT(tmp, f.Hp)
+	d.Add(d, mat.Gram(f.Su))
+	g.AddScaled(g, 2, mat.Product(f.Sp, d))
+	return g
+}
+
+// gradSu = −2XuSfHuᵀ + 2SuHuGram(Sf)Huᵀ − 2XrSp + 2SuGram(Sp) + 2βLuSu.
+func gradSu(p *Problem, f *Factors, cfg Config) *mat.Dense {
+	k := f.Su.Cols()
+	sfHuT := mat.NewDense(f.Sf.Rows(), k)
+	sfHuT.MulABT(f.Sf, f.Hu)
+	g := p.Xu.MulDense(sfHuT)
+	g.Add(g, p.Xr.MulDense(f.Sp))
+	g.Scale(-2, g)
+
+	d := mat.NewDense(k, k)
+	tmp := mat.Product(f.Hu, mat.Gram(f.Sf))
+	d.MulABT(tmp, f.Hu)
+	d.Add(d, mat.Gram(f.Sp))
+	g.AddScaled(g, 2, mat.Product(f.Su, d))
+	if cfg.Beta > 0 && p.Gu != nil {
+		g.AddScaled(g, 2*cfg.Beta, sparse.LaplacianMulDense(p.Gu, f.Su))
+	}
+	return g
+}
+
+// gradSf = −2XpᵀSpHp + 2SfHpᵀGram(Sp)Hp − 2XuᵀSuHu + 2SfHuᵀGram(Su)Hu
+// + 2α(Sf − Sf0).
+func gradSf(p *Problem, f *Factors, cfg Config) *mat.Dense {
+	k := f.Sf.Cols()
+	g := p.Xp.MulTDense(mat.Product(f.Sp, f.Hp))
+	g.Add(g, p.Xu.MulTDense(mat.Product(f.Su, f.Hu)))
+	g.Scale(-2, g)
+
+	b := mat.NewDense(k, k)
+	b.MulATB(f.Hp, mat.Product(mat.Gram(f.Sp), f.Hp))
+	b2 := mat.NewDense(k, k)
+	b2.MulATB(f.Hu, mat.Product(mat.Gram(f.Su), f.Hu))
+	b.Add(b, b2)
+	g.AddScaled(g, 2, mat.Product(f.Sf, b))
+	if cfg.Alpha > 0 && p.Sf0 != nil {
+		diff := f.Sf.Clone()
+		diff.Sub(diff, p.Sf0)
+		g.AddScaled(g, 2*cfg.Alpha, diff)
+	}
+	return g
+}
+
+// gradHp = −2SpᵀXpSf + 2Gram(Sp)HpGram(Sf).
+func gradHp(p *Problem, f *Factors) *mat.Dense {
+	k := f.Hp.Rows()
+	g := mat.NewDense(k, k)
+	g.MulATB(f.Sp, p.Xp.MulDense(f.Sf))
+	g.Scale(-2, g)
+	g.AddScaled(g, 2, mat.Product(mat.Product(mat.Gram(f.Sp), f.Hp), mat.Gram(f.Sf)))
+	return g
+}
+
+// gradHu = −2SuᵀXuSf + 2Gram(Su)HuGram(Sf).
+func gradHu(p *Problem, f *Factors) *mat.Dense {
+	k := f.Hu.Rows()
+	g := mat.NewDense(k, k)
+	g.MulATB(f.Su, p.Xu.MulDense(f.Sf))
+	g.Scale(-2, g)
+	g.AddScaled(g, 2, mat.Product(mat.Product(mat.Gram(f.Su), f.Hu), mat.Gram(f.Sf)))
+	return g
+}

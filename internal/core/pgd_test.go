@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"triclust/internal/eval"
+	"triclust/internal/mat"
+)
+
+func TestPGObjectiveStrictlyNonIncreasing(t *testing.T) {
+	d, g := smallDataset(t, 51)
+	p := problemFor(d, g, 3)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 30
+	cfg.Tol = -1
+	res, err := FitOfflinePG(p, cfg, DefaultPGOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backtracking line search guarantees monotone descent (each factor
+	// step is only accepted when it improves the full objective).
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Total > res.History[i-1].Total+1e-9 {
+			t.Fatalf("PG objective rose at iter %d: %.6f → %.6f",
+				i, res.History[i-1].Total, res.History[i].Total)
+		}
+	}
+	if res.History[len(res.History)-1].Total >= res.History[0].Total {
+		t.Fatal("PG objective did not decrease")
+	}
+}
+
+func TestPGRecoversPlantedClusters(t *testing.T) {
+	d, g := smallDataset(t, 53)
+	p := problemFor(d, g, 3)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 60
+	res, err := FitOfflinePG(p, cfg, DefaultPGOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := eval.Accuracy(res.TweetClusters(), d.TweetClass); acc < 0.65 {
+		t.Fatalf("PG tweet accuracy = %.3f", acc)
+	}
+}
+
+func TestPGComparableToMultiplicative(t *testing.T) {
+	d, g := smallDataset(t, 55)
+	p := problemFor(d, g, 3)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 50
+
+	mu, err := FitOffline(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := FitOfflinePG(p, cfg, DefaultPGOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accMU := eval.Accuracy(mu.TweetClusters(), d.TweetClass)
+	accPG := eval.Accuracy(pg.TweetClusters(), d.TweetClass)
+	if accPG < accMU-0.15 {
+		t.Fatalf("PG (%.3f) far below multiplicative (%.3f)", accPG, accMU)
+	}
+}
+
+func TestPGFactorsNonNegativeFinite(t *testing.T) {
+	d, g := smallDataset(t, 57)
+	p := problemFor(d, g, 3)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 20
+	res, err := FitOfflinePG(p, cfg, DefaultPGOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*mat.Dense{
+		"Sp": res.Sp, "Su": res.Su, "Sf": res.Sf, "Hp": res.Hp, "Hu": res.Hu,
+	} {
+		if !m.IsFinite() {
+			t.Fatalf("%s non-finite", name)
+		}
+		for _, v := range m.Data() {
+			if v < 0 {
+				t.Fatalf("%s negative after projection", name)
+			}
+		}
+	}
+}
+
+func TestPGValidates(t *testing.T) {
+	p := &Problem{} // nil matrices → panic would be a bug; Validate errors first
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panicked instead of returning error: %v", r)
+		}
+	}()
+	bad, f := exactProblem(rand.New(rand.NewSource(1)), 4, 3, 5, 2)
+	_ = f
+	bad.Sf0 = mat.NewDense(99, 2) // wrong prior shape
+	if _, err := FitOfflinePG(bad, DefaultConfig(), DefaultPGOptions()); err == nil {
+		t.Fatal("expected validation error")
+	}
+	_ = p
+}
+
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	p, f := exactProblem(rng, 6, 4, 5, 2)
+	mat.PerturbPositive(rng, f.Sp, 0.5)
+	mat.PerturbPositive(rng, f.Su, 0.5)
+	mat.PerturbPositive(rng, f.Sf, 0.5)
+	cfg := Config{K: 2, Alpha: 0, Beta: 0}.withDefaults()
+
+	loss := func() float64 {
+		return p.Xp.ResidualFrobeniusSq(f.Sp, f.Hp, f.Sf) +
+			p.Xu.ResidualFrobeniusSq(f.Su, f.Hu, f.Sf) +
+			p.Xr.ResidualFrobeniusSq(f.Su, nil, f.Sp)
+	}
+
+	const h = 1e-6
+	check := func(name string, factor *mat.Dense, grad *mat.Dense) {
+		for _, idx := range [][2]int{{0, 0}, {1, 1}} {
+			i, j := idx[0], idx[1]
+			orig := factor.At(i, j)
+			factor.Set(i, j, orig+h)
+			up := loss()
+			factor.Set(i, j, orig-h)
+			down := loss()
+			factor.Set(i, j, orig)
+			numeric := (up - down) / (2 * h)
+			analytic := grad.At(i, j)
+			if diff := numeric - analytic; diff > 1e-3*(1+abs(numeric)) || -diff > 1e-3*(1+abs(numeric)) {
+				t.Fatalf("%s grad(%d,%d): analytic %.6f vs numeric %.6f", name, i, j, analytic, numeric)
+			}
+		}
+	}
+	check("Sp", f.Sp, gradSp(p, &f))
+	check("Su", f.Su, gradSu(p, &f, cfg))
+	check("Sf", f.Sf, gradSf(p, &f, cfg))
+	check("Hp", f.Hp, gradHp(p, &f))
+	check("Hu", f.Hu, gradHu(p, &f))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

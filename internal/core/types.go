@@ -1,0 +1,214 @@
+// Package core implements the paper's primary contribution: the offline
+// tri-clustering framework (Algorithm 1; Eqs. 1, 7, 9, 11, 12, 13) and the
+// online dynamic tri-clustering framework (Algorithm 2; Eqs. 19–26), both
+// solved by analytical multiplicative update rules, plus the optional
+// regularizers sketched in the paper's conclusion (§7): sparsity,
+// diversity, and guided (semi-supervised) regularization.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"triclust/internal/mat"
+	"triclust/internal/sparse"
+)
+
+// Problem bundles the inputs of the offline objective (Eq. 1).
+type Problem struct {
+	// Xp is the n×l tweet–feature matrix.
+	Xp *sparse.CSR
+	// Xu is the m×l user–feature matrix.
+	Xu *sparse.CSR
+	// Xr is the m×n user–tweet matrix.
+	Xr *sparse.CSR
+	// Gu is the m×m symmetric user–user retweet graph (may be nil when
+	// β = 0).
+	Gu *sparse.CSR
+	// Sf0 is the l×k feature-sentiment prior (sentiment lexicon rows).
+	Sf0 *mat.Dense
+}
+
+// Validate checks dimension consistency.
+func (p *Problem) Validate(k int) error {
+	n, l := p.Xp.Rows(), p.Xp.Cols()
+	m := p.Xu.Rows()
+	if p.Xu.Cols() != l {
+		return fmt.Errorf("core: Xu has %d features, Xp has %d", p.Xu.Cols(), l)
+	}
+	if p.Xr.Rows() != m || p.Xr.Cols() != n {
+		return fmt.Errorf("core: Xr is %dx%d, want %dx%d", p.Xr.Rows(), p.Xr.Cols(), m, n)
+	}
+	if p.Gu != nil && (p.Gu.Rows() != m || p.Gu.Cols() != m) {
+		return fmt.Errorf("core: Gu is %dx%d, want %dx%d", p.Gu.Rows(), p.Gu.Cols(), m, m)
+	}
+	if p.Sf0 != nil && (!p.Sf0.Dims(l, k)) {
+		return fmt.Errorf("core: Sf0 is %dx%d, want %dx%d", p.Sf0.Rows(), p.Sf0.Cols(), l, k)
+	}
+	if k < 1 {
+		return fmt.Errorf("core: k = %d", k)
+	}
+	return nil
+}
+
+// Config holds the hyper-parameters shared by the offline and online
+// solvers.
+type Config struct {
+	// K is the number of sentiment classes (2 or 3 in the paper).
+	K int
+	// Alpha ∈ [0,1] weighs the feature-lexicon regularizer
+	// α‖Sf − Sf0‖² *relative to the data terms*: the solvers scale it
+	// internally so that α = 1 makes the regularizer comparable to one
+	// data-fidelity term (see regScales).
+	Alpha float64
+	// Beta ∈ [0,1] weighs the user-graph regularizer β·tr(SuᵀLuSu),
+	// relative like Alpha.
+	Beta float64
+	// MaxIter bounds the multiplicative update sweeps (paper: r≈10–100).
+	MaxIter int
+	// Tol stops iteration when the relative objective change drops
+	// below it. Zero selects the default (1e-4); a negative value
+	// disables the convergence check so exactly MaxIter sweeps run.
+	Tol float64
+	// Seed drives factor initialization.
+	Seed int64
+	// LexiconInit seeds Sp and Su from lexicon votes (Xp·Sf0, Xu·Sf0)
+	// instead of pure random, aligning cluster j with sentiment class j.
+	LexiconInit bool
+
+	// ——— §7 extension regularizers (all zero by default) ———
+
+	// SparsityLambda adds an L1 shrinkage λ·‖S‖₁ on Sp, Su and Sf.
+	SparsityLambda float64
+	// DiversityLambda penalizes overlapping clusters via
+	// λ·tr(Sᵀ S (𝟙𝟙ᵀ − I)) on Sp, Su and Sf.
+	DiversityLambda float64
+	// GuidedLambda weighs the semi-supervised guidance ‖S(i) − e_y(i)‖²
+	// on rows with observed labels.
+	GuidedLambda float64
+	// GuidedTweetLabels / GuidedUserLabels supply those labels
+	// (len n / len m, entries are class indices or −1 for unlabeled).
+	GuidedTweetLabels []int
+	GuidedUserLabels  []int
+}
+
+// DefaultConfig returns the configuration used in the paper's offline
+// experiments: k = 3, α = 0.05, β = 0.8 (§5.1: "to balance between the
+// tweet-level performance and user-level performance").
+func DefaultConfig() Config {
+	return Config{
+		K:           3,
+		Alpha:       0.05,
+		Beta:        0.8,
+		MaxIter:     100,
+		Tol:         1e-4,
+		Seed:        1,
+		LexiconInit: true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	return c
+}
+
+// Factors are the five factor matrices of the tri-factorization.
+type Factors struct {
+	// Sp (n×k), Su (m×k), Sf (l×k) are the tweet, user, and feature
+	// cluster-membership matrices.
+	Sp, Su, Sf *mat.Dense
+	// Hp, Hu (k×k) are the tweet-class and user-class association cores.
+	Hp, Hu *mat.Dense
+}
+
+// LossBreakdown records every term of the objective at one iteration.
+// The first three fields are squared Frobenius residuals (the paper's
+// Figure 8 plots their square roots).
+type LossBreakdown struct {
+	TweetFeature float64 // ‖Xp − Sp Hp Sfᵀ‖²
+	UserFeature  float64 // ‖Xu − Su Hu Sfᵀ‖²
+	UserTweet    float64 // ‖Xr − Su Spᵀ‖²
+	Lexicon      float64 // α‖Sf − Sf0‖²  (temporal feature term online)
+	GraphReg     float64 // β·tr(SuᵀLuSu)
+	Temporal     float64 // γ‖Su(d,e) − Suw‖² (online only)
+	Sparsity     float64
+	Diversity    float64
+	Guided       float64
+	Total        float64
+}
+
+// Result is the output of a solver run.
+type Result struct {
+	Factors
+	// Iterations is the number of completed update sweeps.
+	Iterations int
+	// Converged reports whether the tolerance (rather than MaxIter)
+	// stopped the run.
+	Converged bool
+	// History holds the loss breakdown after every sweep.
+	History []LossBreakdown
+}
+
+// TweetClusters returns the hard cluster assignment of each tweet.
+func (r *Result) TweetClusters() []int { return r.Sp.RowArgMax() }
+
+// UserClusters returns the hard cluster assignment of each user.
+func (r *Result) UserClusters() []int { return r.Su.RowArgMax() }
+
+// FeatureClusters returns the hard cluster assignment of each feature.
+func (r *Result) FeatureClusters() []int { return r.Sf.RowArgMax() }
+
+// FinalLoss returns the last recorded loss breakdown (zero value when the
+// solver did not iterate).
+func (r *Result) FinalLoss() LossBreakdown {
+	if len(r.History) == 0 {
+		return LossBreakdown{}
+	}
+	return r.History[len(r.History)-1]
+}
+
+// initFactors builds the starting factors. With LexiconInit, Sp and Su are
+// seeded by propagating lexicon votes through the data matrices, which
+// keeps cluster index j aligned with sentiment class j (the emotion
+// consistency the Sf0 regularizer then maintains); otherwise they are
+// random positive matrices.
+func initFactors(p *Problem, cfg Config, rng *rand.Rand) Factors {
+	n, l := p.Xp.Rows(), p.Xp.Cols()
+	m := p.Xu.Rows()
+	k := cfg.K
+
+	var sf *mat.Dense
+	if p.Sf0 != nil {
+		sf = p.Sf0.Clone()
+		mat.PerturbPositive(rng, sf, 0.01)
+	} else {
+		sf = mat.RandomNonNegative(rng, l, k, 0.1, 1)
+	}
+
+	var sp, su *mat.Dense
+	if cfg.LexiconInit && p.Sf0 != nil {
+		sp = p.Xp.MulDense(p.Sf0) // n×k lexicon vote per tweet
+		sp.NormalizeRowsL1()
+		mat.PerturbPositive(rng, sp, 0.05)
+		su = p.Xu.MulDense(p.Sf0) // m×k lexicon vote per user
+		su.NormalizeRowsL1()
+		mat.PerturbPositive(rng, su, 0.05)
+	} else {
+		sp = mat.RandomNonNegative(rng, n, k, 0.1, 1)
+		su = mat.RandomNonNegative(rng, m, k, 0.1, 1)
+	}
+
+	hp := mat.Identity(k)
+	mat.PerturbPositive(rng, hp, 0.05)
+	hu := mat.Identity(k)
+	mat.PerturbPositive(rng, hu, 0.05)
+	return Factors{Sp: sp, Su: su, Sf: sf, Hp: hp, Hu: hu}
+}

@@ -1,0 +1,224 @@
+// Package eval implements the clustering-quality metrics of the paper's
+// §5: clustering accuracy under majority-vote cluster→class assignment and
+// Normalized Mutual Information (NMI), plus confusion matrices and
+// per-class precision/recall/F1 for diagnostics.
+//
+// All functions ignore items whose ground-truth label is negative
+// (unlabeled), matching the paper's evaluation on the labeled subsets of
+// Table 3.
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// filterLabeled returns the (pred, truth) pairs with truth ≥ 0.
+func filterLabeled(pred, truth []int) ([]int, []int) {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: %d predictions vs %d labels", len(pred), len(truth)))
+	}
+	var fp, ft []int
+	for i, g := range truth {
+		if g >= 0 {
+			fp = append(fp, pred[i])
+			ft = append(ft, g)
+		}
+	}
+	return fp, ft
+}
+
+// Accuracy computes the paper's clustering accuracy
+//
+//	A(C,G) = (1/n) Σ_{o∈C} max_{g∈G} |o ∩ g|
+//
+// i.e. each output cluster is assigned the ground-truth class it overlaps
+// most (majority vote) and the fraction of correctly covered items is
+// returned. Items with truth < 0 are ignored; the result is 0 when no
+// labeled items exist.
+func Accuracy(pred, truth []int) float64 {
+	p, g := filterLabeled(pred, truth)
+	if len(g) == 0 {
+		return 0
+	}
+	overlap := map[[2]int]int{}
+	for i := range p {
+		overlap[[2]int{p[i], g[i]}]++
+	}
+	best := map[int]int{}
+	for key, n := range overlap {
+		if n > best[key[0]] {
+			best[key[0]] = n
+		}
+	}
+	var correct int
+	for _, n := range best {
+		correct += n
+	}
+	return float64(correct) / float64(len(g))
+}
+
+// MajorityMapping returns, for each output cluster id, the ground-truth
+// class it overlaps most (ties to the smaller class id). Clusters with no
+// labeled members are absent from the map.
+func MajorityMapping(pred, truth []int) map[int]int {
+	p, g := filterLabeled(pred, truth)
+	counts := map[int]map[int]int{}
+	for i := range p {
+		m, ok := counts[p[i]]
+		if !ok {
+			m = map[int]int{}
+			counts[p[i]] = m
+		}
+		m[g[i]]++
+	}
+	out := map[int]int{}
+	for o, m := range counts {
+		bestClass, bestCount := -1, -1
+		for cls, n := range m {
+			if n > bestCount || (n == bestCount && cls < bestClass) {
+				bestClass, bestCount = cls, n
+			}
+		}
+		out[o] = bestClass
+	}
+	return out
+}
+
+// MapClusters rewrites cluster ids to ground-truth classes via
+// MajorityMapping; clusters without labeled members map to themselves.
+func MapClusters(pred, truth []int) []int {
+	mapping := MajorityMapping(pred, truth)
+	out := make([]int, len(pred))
+	for i, c := range pred {
+		if cls, ok := mapping[c]; ok {
+			out[i] = cls
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// NMI computes the Normalized Mutual Information
+//
+//	NMI(C,G) = 2·I(C;G) / (H(C)+H(G))
+//
+// over labeled items. It returns 0 when either partition has zero entropy
+// (a single cluster or class) or no labeled items exist.
+func NMI(pred, truth []int) float64 {
+	p, g := filterLabeled(pred, truth)
+	n := len(g)
+	if n == 0 {
+		return 0
+	}
+	joint := map[[2]int]float64{}
+	pc := map[int]float64{}
+	gc := map[int]float64{}
+	for i := range p {
+		joint[[2]int{p[i], g[i]}]++
+		pc[p[i]]++
+		gc[g[i]]++
+	}
+	fn := float64(n)
+	var mi float64
+	for key, nij := range joint {
+		pij := nij / fn
+		mi += pij * math.Log(pij/((pc[key[0]]/fn)*(gc[key[1]]/fn)))
+	}
+	hc := entropy(pc, fn)
+	hg := entropy(gc, fn)
+	if hc == 0 || hg == 0 {
+		return 0
+	}
+	nmi := 2 * mi / (hc + hg)
+	// Clamp tiny numeric excursions outside [0,1].
+	if nmi < 0 {
+		return 0
+	}
+	if nmi > 1 {
+		return 1
+	}
+	return nmi
+}
+
+func entropy(counts map[int]float64, n float64) float64 {
+	var h float64
+	for _, c := range counts {
+		p := c / n
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// ConfusionMatrix returns counts[class][cluster] over labeled items after
+// majority mapping of clusters to classes, with k rows/cols.
+func ConfusionMatrix(pred, truth []int, k int) [][]int {
+	mapped := MapClusters(pred, truth)
+	out := make([][]int, k)
+	for i := range out {
+		out[i] = make([]int, k)
+	}
+	for i, g := range truth {
+		if g < 0 || g >= k {
+			continue
+		}
+		m := mapped[i]
+		if m < 0 || m >= k {
+			continue
+		}
+		out[g][m]++
+	}
+	return out
+}
+
+// ClassScores holds per-class precision, recall and F1.
+type ClassScores struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// PerClass computes precision/recall/F1 per ground-truth class after
+// majority mapping.
+func PerClass(pred, truth []int, k int) []ClassScores {
+	cm := ConfusionMatrix(pred, truth, k)
+	out := make([]ClassScores, k)
+	for c := 0; c < k; c++ {
+		var tp, fp, fn int
+		tp = cm[c][c]
+		for o := 0; o < k; o++ {
+			if o != c {
+				fn += cm[c][o]
+				fp += cm[o][c]
+			}
+		}
+		s := ClassScores{Support: tp + fn}
+		if tp+fp > 0 {
+			s.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			s.Recall = float64(tp) / float64(tp+fn)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// Metrics bundles the two headline numbers the paper reports.
+type Metrics struct {
+	Accuracy float64
+	NMI      float64
+}
+
+// Evaluate computes both metrics at once.
+func Evaluate(pred, truth []int) Metrics {
+	return Metrics{Accuracy: Accuracy(pred, truth), NMI: NMI(pred, truth)}
+}
+
+// Percent formats a [0,1] metric the way the paper's tables print it.
+func Percent(v float64) string { return fmt.Sprintf("%.2f", v*100) }

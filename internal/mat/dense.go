@@ -1,0 +1,461 @@
+// Package mat provides dense row-major float64 matrices and the small set
+// of linear-algebra kernels needed by the tri-clustering algorithms: matrix
+// products, Gram matrices, Hadamard (element-wise) operations, Frobenius
+// norms, and the guarded multiplicative-update kernel.
+//
+// All matrices are dense and stored row-major in a single backing slice.
+// The factor matrices in this project are tall and skinny (n×k with k ≤ 3),
+// so dense storage is cheap; the large data matrices use package sparse.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed rows×cols matrix. It panics if either dimension
+// is negative.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData wraps data (len must be rows*cols) without copying.
+func NewDenseData(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Data returns the backing slice (row-major). Mutating it mutates the matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns the i-th row as a sub-slice of the backing storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom copies the contents of src into m. Dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(dimErr("CopyFrom", m, src))
+	}
+	copy(m.data, src.data)
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// Dims reports whether m has the given shape.
+func (m *Dense) Dims(rows, cols int) bool { return m.rows == rows && m.cols == cols }
+
+func dimErr(op string, a, b *Dense) string {
+	return fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols)
+}
+
+// Add stores a+b into m (m may alias a or b).
+func (m *Dense) Add(a, b *Dense) {
+	checkSame("Add", a, b)
+	checkSame("Add(dst)", m, a)
+	for i := range m.data {
+		m.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Sub stores a−b into m (m may alias a or b).
+func (m *Dense) Sub(a, b *Dense) {
+	checkSame("Sub", a, b)
+	checkSame("Sub(dst)", m, a)
+	for i := range m.data {
+		m.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// AddScaled stores a + s·b into m (m may alias a or b).
+func (m *Dense) AddScaled(a *Dense, s float64, b *Dense) {
+	checkSame("AddScaled", a, b)
+	checkSame("AddScaled(dst)", m, a)
+	for i := range m.data {
+		m.data[i] = a.data[i] + s*b.data[i]
+	}
+}
+
+// Scale stores s·a into m (m may alias a).
+func (m *Dense) Scale(s float64, a *Dense) {
+	checkSame("Scale", m, a)
+	for i := range m.data {
+		m.data[i] = s * a.data[i]
+	}
+}
+
+// Hadamard stores the element-wise product a∘b into m (m may alias a or b).
+func (m *Dense) Hadamard(a, b *Dense) {
+	checkSame("Hadamard", a, b)
+	checkSame("Hadamard(dst)", m, a)
+	for i := range m.data {
+		m.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+func checkSame(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(dimErr(op, a, b))
+	}
+}
+
+// Mul stores a·b into m. m must not alias a or b and must be a.rows×b.cols.
+func (m *Dense) Mul(a, b *Dense) {
+	if a.cols != b.rows {
+		panic(dimErr("Mul", a, b))
+	}
+	if m.rows != a.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: Mul dst is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.cols))
+	}
+	m.Zero()
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		mrow := m.Row(i)
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(p)
+			for j, bv := range brow {
+				mrow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Product returns a·b as a freshly allocated matrix.
+func Product(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	out.Mul(a, b)
+	return out
+}
+
+// MulABT stores a·bᵀ into m. m must be a.rows×b.rows.
+func (m *Dense) MulABT(a, b *Dense) {
+	if a.cols != b.cols {
+		panic(dimErr("MulABT", a, b))
+	}
+	if m.rows != a.rows || m.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulABT dst is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		mrow := m.Row(i)
+		for j := 0; j < b.rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			mrow[j] = s
+		}
+	}
+}
+
+// MulATB stores aᵀ·b into m. m must be a.cols×b.cols.
+func (m *Dense) MulATB(a, b *Dense) {
+	if a.rows != b.rows {
+		panic(dimErr("MulATB", a, b))
+	}
+	if m.rows != a.cols || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulATB dst is %dx%d, want %dx%d", m.rows, m.cols, a.cols, b.cols))
+	}
+	m.Zero()
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			mrow := m.Row(p)
+			for j, bv := range brow {
+				mrow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Gram returns aᵀ·a (cols×cols), the Gram matrix.
+func Gram(a *Dense) *Dense {
+	out := NewDense(a.cols, a.cols)
+	out.MulATB(a, a)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// FrobeniusSq returns ||m||_F² = Σ m(i,j)².
+func (m *Dense) FrobeniusSq() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return s
+}
+
+// Frobenius returns the Frobenius norm ||m||_F.
+func (m *Dense) Frobenius() float64 { return math.Sqrt(m.FrobeniusSq()) }
+
+// Trace returns the trace of a square matrix.
+func (m *Dense) Trace() float64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: Trace of non-square %dx%d", m.rows, m.cols))
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.At(i, i)
+	}
+	return s
+}
+
+// Dot returns the Frobenius inner product ⟨a,b⟩ = Σ a(i,j)·b(i,j).
+func Dot(a, b *Dense) float64 {
+	checkSame("Dot", a, b)
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// DiffFrobeniusSq returns ||a−b||_F² without allocating.
+func DiffFrobeniusSq(a, b *Dense) float64 {
+	checkSame("DiffFrobeniusSq", a, b)
+	var s float64
+	for i, v := range a.data {
+		d := v - b.data[i]
+		s += d * d
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element. It panics on an empty matrix.
+func (m *Dense) Max() float64 {
+	if len(m.data) == 0 {
+		panic("mat: Max of empty matrix")
+	}
+	best := m.data[0]
+	for _, v := range m.data[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SplitPosNeg splits m into Δ⁺=(|m|+m)/2 and Δ⁻=(|m|−m)/2 so that
+// m = Δ⁺ − Δ⁻ with both parts non-negative. Used by the Lagrangian terms
+// in the multiplicative update rules (Eqs. 7, 9, 11, 26 of the paper).
+func SplitPosNeg(m *Dense) (pos, neg *Dense) {
+	pos = NewDense(m.rows, m.cols)
+	neg = NewDense(m.rows, m.cols)
+	for i, v := range m.data {
+		// Equivalent to ((|v|+v)/2, (|v|−v)/2) but immune to overflow.
+		if v >= 0 {
+			pos.data[i] = v
+		} else {
+			neg.data[i] = -v
+		}
+	}
+	return pos, neg
+}
+
+// Eps is the guard added to denominators in multiplicative updates.
+const Eps = 1e-12
+
+// MulUpdate applies the multiplicative update
+//
+//	dst(i,j) ← dst(i,j) · sqrt( numer(i,j) / (denom(i,j)+Eps) )
+//
+// clamping negatives in numer/denom to zero first (they can appear from
+// floating-point cancellation). This is the shared kernel of every update
+// rule in the paper. dst, numer and denom must have equal shape.
+func MulUpdate(dst, numer, denom *Dense) {
+	checkSame("MulUpdate", numer, denom)
+	checkSame("MulUpdate(dst)", dst, numer)
+	for i := range dst.data {
+		n := numer.data[i]
+		if n < 0 {
+			n = 0
+		}
+		d := denom.data[i]
+		if d < 0 {
+			d = 0
+		}
+		dst.data[i] *= math.Sqrt(n / (d + Eps))
+	}
+}
+
+// ClampNonNegative zeroes any negative entries (defensive; multiplicative
+// updates preserve non-negativity but external initializers may not).
+func (m *Dense) ClampNonNegative() {
+	for i, v := range m.data {
+		if v < 0 {
+			m.data[i] = 0
+		}
+	}
+}
+
+// RowArgMax returns, for each row, the index of its largest element.
+// Ties resolve to the lowest index. Rows of an r×0 matrix map to -1.
+func (m *Dense) RowArgMax() []int {
+	out := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		if len(row) == 0 {
+			out[i] = -1
+			continue
+		}
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// NormalizeRowsL1 scales each row to sum to 1; all-zero rows become uniform.
+func (m *Dense) NormalizeRowsL1() {
+	if m.cols == 0 {
+		return
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s == 0 {
+			u := 1.0 / float64(m.cols)
+			for j := range row {
+				row[j] = u
+			}
+			continue
+		}
+		inv := 1.0 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// NormalizeColsL2 scales each column to unit Euclidean norm; zero columns
+// are left untouched.
+func (m *Dense) NormalizeColsL2() {
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			v := m.At(i, j)
+			s += v * v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1.0 / math.Sqrt(s)
+		for i := 0; i < m.rows; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+}
+
+// IsFinite reports whether every element is finite (no NaN/Inf).
+func (m *Dense) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense %dx%d", m.rows, m.cols)
+	if m.rows > maxShow || m.cols > maxShow {
+		return b.String()
+	}
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("\n  ")
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% .4f ", m.At(i, j))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a mutable coordinate-format builder for CSR matrices. Duplicate
+// (i, j) entries are summed during conversion, so callers can accumulate
+// counts (e.g. term frequencies) by repeated Add calls.
+type COO struct {
+	rows, cols int
+	is, js     []int
+	vs         []float64
+}
+
+// NewCOO returns an empty rows×cols builder.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: invalid dimensions %dx%d", rows, cols))
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Rows returns the number of rows.
+func (b *COO) Rows() int { return b.rows }
+
+// Cols returns the number of columns.
+func (b *COO) Cols() int { return b.cols }
+
+// Len returns the number of accumulated triplets (before deduplication).
+func (b *COO) Len() int { return len(b.vs) }
+
+// Add accumulates v at (i, j). Zero values are skipped.
+func (b *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.is = append(b.is, i)
+	b.js = append(b.js, j)
+	b.vs = append(b.vs, v)
+}
+
+// ToCSR converts the accumulated triplets to CSR, summing duplicates and
+// dropping entries that cancel to exactly zero. The builder remains usable.
+func (b *COO) ToCSR() *CSR {
+	n := len(b.vs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		px, py := order[x], order[y]
+		if b.is[px] != b.is[py] {
+			return b.is[px] < b.is[py]
+		}
+		return b.js[px] < b.js[py]
+	})
+
+	rowPtr := make([]int, b.rows+1)
+	colIdx := make([]int, 0, n)
+	val := make([]float64, 0, n)
+	for p := 0; p < n; {
+		idx := order[p]
+		i, j := b.is[idx], b.js[idx]
+		sum := b.vs[idx]
+		p++
+		for p < n {
+			q := order[p]
+			if b.is[q] != i || b.js[q] != j {
+				break
+			}
+			sum += b.vs[q]
+			p++
+		}
+		if sum == 0 {
+			continue
+		}
+		colIdx = append(colIdx, j)
+		val = append(val, sum)
+		rowPtr[i+1]++
+	}
+	for i := 0; i < b.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{rows: b.rows, cols: b.cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
+// FromTriplets builds a CSR matrix directly from parallel triplet slices.
+func FromTriplets(rows, cols int, is, js []int, vs []float64) *CSR {
+	if len(is) != len(js) || len(js) != len(vs) {
+		panic("sparse: FromTriplets ragged input")
+	}
+	b := NewCOO(rows, cols)
+	for p := range vs {
+		b.Add(is[p], js[p], vs[p])
+	}
+	return b.ToCSR()
+}
+
+// FromDenseRows builds a CSR matrix from a row-major dense [][]float64,
+// storing only non-zero entries. Intended for tests.
+func FromDenseRows(rows [][]float64) *CSR {
+	if len(rows) == 0 {
+		return Zeros(0, 0)
+	}
+	cols := len(rows[0])
+	b := NewCOO(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("sparse: FromDenseRows ragged input")
+		}
+		for j, v := range r {
+			b.Add(i, j, v)
+		}
+	}
+	return b.ToCSR()
+}

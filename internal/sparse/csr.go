@@ -1,0 +1,285 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// sparse–dense kernels used by the tri-clustering algorithms.
+//
+// The data matrices of the paper — tweet–feature Xp, user–feature Xu,
+// user–tweet Xr and the user–user retweet graph Gu — are extremely sparse
+// (a tweet has tens of words out of a vocabulary of thousands), so every
+// product against a tall-skinny factor matrix is computed as an SpMM in
+// O(nnz·k) instead of O(rows·cols·k).
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"triclust/internal/mat"
+)
+
+// CSR is an immutable compressed-sparse-row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1
+	colIdx     []int     // len nnz, ascending within each row
+	val        []float64 // len nnz
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// At returns the element at (i, j) using binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.colIdx[lo:hi], j) + lo
+	if idx < hi && m.colIdx[idx] == j {
+		return m.val[idx]
+	}
+	return 0
+}
+
+// Row returns the column indices and values of row i as sub-slices of the
+// backing storage. Callers must not mutate them.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// Zeros returns an empty rows×cols CSR matrix.
+func Zeros(rows, cols int) *CSR {
+	return &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+}
+
+// MulDense returns m·b as a dense matrix (rows×b.Cols()).
+func (m *CSR) MulDense(b *mat.Dense) *mat.Dense {
+	if m.cols != b.Rows() {
+		panic(fmt.Sprintf("sparse: MulDense %dx%d · %dx%d", m.rows, m.cols, b.Rows(), b.Cols()))
+	}
+	out := mat.NewDense(m.rows, b.Cols())
+	for i := 0; i < m.rows; i++ {
+		orow := out.Row(i)
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			v := m.val[p]
+			brow := b.Row(m.colIdx[p])
+			for j, bv := range brow {
+				orow[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTDense returns mᵀ·b as a dense matrix (cols×b.Cols()) without
+// materializing the transpose.
+func (m *CSR) MulTDense(b *mat.Dense) *mat.Dense {
+	if m.rows != b.Rows() {
+		panic(fmt.Sprintf("sparse: MulTDense %dx%d ᵀ· %dx%d", m.rows, m.cols, b.Rows(), b.Cols()))
+	}
+	out := mat.NewDense(m.cols, b.Cols())
+	for i := 0; i < m.rows; i++ {
+		brow := b.Row(i)
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			orow := out.Row(m.colIdx[p])
+			v := m.val[p]
+			for j, bv := range brow {
+				orow[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	counts := make([]int, m.cols+1)
+	for _, j := range m.colIdx {
+		counts[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		counts[j+1] += counts[j]
+	}
+	rowPtr := counts
+	colIdx := make([]int, len(m.colIdx))
+	val := make([]float64, len(m.val))
+	next := make([]int, m.cols)
+	copy(next, rowPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			j := m.colIdx[p]
+			dst := next[j]
+			colIdx[dst] = i
+			val[dst] = m.val[p]
+			next[j]++
+		}
+	}
+	return &CSR{rows: m.cols, cols: m.rows, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
+// FrobeniusSq returns Σ v² over stored entries.
+func (m *CSR) FrobeniusSq() float64 {
+	var s float64
+	for _, v := range m.val {
+		s += v * v
+	}
+	return s
+}
+
+// Sum returns the sum of stored entries.
+func (m *CSR) Sum() float64 {
+	var s float64
+	for _, v := range m.val {
+		s += v
+	}
+	return s
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		var s float64
+		for p := lo; p < hi; p++ {
+			s += m.val[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColSums returns the vector of per-column sums.
+func (m *CSR) ColSums() []float64 {
+	out := make([]float64, m.cols)
+	for p, j := range m.colIdx {
+		out[j] += m.val[p]
+	}
+	return out
+}
+
+// ToDense expands m to a dense matrix. Intended for tests and tiny inputs.
+func (m *CSR) ToDense() *mat.Dense {
+	out := mat.NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			out.Set(i, m.colIdx[p], m.val[p])
+		}
+	}
+	return out
+}
+
+// ResidualFrobeniusSq returns ||X − U·C·Vᵀ||_F² where X = m (rows×cols),
+// U is rows×k, C is k×k and V is cols×k, evaluated without densifying X:
+//
+//	||X||² − 2·⟨X, U C Vᵀ⟩ + ||U C Vᵀ||²
+//
+// using ⟨X, UCVᵀ⟩ = Σ_{(i,j)∈nnz} X(i,j)·(UCVᵀ)(i,j) and
+// ||UCVᵀ||² = tr(Cᵀ UᵀU C VᵀV). Pass C = nil for the two-factor residual
+// ||X − U Vᵀ||² (as in the Xr ≈ Su Spᵀ term).
+func (m *CSR) ResidualFrobeniusSq(u, c, v *mat.Dense) float64 {
+	k := u.Cols()
+	if v.Cols() != k {
+		panic("sparse: ResidualFrobeniusSq factor rank mismatch")
+	}
+	if u.Rows() != m.rows || v.Rows() != m.cols {
+		panic("sparse: ResidualFrobeniusSq shape mismatch")
+	}
+	// uc = U·C (rows×k); with C==nil, uc = U.
+	uc := u
+	if c != nil {
+		if !c.Dims(k, k) {
+			panic("sparse: ResidualFrobeniusSq core must be k×k")
+		}
+		uc = mat.Product(u, c)
+	}
+	cross := 0.0
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		urow := uc.Row(i)
+		for p := lo; p < hi; p++ {
+			vrow := v.Row(m.colIdx[p])
+			var dot float64
+			for q, uv := range urow {
+				dot += uv * vrow[q]
+			}
+			cross += m.val[p] * dot
+		}
+	}
+	gramU := mat.Gram(uc) // k×k
+	gramV := mat.Gram(v)  // k×k
+	normApprox := mat.Dot(gramU, gramV)
+	return m.FrobeniusSq() - 2*cross + normApprox
+}
+
+// ScaleRows multiplies row i by s[i], returning a new matrix.
+func (m *CSR) ScaleRows(s []float64) *CSR {
+	if len(s) != m.rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	out := &CSR{rows: m.rows, cols: m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		val:    make([]float64, len(m.val))}
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			out.val[p] = m.val[p] * s[i]
+		}
+	}
+	return out
+}
+
+// ScaleCols multiplies column j by s[j], returning a new matrix.
+func (m *CSR) ScaleCols(s []float64) *CSR {
+	if len(s) != m.cols {
+		panic("sparse: ScaleCols length mismatch")
+	}
+	out := &CSR{rows: m.rows, cols: m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		val:    make([]float64, len(m.val))}
+	for p, j := range m.colIdx {
+		out.val[p] = m.val[p] * s[j]
+	}
+	return out
+}
+
+// SelectRows returns the sub-matrix of the given rows, in order.
+func (m *CSR) SelectRows(rows []int) *CSR {
+	b := NewCOO(len(rows), m.cols)
+	for newI, i := range rows {
+		if i < 0 || i >= m.rows {
+			panic(fmt.Sprintf("sparse: SelectRows index %d out of %d", i, m.rows))
+		}
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			b.Add(newI, m.colIdx[p], m.val[p])
+		}
+	}
+	return b.ToCSR()
+}
+
+// MaxAbs returns the largest |v| over stored entries, 0 for empty matrices.
+func (m *CSR) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.val {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}

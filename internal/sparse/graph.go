@@ -1,0 +1,81 @@
+package sparse
+
+import "triclust/internal/mat"
+
+// Degrees returns the degree vector of a (weighted) adjacency matrix:
+// d(i) = Σ_j G(i,j).
+func Degrees(g *CSR) []float64 { return g.RowSums() }
+
+// LaplacianMulDense computes L·B = (D − G)·B for the graph Laplacian of
+// adjacency g without forming L: D·B is a row scaling by degrees, G·B is an
+// SpMM. The result is dense (g.Rows()×B.Cols()).
+func LaplacianMulDense(g *CSR, b *mat.Dense) *mat.Dense {
+	deg := Degrees(g)
+	gb := g.MulDense(b)
+	out := mat.NewDense(g.Rows(), b.Cols())
+	for i := 0; i < g.Rows(); i++ {
+		brow := b.Row(i)
+		gbrow := gb.Row(i)
+		orow := out.Row(i)
+		d := deg[i]
+		for j := range orow {
+			orow[j] = d*brow[j] - gbrow[j]
+		}
+	}
+	return out
+}
+
+// DegreeMulDense computes D·B where D = diag(degrees of g).
+func DegreeMulDense(g *CSR, b *mat.Dense) *mat.Dense {
+	deg := Degrees(g)
+	out := mat.NewDense(g.Rows(), b.Cols())
+	for i := 0; i < g.Rows(); i++ {
+		d := deg[i]
+		brow := b.Row(i)
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = d * brow[j]
+		}
+	}
+	return out
+}
+
+// GraphRegularization returns tr(Sᵀ L S) = ½ Σ_{ij} G(i,j)·||S(i)−S(j)||²,
+// the user-graph smoothness penalty of Eq. 6. It is computed from the
+// identity tr(SᵀLS) = tr(SᵀDS) − tr(SᵀGS) without forming L.
+func GraphRegularization(g *CSR, s *mat.Dense) float64 {
+	ls := LaplacianMulDense(g, s)
+	return mat.Dot(s, ls)
+}
+
+// Symmetrize returns (G + Gᵀ)/2 — the paper's user–user retweet graph is
+// used undirected for the Laplacian regularizer.
+func Symmetrize(g *CSR) *CSR {
+	if g.Rows() != g.Cols() {
+		panic("sparse: Symmetrize requires a square matrix")
+	}
+	b := NewCOO(g.Rows(), g.Cols())
+	for i := 0; i < g.Rows(); i++ {
+		cols, vals := g.Row(i)
+		for p, j := range cols {
+			b.Add(i, j, vals[p]/2)
+			b.Add(j, i, vals[p]/2)
+		}
+	}
+	return b.ToCSR()
+}
+
+// DropDiagonal returns g with its diagonal removed (self-loops contribute
+// nothing to the Laplacian but distort degree-based normalizations).
+func DropDiagonal(g *CSR) *CSR {
+	b := NewCOO(g.Rows(), g.Cols())
+	for i := 0; i < g.Rows(); i++ {
+		cols, vals := g.Row(i)
+		for p, j := range cols {
+			if i != j {
+				b.Add(i, j, vals[p])
+			}
+		}
+	}
+	return b.ToCSR()
+}

@@ -1,0 +1,106 @@
+package text
+
+import (
+	"math"
+
+	"triclust/internal/sparse"
+)
+
+// Weighting selects the feature weighting scheme for document–feature
+// matrices.
+type Weighting int
+
+const (
+	// TF uses raw term counts.
+	TF Weighting = iota
+	// TFIDF uses tf · ln((1+N)/(1+df)) + 1 smoothing, the standard
+	// smoothed inverse-document-frequency weighting.
+	TFIDF
+	// Binary uses 0/1 presence indicators.
+	Binary
+)
+
+// DocFeatureMatrix builds the n×l document–feature matrix (the paper's Xp
+// when documents are tweets, or the per-user aggregation source for Xu)
+// from tokenized documents under the given vocabulary and weighting.
+// Out-of-vocabulary tokens are ignored.
+func DocFeatureMatrix(docs [][]string, vocab *Vocabulary, w Weighting) *sparse.CSR {
+	n, l := len(docs), vocab.Len()
+	b := sparse.NewCOO(n, l)
+	switch w {
+	case Binary:
+		seen := make(map[int]struct{})
+		for i, doc := range docs {
+			for k := range seen {
+				delete(seen, k)
+			}
+			for _, tok := range doc {
+				j := vocab.ID(tok)
+				if j < 0 {
+					continue
+				}
+				if _, dup := seen[j]; dup {
+					continue
+				}
+				seen[j] = struct{}{}
+				b.Add(i, j, 1)
+			}
+		}
+		return b.ToCSR()
+	case TF:
+		for i, doc := range docs {
+			for _, tok := range doc {
+				if j := vocab.ID(tok); j >= 0 {
+					b.Add(i, j, 1)
+				}
+			}
+		}
+		return b.ToCSR()
+	case TFIDF:
+		tf := DocFeatureMatrix(docs, vocab, TF)
+		idf := InverseDocumentFrequency(tf)
+		return tf.ScaleCols(idf)
+	default:
+		panic("text: unknown weighting")
+	}
+}
+
+// InverseDocumentFrequency returns the smoothed IDF vector
+// idf(j) = ln((1+N)/(1+df(j))) + 1 for an n×l term-frequency matrix.
+func InverseDocumentFrequency(tf *sparse.CSR) []float64 {
+	n := tf.Rows()
+	df := make([]float64, tf.Cols())
+	for i := 0; i < n; i++ {
+		cols, _ := tf.Row(i)
+		for _, j := range cols {
+			df[j]++
+		}
+	}
+	idf := make([]float64, len(df))
+	for j, d := range df {
+		idf[j] = math.Log((1+float64(n))/(1+d)) + 1
+	}
+	return idf
+}
+
+// UserFeatureMatrix aggregates an n×l tweet–feature matrix into the m×l
+// user–feature matrix Xu by summing the rows of each user's tweets.
+// owner[i] gives the user index of tweet i; tweets with owner -1 are
+// skipped.
+func UserFeatureMatrix(xp *sparse.CSR, owner []int, numUsers int) *sparse.CSR {
+	if len(owner) != xp.Rows() {
+		panic("text: owner length must match tweet count")
+	}
+	b := sparse.NewCOO(numUsers, xp.Cols())
+	for i := 0; i < xp.Rows(); i++ {
+		u := owner[i]
+		if u < 0 {
+			continue
+		}
+		cols, vals := xp.Row(i)
+		for p, j := range cols {
+			b.Add(u, j, vals[p])
+		}
+	}
+	return b.ToCSR()
+}

@@ -1,0 +1,182 @@
+// Package text implements the light-weight NLP pipeline the paper relies
+// on: tweet tokenization, normalization, stopword filtering, vocabulary
+// construction, and TF / TF-IDF feature-matrix builders.
+//
+// The paper uses "tf-idf term vector representation" (§5.1) over a
+// hashtag-aware Twitter tokenizer; this package reproduces that behaviour
+// with the Go standard library only.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenizerOptions control tweet normalization.
+type TokenizerOptions struct {
+	// KeepHashtags retains hashtag tokens with the '#' stripped
+	// ("#prop37" → "prop37"); otherwise hashtags are dropped entirely.
+	KeepHashtags bool
+	// KeepMentions retains @-mentions with the '@' stripped; otherwise
+	// mentions are dropped (the paper's features are content words).
+	KeepMentions bool
+	// RemoveStopwords drops common English function words.
+	RemoveStopwords bool
+	// MinTokenLen drops tokens shorter than this many runes (after
+	// normalization). Zero means no minimum.
+	MinTokenLen int
+	// Stem applies a light suffix stemmer (plural/-ing/-ed/-ly), merging
+	// inflected forms of topical words ("farmers"→"farmer",
+	// "labeling"→"label"). Off by default: the paper's features are raw
+	// hashtags and words.
+	Stem bool
+}
+
+// DefaultTokenizerOptions matches the preprocessing described in the paper:
+// hashtags are first-class features (Table 2 lists "yeson37", "noprop37"),
+// mentions are dropped, stopwords removed, single-character tokens dropped.
+func DefaultTokenizerOptions() TokenizerOptions {
+	return TokenizerOptions{
+		KeepHashtags:    true,
+		KeepMentions:    false,
+		RemoveStopwords: true,
+		MinTokenLen:     2,
+	}
+}
+
+// Tokenizer converts raw tweet text to normalized feature tokens.
+type Tokenizer struct {
+	opts TokenizerOptions
+}
+
+// NewTokenizer returns a tokenizer with the given options.
+func NewTokenizer(opts TokenizerOptions) *Tokenizer { return &Tokenizer{opts: opts} }
+
+// Tokenize splits, normalizes and filters a tweet.
+func (t *Tokenizer) Tokenize(s string) []string {
+	fields := strings.Fields(s)
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		tok, ok := t.normalize(f)
+		if !ok {
+			continue
+		}
+		if t.opts.MinTokenLen > 0 && len([]rune(tok)) < t.opts.MinTokenLen {
+			continue
+		}
+		if t.opts.RemoveStopwords && IsStopword(tok) {
+			continue
+		}
+		if t.opts.Stem {
+			tok = Stem(tok)
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// normalize lowercases a raw whitespace-delimited field, strips URLs,
+// handles the #/@ prefixes, and trims punctuation. The boolean result is
+// false when the field should be discarded.
+func (t *Tokenizer) normalize(f string) (string, bool) {
+	f = strings.ToLower(f)
+	if strings.HasPrefix(f, "http://") || strings.HasPrefix(f, "https://") || strings.HasPrefix(f, "www.") {
+		return "", false
+	}
+	if strings.HasPrefix(f, "#") {
+		if !t.opts.KeepHashtags {
+			return "", false
+		}
+		f = f[1:]
+	} else if strings.HasPrefix(f, "@") {
+		if !t.opts.KeepMentions {
+			return "", false
+		}
+		f = f[1:]
+	} else if strings.HasPrefix(f, "rt") && len(f) == 2 {
+		// Bare retweet marker.
+		return "", false
+	}
+	f = strings.TrimFunc(f, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+	if f == "" {
+		return "", false
+	}
+	// Reject tokens with no letters at all (pure numbers/punctuation runs)
+	// unless they are short numeric hashtags like "37" which do carry
+	// stance signal; we keep digits-only tokens of length ≥ 2.
+	hasLetter := false
+	for _, r := range f {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			break
+		}
+	}
+	if !hasLetter && len(f) < 2 {
+		return "", false
+	}
+	return f, true
+}
+
+// stopwords is a compact English stopword list adequate for feature
+// pruning; the exact list is not behaviour-critical.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "as", "at", "be", "because", "been",
+		"before", "being", "below", "between", "both", "but", "by", "can",
+		"cannot", "could", "did", "do", "does", "doing", "down", "during",
+		"each", "few", "for", "from", "further", "had", "has", "have",
+		"having", "he", "her", "here", "hers", "herself", "him", "himself",
+		"his", "how", "i", "if", "in", "into", "is", "it", "its", "itself",
+		"just", "me", "more", "most", "my", "myself", "no", "nor", "not",
+		"now", "of", "off", "on", "once", "only", "or", "other", "our",
+		"ours", "ourselves", "out", "over", "own", "same", "she", "should",
+		"so", "some", "such", "than", "that", "the", "their", "theirs",
+		"them", "themselves", "then", "there", "these", "they", "this",
+		"those", "through", "to", "too", "under", "until", "up", "very",
+		"was", "we", "were", "what", "when", "where", "which", "while",
+		"who", "whom", "why", "will", "with", "you", "your", "yours",
+		"yourself", "yourselves", "rt", "via", "amp",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (already lowercased) token is a stopword.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// Stem applies a conservative suffix stemmer adequate for merging the
+// inflections seen in topical tweet vocabularies. It never shortens a
+// token below three runes and only strips one suffix.
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 5 && strings.HasSuffix(tok, "ingly"):
+		return tok[:n-5]
+	case n > 4 && strings.HasSuffix(tok, "ings"):
+		return tok[:n-4]
+	case n > 4 && strings.HasSuffix(tok, "edly"):
+		return tok[:n-4]
+	case n > 5 && strings.HasSuffix(tok, "ing"):
+		return tok[:n-3]
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "es") && !strings.HasSuffix(tok, "ses"):
+		return tok[:n-1] // "crates"→"crate" style: drop the final s only
+	case n > 4 && strings.HasSuffix(tok, "ed") && tok[n-3] != 'e':
+		return tok[:n-2]
+	case n > 4 && strings.HasSuffix(tok, "ly"):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	default:
+		return tok
+	}
+}

@@ -1,0 +1,75 @@
+package text
+
+import "sort"
+
+// Vocabulary maps feature tokens to dense column indices. The zero value is
+// not usable; construct with NewVocabulary or BuildVocabulary.
+type Vocabulary struct {
+	index map[string]int
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int)}
+}
+
+// BuildVocabulary constructs a vocabulary from tokenized documents, keeping
+// only tokens that occur in at least minDF documents. Tokens are assigned
+// indices in lexicographic order for determinism.
+func BuildVocabulary(docs [][]string, minDF int) *Vocabulary {
+	df := make(map[string]int)
+	seen := make(map[string]struct{})
+	for _, doc := range docs {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, tok := range doc {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			df[tok]++
+		}
+	}
+	kept := make([]string, 0, len(df))
+	for tok, n := range df {
+		if n >= minDF {
+			kept = append(kept, tok)
+		}
+	}
+	sort.Strings(kept)
+	v := NewVocabulary()
+	for _, tok := range kept {
+		v.AddWord(tok)
+	}
+	return v
+}
+
+// AddWord interns a token, returning its index (existing or new).
+func (v *Vocabulary) AddWord(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.index[tok] = id
+	v.words = append(v.words, tok)
+	return id
+}
+
+// ID returns the index of tok, or -1 if absent.
+func (v *Vocabulary) ID(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	return -1
+}
+
+// Word returns the token at index id.
+func (v *Vocabulary) Word(id int) string { return v.words[id] }
+
+// Len returns the vocabulary size (the paper's l).
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Words returns a copy of all tokens in index order.
+func (v *Vocabulary) Words() []string { return append([]string(nil), v.words...) }

@@ -1,0 +1,106 @@
+package tgraph
+
+import (
+	"triclust/internal/sparse"
+	"triclust/internal/text"
+)
+
+// Graph bundles the four matrices of the tripartite-graph formulation.
+// Rows of Xp/Xr columns index tweets of the corpus it was built from;
+// rows of Xu/Xr and both dimensions of Gu index users.
+type Graph struct {
+	// Xp is the n×l tweet–feature matrix.
+	Xp *sparse.CSR
+	// Xu is the m×l user–feature matrix (sum of the user's tweet rows).
+	Xu *sparse.CSR
+	// Xr is the m×n user–tweet incidence: Xr(u,p)=1 when u posted or
+	// retweeted p (dashed/solid edges of Figure 2).
+	Xr *sparse.CSR
+	// Gu is the m×m symmetric user–user retweet graph: an edge joins a
+	// retweeting user with the author of the original tweet, weighted by
+	// the number of such interactions.
+	Gu *sparse.CSR
+	// Vocab maps feature columns to words.
+	Vocab *text.Vocabulary
+}
+
+// BuildOptions control graph construction.
+type BuildOptions struct {
+	// Weighting selects TF / TFIDF / Binary for Xp (the paper uses
+	// tf-idf).
+	Weighting text.Weighting
+	// MinDF prunes vocabulary words occurring in fewer tweets.
+	MinDF int
+	// Vocab, when non-nil, fixes the vocabulary instead of building one
+	// (the online algorithm shares a vocabulary across snapshots).
+	Vocab *text.Vocabulary
+}
+
+// DefaultBuildOptions returns the paper's configuration: TF-IDF features,
+// vocabulary pruned at document frequency 2.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Weighting: text.TFIDF, MinDF: 2}
+}
+
+// Build constructs the tripartite graph of a tokenized corpus. Tweets must
+// already have Tokens set (call Corpus.Tokenize first for raw text).
+func Build(c *Corpus, opts BuildOptions) *Graph {
+	docs := c.TokenDocs()
+	vocab := opts.Vocab
+	if vocab == nil {
+		minDF := opts.MinDF
+		if minDF < 1 {
+			minDF = 1
+		}
+		vocab = text.BuildVocabulary(docs, minDF)
+	}
+
+	n, m := c.NumTweets(), c.NumUsers()
+	xp := text.DocFeatureMatrix(docs, vocab, opts.Weighting)
+
+	owner := make([]int, n)
+	for i := range c.Tweets {
+		owner[i] = c.Tweets[i].User
+	}
+	xu := text.UserFeatureMatrix(xp, owner, m)
+
+	xr := sparse.NewCOO(m, n)
+	gu := sparse.NewCOO(m, m)
+	for i, tw := range c.Tweets {
+		xr.Add(tw.User, i, 1)
+		if tw.RetweetOf >= 0 {
+			orig := c.Tweets[tw.RetweetOf]
+			// The retweeting user is also connected to the original tweet…
+			xr.Add(tw.User, tw.RetweetOf, 1)
+			// …and to its author in the user–user graph (both directions;
+			// the Laplacian regularizer treats Gu as undirected).
+			if orig.User != tw.User {
+				gu.Add(tw.User, orig.User, 1)
+				gu.Add(orig.User, tw.User, 1)
+			}
+		}
+	}
+
+	return &Graph{
+		Xp:    xp,
+		Xu:    xu,
+		Xr:    clampBinary(xr.ToCSR()),
+		Gu:    gu.ToCSR(),
+		Vocab: vocab,
+	}
+}
+
+// clampBinary caps duplicate-accumulated incidence entries at 1: a user
+// either interacted with a tweet or did not.
+func clampBinary(m *sparse.CSR) *sparse.CSR {
+	b := sparse.NewCOO(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		cols, vals := m.Row(i)
+		for p, j := range cols {
+			if vals[p] != 0 {
+				b.Add(i, j, 1)
+			}
+		}
+	}
+	return b.ToCSR()
+}

@@ -1,0 +1,139 @@
+package tgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `user,time,text,retweet_of,label
+alice,1,Support the prop37 initiative,-,pos
+bob,1,corn farmers against it,-,neg
+carol,2,great point,0,pos
+dave,3,meh,-,
+`
+
+func TestReadCSVBasic(t *testing.T) {
+	c, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if c.NumTweets() != 4 || c.NumUsers() != 4 {
+		t.Fatalf("got %d tweets / %d users", c.NumTweets(), c.NumUsers())
+	}
+	if c.Users[0].Name != "alice" || c.Users[3].Name != "dave" {
+		t.Fatalf("user interning order wrong: %+v", c.Users)
+	}
+	if c.Tweets[2].RetweetOf != 0 {
+		t.Fatalf("retweet_of = %d", c.Tweets[2].RetweetOf)
+	}
+	if c.Tweets[0].Label != 0 || c.Tweets[1].Label != 1 || c.Tweets[3].Label != NoLabel {
+		t.Fatalf("labels wrong: %v", c.TweetLabels())
+	}
+	if c.Tweets[0].Time != 1 || c.Tweets[3].Time != 3 {
+		t.Fatal("times wrong")
+	}
+}
+
+func TestReadCSVSameUserInterned(t *testing.T) {
+	in := "u,1,a\nu,2,b\n"
+	c, err := ReadCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumUsers() != 1 || c.Tweets[1].User != 0 {
+		t.Fatal("repeat user not interned")
+	}
+}
+
+func TestReadCSVTimeDivisor(t *testing.T) {
+	in := "u,86401,a\n"
+	c, err := ReadCSV(strings.NewReader(in), CSVOptions{TimeDivisor: 86400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tweets[0].Time != 1 {
+		t.Fatalf("time = %d, want 1", c.Tweets[0].Time)
+	}
+}
+
+func TestReadCSVTSV(t *testing.T) {
+	in := "u\t1\thello world\n"
+	c, err := ReadCSV(strings.NewReader(in), CSVOptions{Comma: '\t'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tweets[0].Text != "hello world" {
+		t.Fatalf("text = %q", c.Tweets[0].Text)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "u,1\n",
+		"bad time":       "u,xx,text\n",
+		"bad retweet":    "u,1,text,zz\n",
+		"bad label":      "u,1,text,-,awesome\n",
+		"forward ref":    "u,1,text,5,pos\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), CSVOptions{}); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseLabel(t *testing.T) {
+	for in, want := range map[string]int{
+		"pos": 0, "Positive": 0, "+": 0, "yes": 0,
+		"NEG": 1, "negative": 1, "no": 1,
+		"neu": 2, "Neutral": 2, "0": 2,
+		"": NoLabel, "-": NoLabel, "none": NoLabel,
+	} {
+		got, err := ParseLabel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLabel(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := ParseLabel("banana"); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig, 0); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if back.NumTweets() != orig.NumTweets() || back.NumUsers() != orig.NumUsers() {
+		t.Fatal("round trip changed counts")
+	}
+	for i := range orig.Tweets {
+		a, b := orig.Tweets[i], back.Tweets[i]
+		if a.User != b.User || a.Time != b.Time || a.RetweetOf != b.RetweetOf || a.Label != b.Label || a.Text != b.Text {
+			t.Fatalf("tweet %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWriteCSVUsesTokensWhenNoText(t *testing.T) {
+	c := &Corpus{
+		Users:  []User{{Name: "u", Label: NoLabel}},
+		Tweets: []Tweet{{Tokens: []string{"a", "b"}, User: 0, RetweetOf: -1, Label: NoLabel}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a b") {
+		t.Fatalf("tokens not joined: %s", buf.String())
+	}
+}

@@ -1,0 +1,39 @@
+package tgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// corpusJSON is the on-disk schema (versioned for forward compatibility).
+type corpusJSON struct {
+	Version int     `json:"version"`
+	Users   []User  `json:"users"`
+	Tweets  []Tweet `json:"tweets"`
+}
+
+const corpusVersion = 1
+
+// WriteJSON serializes a corpus.
+func WriteJSON(w io.Writer, c *Corpus) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(corpusJSON{Version: corpusVersion, Users: c.Users, Tweets: c.Tweets})
+}
+
+// ReadJSON deserializes a corpus and validates it.
+func ReadJSON(r io.Reader) (*Corpus, error) {
+	var cj corpusJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cj); err != nil {
+		return nil, fmt.Errorf("tgraph: decode corpus: %w", err)
+	}
+	if cj.Version != corpusVersion {
+		return nil, fmt.Errorf("tgraph: unsupported corpus version %d", cj.Version)
+	}
+	c := &Corpus{Users: cj.Users, Tweets: cj.Tweets}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

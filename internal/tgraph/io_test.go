@@ -1,0 +1,58 @@
+package tgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := tinyCorpus()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumTweets() != c.NumTweets() || got.NumUsers() != c.NumUsers() {
+		t.Fatalf("counts changed: %d/%d vs %d/%d",
+			got.NumTweets(), got.NumUsers(), c.NumTweets(), c.NumUsers())
+	}
+	for i := range c.Tweets {
+		a, b := c.Tweets[i], got.Tweets[i]
+		if a.User != b.User || a.Time != b.Time || a.RetweetOf != b.RetweetOf || a.Label != b.Label {
+			t.Fatalf("tweet %d changed: %+v vs %+v", i, a, b)
+		}
+		if len(a.Tokens) != len(b.Tokens) {
+			t.Fatalf("tweet %d tokens changed", i)
+		}
+	}
+	for i := range c.Users {
+		if c.Users[i] != got.Users[i] {
+			t.Fatalf("user %d changed", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestReadJSONRejectsBadVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"users":[],"tweets":[]}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	// Tweet referencing user 5 of 1.
+	bad := `{"version":1,"users":[{"Name":"a","Label":-1}],` +
+		`"tweets":[{"Text":"x","Tokens":null,"User":5,"Time":0,"RetweetOf":-1,"Label":-1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

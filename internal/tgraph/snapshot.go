@@ -1,0 +1,69 @@
+package tgraph
+
+import (
+	"triclust/internal/text"
+)
+
+// Snapshot is the tripartite graph of one time window with users
+// compacted to the window's active set — the shape Algorithm 2 consumes.
+type Snapshot struct {
+	// Graph holds Xp (n_t×l), Xu/Xr/Gu over the *local* user indexing.
+	Graph *Graph
+	// Active maps local user index → global user index.
+	Active []int
+	// TweetIdx maps local tweet index → global tweet index.
+	TweetIdx []int
+	// Corpus is the sliced sub-corpus (users still global; tweets local).
+	Corpus *Corpus
+}
+
+// BuildSnapshot slices c to tweets with Time in [from, to) and builds its
+// tripartite graph with a shared vocabulary (required so Sf(t) matrices
+// are comparable across snapshots) and users renumbered to the active set.
+func BuildSnapshot(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
+	sub, tweetIdx := c.Slice(from, to)
+	active := sub.ActiveUsers()
+	local := make(map[int]int, len(active))
+	for i, g := range active {
+		local[g] = i
+	}
+
+	// Re-home tweets onto local user indices in a compacted corpus copy.
+	compact := &Corpus{
+		Users:  make([]User, len(active)),
+		Tweets: make([]Tweet, len(sub.Tweets)),
+	}
+	for i, g := range active {
+		compact.Users[i] = c.Users[g]
+	}
+	for i, tw := range sub.Tweets {
+		tw.User = local[tw.User]
+		compact.Tweets[i] = tw
+	}
+
+	g := Build(compact, BuildOptions{Weighting: w, Vocab: vocab})
+	return &Snapshot{Graph: g, Active: active, TweetIdx: tweetIdx, Corpus: compact}
+}
+
+// SnapshotSeries builds one snapshot per timestamp step in [lo, hi] using
+// a single vocabulary constructed from the whole corpus (minDF applied
+// globally). step is the window width in time units (1 = per day).
+// Empty windows produce snapshots with zero tweets.
+func SnapshotSeries(c *Corpus, step, minDF int, w text.Weighting) []*Snapshot {
+	lo, hi, ok := c.TimeRange()
+	if !ok {
+		return nil
+	}
+	if step < 1 {
+		step = 1
+	}
+	if minDF < 1 {
+		minDF = 1
+	}
+	vocab := text.BuildVocabulary(c.TokenDocs(), minDF)
+	var out []*Snapshot
+	for t := lo; t <= hi; t += step {
+		out = append(out, BuildSnapshot(c, t, t+step, vocab, w))
+	}
+	return out
+}

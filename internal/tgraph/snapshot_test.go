@@ -1,0 +1,90 @@
+package tgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"triclust/internal/text"
+)
+
+func snapVocab() *text.Vocabulary {
+	v := text.NewVocabulary()
+	for _, w := range []string{"yeson37", "noprop37", "cost", "label"} {
+		v.AddWord(w)
+	}
+	return v
+}
+
+func TestBuildSnapshotCompactsUsers(t *testing.T) {
+	c := tinyCorpus()
+	s := BuildSnapshot(c, 2, 3, snapVocab(), text.TF)
+	// Only tweet 2 (user 1) is in day 2.
+	if !reflect.DeepEqual(s.Active, []int{1}) {
+		t.Fatalf("Active = %v", s.Active)
+	}
+	if !reflect.DeepEqual(s.TweetIdx, []int{2}) {
+		t.Fatalf("TweetIdx = %v", s.TweetIdx)
+	}
+	if s.Graph.Xp.Rows() != 1 || s.Graph.Xu.Rows() != 1 || s.Graph.Xr.Rows() != 1 {
+		t.Fatalf("snapshot dims wrong: Xp %d Xu %d Xr %d",
+			s.Graph.Xp.Rows(), s.Graph.Xu.Rows(), s.Graph.Xr.Rows())
+	}
+	// Local corpus re-homed the tweet to local user 0.
+	if s.Corpus.Tweets[0].User != 0 {
+		t.Fatalf("local user = %d", s.Corpus.Tweets[0].User)
+	}
+	if s.Corpus.Users[0].Name != "bob" {
+		t.Fatalf("compacted user = %q", s.Corpus.Users[0].Name)
+	}
+}
+
+func TestBuildSnapshotSharedVocabulary(t *testing.T) {
+	c := tinyCorpus()
+	v := snapVocab()
+	a := BuildSnapshot(c, 1, 2, v, text.TF)
+	b := BuildSnapshot(c, 2, 3, v, text.TF)
+	if a.Graph.Xp.Cols() != v.Len() || b.Graph.Xp.Cols() != v.Len() {
+		t.Fatal("snapshots do not share the vocabulary width")
+	}
+}
+
+func TestBuildSnapshotEmptyWindow(t *testing.T) {
+	c := tinyCorpus()
+	s := BuildSnapshot(c, 50, 60, snapVocab(), text.TF)
+	if s.Graph.Xp.Rows() != 0 || len(s.Active) != 0 || len(s.TweetIdx) != 0 {
+		t.Fatal("empty window should give empty snapshot")
+	}
+}
+
+func TestSnapshotSeriesCoversRange(t *testing.T) {
+	c := tinyCorpus() // times 1..2
+	series := SnapshotSeries(c, 1, 1, text.TF)
+	if len(series) != 2 {
+		t.Fatalf("series length = %d, want 2", len(series))
+	}
+	if series[0].Graph.Xp.Rows() != 2 || series[1].Graph.Xp.Rows() != 1 {
+		t.Fatalf("per-day rows: %d, %d", series[0].Graph.Xp.Rows(), series[1].Graph.Xp.Rows())
+	}
+	// All snapshots share one vocabulary.
+	if series[0].Graph.Xp.Cols() != series[1].Graph.Xp.Cols() {
+		t.Fatal("vocabulary differs across the series")
+	}
+}
+
+func TestSnapshotSeriesStepAndDefaults(t *testing.T) {
+	c := tinyCorpus()
+	series := SnapshotSeries(c, 0 /* clamped to 1 */, 0 /* minDF→1 */, text.TF)
+	if len(series) != 2 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	wide := SnapshotSeries(c, 5, 1, text.TF)
+	if len(wide) != 1 || wide[0].Graph.Xp.Rows() != 3 {
+		t.Fatalf("step-5 series wrong: %d snapshots", len(wide))
+	}
+}
+
+func TestSnapshotSeriesEmptyCorpus(t *testing.T) {
+	if got := SnapshotSeries(&Corpus{}, 1, 1, text.TF); got != nil {
+		t.Fatalf("empty corpus series = %v", got)
+	}
+}

@@ -1,0 +1,400 @@
+// Package triclust is a Go implementation of "Tripartite Graph Clustering
+// for Dynamic Sentiment Analysis on Social Media" (Zhu, Galstyan, Cheng,
+// Lerman; SIGMOD 2014). It jointly infers tweet-level and user-level
+// sentiment by co-clustering the tripartite graph of features, tweets and
+// users via non-negative matrix tri-factorization, with lexicon and
+// user-graph regularization (offline) and temporal regularization over a
+// stream of snapshots (online).
+//
+// # Quick start
+//
+//	corpus := &triclust.Corpus{ ... tweets, users ... }
+//	res, err := triclust.Fit(corpus, triclust.DefaultOptions())
+//	if err != nil { ... }
+//	for i, s := range res.TweetSentiments { ... s.Class, s.Confidence ... }
+//
+// For streaming data, create a Stream and feed it one batch per timestamp:
+//
+//	st, _ := triclust.NewStream(triclust.DefaultStreamOptions())
+//	out, err := st.Process(day, batchCorpus)
+//
+// The heavy lifting lives in internal/core (the paper's Algorithms 1
+// and 2); this package wires tokenization, graph construction, lexicon
+// priors and class labeling around it.
+package triclust
+
+import (
+	"errors"
+	"fmt"
+
+	"triclust/internal/core"
+	"triclust/internal/lexicon"
+	"triclust/internal/text"
+	"triclust/internal/tgraph"
+)
+
+// Re-exported data-model types. See the corresponding internal packages
+// for details.
+type (
+	// Corpus is a collection of tweets and users about one topic.
+	Corpus = tgraph.Corpus
+	// Tweet is one post: text or tokens, author, timestamp, optional
+	// retweet target and ground-truth label.
+	Tweet = tgraph.Tweet
+	// User carries user metadata and an optional ground-truth label.
+	User = tgraph.User
+	// Config holds the offline hyper-parameters (k, α, β, iterations,
+	// §7 extension regularizers).
+	Config = core.Config
+	// OnlineConfig adds the temporal parameters (γ, τ, window).
+	OnlineConfig = core.OnlineConfig
+	// Lexicon is a sentiment word list seeding the feature prior Sf0.
+	Lexicon = lexicon.Lexicon
+)
+
+// NoLabel marks an unlabeled tweet or user.
+const NoLabel = tgraph.NoLabel
+
+// Sentiment classes. Cluster j is aligned with class j through the
+// lexicon prior (emotion consistency, Eq. 5).
+const (
+	Pos = lexicon.Pos
+	Neg = lexicon.Neg
+	Neu = lexicon.Neu
+)
+
+// ClassName returns "positive" / "negative" / "neutral".
+func ClassName(c int) string {
+	switch c {
+	case Pos:
+		return "positive"
+	case Neg:
+		return "negative"
+	case Neu:
+		return "neutral"
+	default:
+		return fmt.Sprintf("class%d", c)
+	}
+}
+
+// Sentiment is one item's inferred class with its soft membership.
+type Sentiment struct {
+	// Class is the argmax cluster (aligned to Pos/Neg/Neu when a lexicon
+	// prior is used).
+	Class int
+	// Confidence is the normalized membership weight of Class in [0,1].
+	Confidence float64
+}
+
+// Options configure Fit.
+type Options struct {
+	// Config is the solver configuration (DefaultConfig of the paper's
+	// §5.1 when zero-valued fields are left alone).
+	Config Config
+	// Lexicon seeds the feature prior; nil uses the built-in polarity
+	// lexicon.
+	Lexicon *Lexicon
+	// LexiconHit is the prior probability mass a listed word puts on its
+	// class (default 0.8).
+	LexiconHit float64
+	// Weighting selects TF / TF-IDF / binary features (default TF-IDF).
+	Weighting text.Weighting
+	// MinDF prunes vocabulary words occurring in fewer tweets
+	// (default 2).
+	MinDF int
+	// Tokenizer controls text normalization for tweets whose Tokens
+	// field is nil.
+	Tokenizer text.TokenizerOptions
+}
+
+// DefaultOptions returns the paper's offline configuration.
+func DefaultOptions() Options {
+	return Options{
+		Config:     core.DefaultConfig(),
+		LexiconHit: 0.8,
+		Weighting:  text.TFIDF,
+		MinDF:      2,
+		Tokenizer:  text.DefaultTokenizerOptions(),
+	}
+}
+
+// Result is the outcome of an offline Fit or one Stream step.
+type Result struct {
+	// TweetSentiments and UserSentiments follow the input ordering.
+	TweetSentiments []Sentiment
+	UserSentiments  []Sentiment
+	// Vocabulary maps feature indices to words; FeatureSentiments
+	// follows it.
+	Vocabulary        []string
+	FeatureSentiments []Sentiment
+	// Iterations and Converged describe the solver run.
+	Iterations int
+	Converged  bool
+	// Raw exposes the factor matrices and loss history for analysis.
+	Raw *core.Result
+
+	vocab     *text.Vocabulary
+	weighting text.Weighting
+	tokenizer *text.Tokenizer
+}
+
+// PredictTweets classifies new tweets against the fitted model without
+// re-running the solver (NMF fold-in: the tweets' feature rows are
+// projected onto the learned feature space Sf·Hpᵀ). Out-of-vocabulary
+// words are ignored; a tweet with no known words gets a uniform-confidence
+// neutral-ish result.
+func (r *Result) PredictTweets(texts []string) ([]Sentiment, error) {
+	docs := make([][]string, len(texts))
+	for i, s := range texts {
+		docs[i] = r.tokenizer.Tokenize(s)
+	}
+	return r.PredictTokenized(docs)
+}
+
+// PredictTokenized is PredictTweets for pre-tokenized input.
+func (r *Result) PredictTokenized(docs [][]string) ([]Sentiment, error) {
+	xp := text.DocFeatureMatrix(docs, r.vocab, r.weighting)
+	sp, err := core.FoldInTweets(&r.Raw.Factors, xp)
+	if err != nil {
+		return nil, err
+	}
+	return sentimentsFromFactor(sp.Rows(), sp), nil
+}
+
+func sentimentsFromFactor(rows int, raw interface {
+	Row(int) []float64
+	Cols() int
+}) []Sentiment {
+	out := make([]Sentiment, rows)
+	for i := 0; i < rows; i++ {
+		row := raw.Row(i)
+		var sum, best float64
+		cls := 0
+		for j, v := range row {
+			sum += v
+			if v > best {
+				best, cls = v, j
+			}
+		}
+		conf := 0.0
+		if sum > 0 {
+			conf = best / sum
+		} else if raw.Cols() > 0 {
+			conf = 1 / float64(raw.Cols())
+		}
+		out[i] = Sentiment{Class: cls, Confidence: conf}
+	}
+	return out
+}
+
+func resultFrom(res *core.Result, vocab *text.Vocabulary, weighting text.Weighting, tok *text.Tokenizer) *Result {
+	return &Result{
+		TweetSentiments:   sentimentsFromFactor(res.Sp.Rows(), res.Sp),
+		UserSentiments:    sentimentsFromFactor(res.Su.Rows(), res.Su),
+		Vocabulary:        vocab.Words(),
+		FeatureSentiments: sentimentsFromFactor(res.Sf.Rows(), res.Sf),
+		Iterations:        res.Iterations,
+		Converged:         res.Converged,
+		Raw:               res,
+		vocab:             vocab,
+		weighting:         weighting,
+		tokenizer:         tok,
+	}
+}
+
+// Fit runs the offline tri-clustering algorithm (Algorithm 1) on a corpus
+// and returns tweet-, user- and feature-level sentiments.
+func Fit(c *Corpus, o Options) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("triclust: nil corpus")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	o = fillOptions(o)
+	c.Tokenize(text.NewTokenizer(o.Tokenizer))
+	g := tgraph.Build(c, tgraph.BuildOptions{Weighting: o.Weighting, MinDF: o.MinDF})
+	p := &core.Problem{
+		Xp:  g.Xp,
+		Xu:  g.Xu,
+		Xr:  g.Xr,
+		Gu:  g.Gu,
+		Sf0: o.Lexicon.Sf0(g.Vocab, o.Config.K, o.LexiconHit),
+	}
+	res, err := core.FitOffline(p, o.Config)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(res, g.Vocab, o.Weighting, text.NewTokenizer(o.Tokenizer)), nil
+}
+
+func fillOptions(o Options) Options {
+	if o.Lexicon == nil {
+		o.Lexicon = lexicon.Builtin()
+	}
+	if o.LexiconHit == 0 {
+		o.LexiconHit = 0.8
+	}
+	if o.MinDF == 0 {
+		o.MinDF = 2
+	}
+	if o.Config.K == 0 {
+		o.Config = core.DefaultConfig()
+	}
+	return o
+}
+
+// StreamOptions configure a Stream.
+type StreamOptions struct {
+	// Config is the online solver configuration (paper defaults: α=τ=0.9,
+	// β=0.8, γ=0.2, w=2).
+	Config OnlineConfig
+	// Lexicon, LexiconHit, Weighting, Tokenizer as in Options.
+	Lexicon    *Lexicon
+	LexiconHit float64
+	Weighting  text.Weighting
+	Tokenizer  text.TokenizerOptions
+	// MinDF prunes the vocabulary built from the first batch. The
+	// vocabulary is then frozen: later out-of-vocabulary words are
+	// ignored (the online algorithm requires comparable Sf(t) matrices;
+	// the paper likewise fixes the feature space per topic).
+	MinDF int
+}
+
+// DefaultStreamOptions returns the paper's online configuration.
+func DefaultStreamOptions() StreamOptions {
+	return StreamOptions{
+		Config:     core.DefaultOnlineConfig(),
+		LexiconHit: 0.8,
+		Weighting:  text.TFIDF,
+		MinDF:      2,
+		Tokenizer:  text.DefaultTokenizerOptions(),
+	}
+}
+
+// StreamResult extends Result with the mapping from batch rows to the
+// caller's user identifiers.
+type StreamResult struct {
+	Result
+	// ActiveUsers[i] is the global user index of UserSentiments[i].
+	ActiveUsers []int
+}
+
+// Stream is the stateful online analyzer (Algorithm 2). It tracks user
+// history across batches; users are identified by their index in the
+// universe passed to NewStream.
+type Stream struct {
+	opts   StreamOptions
+	online *core.Online
+	vocab  *text.Vocabulary
+	users  []User
+	tok    *text.Tokenizer
+}
+
+// NewStream creates a stream over a fixed user universe (tweets in later
+// batches refer to users by index into users).
+func NewStream(users []User, opts StreamOptions) (*Stream, error) {
+	if opts.Lexicon == nil {
+		opts.Lexicon = lexicon.Builtin()
+	}
+	if opts.LexiconHit == 0 {
+		opts.LexiconHit = 0.8
+	}
+	if opts.MinDF == 0 {
+		opts.MinDF = 2
+	}
+	if opts.Config.K == 0 {
+		opts.Config = core.DefaultOnlineConfig()
+	}
+	return &Stream{
+		opts:   opts,
+		online: core.NewOnline(opts.Config),
+		users:  users,
+		tok:    text.NewTokenizer(opts.Tokenizer),
+	}, nil
+}
+
+// Process runs one online step on the batch of tweets with timestamp t.
+// Timestamps must strictly increase across calls. The first batch fixes
+// the vocabulary.
+func (s *Stream) Process(t int, tweets []Tweet) (*StreamResult, error) {
+	batch := &Corpus{Users: s.users, Tweets: tweets}
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	batch.Tokenize(s.tok)
+	if s.vocab == nil {
+		s.vocab = text.BuildVocabulary(batch.TokenDocs(), s.opts.MinDF)
+	}
+	snap := tgraph.BuildSnapshot(batch, minTime(tweets), maxTime(tweets)+1, s.vocab, s.opts.Weighting)
+	p := &core.Problem{
+		Xp:  snap.Graph.Xp,
+		Xu:  snap.Graph.Xu,
+		Xr:  snap.Graph.Xr,
+		Gu:  snap.Graph.Gu,
+		Sf0: s.opts.Lexicon.Sf0(s.vocab, s.opts.Config.K, s.opts.LexiconHit),
+	}
+	res, err := s.online.Step(t, p, snap.Active)
+	if err != nil {
+		return nil, err
+	}
+	out := &StreamResult{Result: *resultFrom(res, s.vocab, s.opts.Weighting, s.tok), ActiveUsers: snap.Active}
+	return out, nil
+}
+
+// UserEstimate returns the most recent sentiment estimate for a user, or
+// ok=false if the user has never appeared.
+func (s *Stream) UserEstimate(user int) (Sentiment, bool) {
+	row := s.online.LastUserEstimate(user)
+	if row == nil {
+		return Sentiment{}, false
+	}
+	var sum, best float64
+	cls := 0
+	for j, v := range row {
+		sum += v
+		if v > best {
+			best, cls = v, j
+		}
+	}
+	conf := 0.0
+	if sum > 0 {
+		conf = best / sum
+	}
+	return Sentiment{Class: cls, Confidence: conf}, true
+}
+
+func minTime(tweets []Tweet) int {
+	if len(tweets) == 0 {
+		return 0
+	}
+	lo := tweets[0].Time
+	for _, tw := range tweets[1:] {
+		if tw.Time < lo {
+			lo = tw.Time
+		}
+	}
+	return lo
+}
+
+func maxTime(tweets []Tweet) int {
+	if len(tweets) == 0 {
+		return 0
+	}
+	hi := tweets[0].Time
+	for _, tw := range tweets[1:] {
+		if tw.Time > hi {
+			hi = tw.Time
+		}
+	}
+	return hi
+}
+
+// BuiltinLexicon returns the general-purpose polarity lexicon.
+func BuiltinLexicon() *Lexicon { return lexicon.Builtin() }
+
+// InduceLexicon rebuilds a topic lexicon from labeled documents (see
+// internal/lexicon.Induce).
+func InduceLexicon(docs [][]string, labels []int, minCount int, ratio float64) *Lexicon {
+	return lexicon.Induce(docs, labels, minCount, ratio)
+}
