@@ -14,17 +14,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"triclust/internal/core"
 	"triclust/internal/experiments"
+	"triclust/internal/par"
 )
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids or 'all'")
 	scale := flag.Int("scale", 4, "divide preset corpus sizes by this factor")
 	iters := flag.Int("iters", 40, "solver iteration budget per fit")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "parallelism width of the compute kernels")
 	flag.Parse()
+	par.SetProcs(*procs)
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {

@@ -18,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"triclust"
 	"triclust/internal/core"
 	"triclust/internal/eval"
+	"triclust/internal/par"
 	"triclust/internal/synth"
 	"triclust/internal/tgraph"
 )
@@ -39,7 +41,9 @@ func main() {
 	maxIter := flag.Int("iters", 100, "maximum update sweeps")
 	seed := flag.Int64("seed", 1, "solver RNG seed")
 	top := flag.Int("top", 5, "show this many example tweets per class")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "parallelism width of the compute kernels")
 	flag.Parse()
+	par.SetProcs(*procs)
 
 	corpus, err := loadCorpus(*in)
 	if err != nil {

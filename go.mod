@@ -1,0 +1,3 @@
+module triclust
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"triclust/internal/par"
 	"triclust/internal/sparse"
 )
 
@@ -53,13 +54,27 @@ func KMeans(x *sparse.CSR, k int, opts KMeansOptions) []int {
 
 	bestAssign := make([]int, n)
 	bestScore := math.Inf(-1)
+	// All loop state is hoisted out of the restart/iteration loops so the
+	// Lloyd iterations allocate nothing.
 	centroids := make([][]float64, k)
+	backing := make([]float64, k*l)
+	for c := 0; c < k; c++ {
+		centroids[c] = backing[c*l : (c+1)*l]
+	}
 	assign := make([]int, n)
+	counts := make([]int, k)
+	// Per-chunk partial reductions of the parallel assignment step,
+	// combined in chunk order for determinism at a fixed par.Procs().
+	partScore := make([]float64, par.MaxChunks())
+	partChanged := make([]bool, par.MaxChunks())
+	avgNNZ := x.NNZ()/max(n, 1) + 1
 
 	for restart := 0; restart < opts.Restarts; restart++ {
 		// Initialize centroids from random distinct rows.
 		for c := 0; c < k; c++ {
-			centroids[c] = make([]float64, l)
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
 			i := rng.Intn(n)
 			cols, vals := x.Row(i)
 			if norms[i] > 0 {
@@ -72,29 +87,42 @@ func KMeans(x *sparse.CSR, k int, opts KMeansOptions) []int {
 		}
 		var score float64
 		for it := 0; it < opts.MaxIter; it++ {
-			// Assignment step.
+			// Assignment step: rows are independent, so the row range is
+			// split across workers; score and the changed flag reduce over
+			// per-chunk partials.
+			used := par.ForChunked(n, k*avgNNZ, func(chunk, lo, hi int) {
+				var sum float64
+				var moved bool
+				for i := lo; i < hi; i++ {
+					cols, vals := x.Row(i)
+					best, bestSim := 0, math.Inf(-1)
+					for c := 0; c < k; c++ {
+						cent := centroids[c]
+						var dot float64
+						for p, j := range cols {
+							dot += vals[p] * cent[j]
+						}
+						if norms[i] > 0 {
+							dot /= norms[i]
+						}
+						if dot > bestSim {
+							best, bestSim = c, dot
+						}
+					}
+					if assign[i] != best {
+						assign[i] = best
+						moved = true
+					}
+					sum += bestSim
+				}
+				partScore[chunk] = sum
+				partChanged[chunk] = moved
+			})
 			score = 0
 			changed := false
-			for i := 0; i < n; i++ {
-				cols, vals := x.Row(i)
-				best, bestSim := 0, math.Inf(-1)
-				for c := 0; c < k; c++ {
-					var dot float64
-					for p, j := range cols {
-						dot += vals[p] * centroids[c][j]
-					}
-					if norms[i] > 0 {
-						dot /= norms[i]
-					}
-					if dot > bestSim {
-						best, bestSim = c, dot
-					}
-				}
-				if assign[i] != best {
-					assign[i] = best
-					changed = true
-				}
-				score += bestSim
+			for chunk := 0; chunk < used; chunk++ {
+				score += partScore[chunk]
+				changed = changed || partChanged[chunk]
 			}
 			if !changed && it > 0 {
 				break
@@ -105,7 +133,9 @@ func KMeans(x *sparse.CSR, k int, opts KMeansOptions) []int {
 					centroids[c][j] = 0
 				}
 			}
-			counts := make([]int, k)
+			for c := range counts {
+				counts[c] = 0
+			}
 			for i := 0; i < n; i++ {
 				c := assign[i]
 				counts[c]++

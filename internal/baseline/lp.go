@@ -30,17 +30,18 @@ func LabelPropagationGraph(g *sparse.CSR, labels []int, k int, opts LPOptions) [
 	if opts.Iterations <= 0 {
 		opts.Iterations = 30
 	}
+	// Double-buffered sweeps: y and ny are allocated once and swapped, so
+	// the propagation loop is allocation-free and rides the parallel SpMM.
 	y := mat.NewDense(n, k)
-	seed := mat.NewDense(n, k)
+	ny := mat.NewDense(n, k)
 	for i, c := range labels {
 		if c >= 0 && c < k {
-			seed.Set(i, c, 1)
 			y.Set(i, c, 1)
 		}
 	}
 	deg := g.RowSums()
 	for it := 0; it < opts.Iterations; it++ {
-		ny := g.MulDense(y)
+		g.MulDenseInto(ny, y)
 		for i := 0; i < n; i++ {
 			row := ny.Row(i)
 			if deg[i] > 0 {
@@ -61,7 +62,7 @@ func LabelPropagationGraph(g *sparse.CSR, labels []int, k int, opts LPOptions) [
 				}
 			}
 		}
-		y = ny
+		y, ny = ny, y
 	}
 	out := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -98,8 +99,14 @@ func LabelPropagationBipartite(x *sparse.CSR, labels []int, k int, opts LPOption
 	}
 	rowDeg := x.RowSums()
 	colDeg := x.ColSums()
+	// The xᵀ·yp half-sweep scatters in CSR form; against the transpose,
+	// materialized once for all iterations, it is a parallel gather. The
+	// yf/np buffers are reused across sweeps.
+	xT := x.T() // l×n
+	yf := mat.NewDense(x.Cols(), k)
+	np := mat.NewDense(n, k)
 	for it := 0; it < opts.Iterations; it++ {
-		yf := x.MulTDense(yp) // l×k
+		xT.MulDenseInto(yf, yp) // l×k
 		for j := 0; j < yf.Rows(); j++ {
 			if colDeg[j] > 0 {
 				row := yf.Row(j)
@@ -109,7 +116,7 @@ func LabelPropagationBipartite(x *sparse.CSR, labels []int, k int, opts LPOption
 				}
 			}
 		}
-		ny := x.MulDense(yf) // n×k
+		ny := x.MulDenseInto(np, yf) // n×k
 		for i := 0; i < n; i++ {
 			if rowDeg[i] > 0 {
 				row := ny.Row(i)
@@ -130,7 +137,7 @@ func LabelPropagationBipartite(x *sparse.CSR, labels []int, k int, opts LPOption
 				}
 			}
 		}
-		yp = ny
+		yp, np = ny, yp
 	}
 	out := make([]int, n)
 	for i := 0; i < n; i++ {

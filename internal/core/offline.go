@@ -46,6 +46,11 @@ func regScales(p *Problem) (alphaScale, betaScale, gammaScale float64) {
 // Sp (Eq. 9), Hp (Eq. 12), Su (Eq. 11), Hu (Eq. 13) and Sf (Eq. 7) until
 // the relative change of the objective (Eq. 1) falls below cfg.Tol or
 // cfg.MaxIter sweeps complete.
+//
+// All per-sweep temporaries live in one mat.Workspace, so after the first
+// sweep the iteration loop performs (near) zero heap allocations; the
+// large sparse products run on the parallel kernels of packages mat and
+// sparse against the Problem's cached transposes.
 func FitOffline(p *Problem, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := p.Validate(cfg.K); err != nil {
@@ -56,17 +61,18 @@ func FitOffline(p *Problem, cfg Config) (*Result, error) {
 	cfg.Beta *= bScale
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f := initFactors(p, cfg, rng)
-	res := &Result{Factors: f}
+	res := &Result{Factors: f, History: make([]LossBreakdown, 0, cfg.MaxIter)}
+	ws := mat.NewWorkspace()
 
 	prev := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
-		updateSp(p, &f, cfg)
-		updateHp(p, &f)
-		updateSu(p, &f, cfg, nil)
-		updateHu(p, &f)
-		updateSf(p, &f, cfg, p.Sf0)
+		updateSp(p, &f, cfg, ws)
+		updateHp(p, &f, ws)
+		updateSu(p, &f, cfg, nil, ws)
+		updateHu(p, &f, ws)
+		updateSf(p, &f, cfg, p.Sf0, ws)
 
-		loss := Loss(p, &f, cfg, nil)
+		loss := Loss(p, &f, cfg, nil, ws)
 		res.History = append(res.History, loss)
 		res.Iterations = it + 1
 		if relChange(prev, loss.Total) < cfg.Tol {
@@ -95,35 +101,38 @@ func relChange(prev, cur float64) float64 {
 //	             (Sp Hp Sfᵀ Sf Hpᵀ + Sp Suᵀ Su + Sp Δ⁺) )
 //
 // with Δ = Spᵀ Xp Sf Hpᵀ − Hp Sfᵀ Sf Hpᵀ + Spᵀ Xrᵀ Su − Suᵀ Su.
-func updateSp(p *Problem, f *Factors, cfg Config) {
+func updateSp(p *Problem, f *Factors, cfg Config, ws *mat.Workspace) {
 	k := f.Sp.Cols()
-	sfHpT := mat.NewDense(f.Sf.Rows(), k)
+	n, l := f.Sp.Rows(), f.Sf.Rows()
+	sfHpT := ws.Get(l, k)
 	sfHpT.MulABT(f.Sf, f.Hp)
-	c1 := p.Xp.MulDense(sfHpT) // n×k: Xp Sf Hpᵀ
-	c2 := p.Xr.MulTDense(f.Su) // n×k: Xrᵀ Su
-	c := mat.NewDense(c1.Rows(), k)
-	c.Add(c1, c2)
+	c := p.Xp.MulDenseInto(ws.Get(n, k), sfHpT)    // n×k: Xp Sf Hpᵀ
+	c2 := p.XrT().MulDenseInto(ws.Get(n, k), f.Su) // n×k: Xrᵀ Su
+	c.Add(c, c2)
 
-	d1 := mat.NewDense(k, k) // Hp Gram(Sf) Hpᵀ
-	tmp := mat.Product(f.Hp, mat.Gram(f.Sf))
-	d1.MulABT(tmp, f.Hp)
-	d2 := mat.Gram(f.Su)
-	d := mat.NewDense(k, k)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	hpGram := mat.ProductInto(ws.Get(k, k), f.Hp, gramSf)
+	d1 := ws.Get(k, k) // Hp Gram(Sf) Hpᵀ
+	d1.MulABT(hpGram, f.Hp)
+	d2 := mat.GramInto(ws.Get(k, k), f.Su)
+	d := ws.Get(k, k)
 	d.Add(d1, d2)
 
-	delta := mat.NewDense(k, k) // Spᵀ(C) − D
+	delta := ws.Get(k, k) // Spᵀ(C) − D
 	delta.MulATB(f.Sp, c)
 	delta.Sub(delta, d)
-	dPos, dNeg := mat.SplitPosNeg(delta)
+	dPos, dNeg := ws.Get(k, k), ws.Get(k, k)
+	mat.SplitPosNegInto(dPos, dNeg, delta)
 
-	numer := mat.Product(f.Sp, dNeg)
+	numer := mat.ProductInto(ws.Get(n, k), f.Sp, dNeg)
 	numer.Add(numer, c)
-	denom := mat.NewDense(f.Sp.Rows(), k)
-	denom.Mul(f.Sp, d)
-	denom.Add(denom, mat.Product(f.Sp, dPos))
+	denom := mat.ProductInto(ws.Get(n, k), f.Sp, d)
+	spPos := mat.ProductInto(ws.Get(n, k), f.Sp, dPos)
+	denom.Add(denom, spPos)
 
-	applyExtensions(numer, denom, f.Sp, cfg, cfg.GuidedTweetLabels)
+	applyExtensions(numer, denom, f.Sp, cfg, cfg.GuidedTweetLabels, ws)
 	mat.MulUpdate(f.Sp, numer, denom)
+	ws.Put(sfHpT, c, c2, gramSf, hpGram, d1, d2, d, delta, dPos, dNeg, numer, denom, spPos)
 }
 
 // updateSu applies Eq. 11 (offline; suw == nil) or Eqs. 24/26 (online;
@@ -132,54 +141,60 @@ func updateSp(p *Problem, f *Factors, cfg Config) {
 //
 //	Su ← Su ∘ √( (Xu Sf Huᵀ + Xr Sp + β Gu Su + Su Δ⁻ [+ γ Suw]) /
 //	             (Su Hu Sfᵀ Sf Huᵀ + Su Spᵀ Sp + β Du Su + Su Δ⁺ [+ γ Su]) )
-func updateSu(p *Problem, f *Factors, cfg Config, tr *temporalUser) {
+func updateSu(p *Problem, f *Factors, cfg Config, tr *temporalUser, ws *mat.Workspace) {
 	k := f.Su.Cols()
-	sfHuT := mat.NewDense(f.Sf.Rows(), k)
+	m, l := f.Su.Rows(), f.Sf.Rows()
+	sfHuT := ws.Get(l, k)
 	sfHuT.MulABT(f.Sf, f.Hu)
-	e1 := p.Xu.MulDense(sfHuT) // m×k: Xu Sf Huᵀ
-	e2 := p.Xr.MulDense(f.Sp)  // m×k: Xr Sp
-	e := mat.NewDense(e1.Rows(), k)
-	e.Add(e1, e2)
+	e := p.Xu.MulDenseInto(ws.Get(m, k), sfHuT) // m×k: Xu Sf Huᵀ
+	e2 := p.Xr.MulDenseInto(ws.Get(m, k), f.Sp) // m×k: Xr Sp
+	e.Add(e, e2)
 
-	f1 := mat.NewDense(k, k) // Hu Gram(Sf) Huᵀ
-	tmp := mat.Product(f.Hu, mat.Gram(f.Sf))
-	f1.MulABT(tmp, f.Hu)
-	f2 := mat.Gram(f.Sp)
-	fd := mat.NewDense(k, k)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	huGram := mat.ProductInto(ws.Get(k, k), f.Hu, gramSf)
+	f1 := ws.Get(k, k) // Hu Gram(Sf) Huᵀ
+	f1.MulABT(huGram, f.Hu)
+	f2 := mat.GramInto(ws.Get(k, k), f.Sp)
+	fd := ws.Get(k, k)
 	fd.Add(f1, f2)
 
-	delta := mat.NewDense(k, k) // Suᵀ(E) − F − β SuᵀLuSu [− γ Suᵀ(Su−Suw)]
+	delta := ws.Get(k, k) // Suᵀ(E) − F − β SuᵀLuSu [− γ Suᵀ(Su−Suw)]
 	delta.MulATB(f.Su, e)
 	delta.Sub(delta, fd)
 
 	var gus, dus *mat.Dense
 	if cfg.Beta > 0 && p.Gu != nil {
-		lus := sparse.LaplacianMulDense(p.Gu, f.Su)
-		lap := mat.NewDense(k, k)
+		deg := p.GuDegrees()
+		lus := sparse.LaplacianMulDenseInto(ws.Get(m, k), p.Gu, deg, f.Su)
+		lap := ws.Get(k, k)
 		lap.MulATB(f.Su, lus)
 		delta.AddScaled(delta, -cfg.Beta, lap)
-		gus = p.Gu.MulDense(f.Su)
-		dus = sparse.DegreeMulDense(p.Gu, f.Su)
+		gus = p.Gu.MulDenseInto(ws.Get(m, k), f.Su)
+		dus = sparse.DegreeMulDenseInto(ws.Get(m, k), p.Gu, deg, f.Su)
+		ws.Put(lus, lap)
 	}
 	if tr != nil && tr.gamma > 0 {
 		// −γ Suᵀ(Su − Suw) restricted to rows with history.
-		diff := f.Su.Clone()
-		diff.Sub(diff, tr.suw)
+		diff := ws.Get(m, k)
+		diff.Sub(f.Su, tr.suw)
 		tr.maskRowsWithoutHistory(diff)
-		g := mat.NewDense(k, k)
+		g := ws.Get(k, k)
 		g.MulATB(f.Su, diff)
 		delta.AddScaled(delta, -tr.gamma, g)
+		ws.Put(diff, g)
 	}
-	dPos, dNeg := mat.SplitPosNeg(delta)
+	dPos, dNeg := ws.Get(k, k), ws.Get(k, k)
+	mat.SplitPosNegInto(dPos, dNeg, delta)
 
-	numer := mat.Product(f.Su, dNeg)
+	numer := mat.ProductInto(ws.Get(m, k), f.Su, dNeg)
 	numer.Add(numer, e)
-	denom := mat.NewDense(f.Su.Rows(), k)
-	denom.Mul(f.Su, fd)
-	denom.Add(denom, mat.Product(f.Su, dPos))
+	denom := mat.ProductInto(ws.Get(m, k), f.Su, fd)
+	suPos := mat.ProductInto(ws.Get(m, k), f.Su, dPos)
+	denom.Add(denom, suPos)
 	if gus != nil {
 		numer.AddScaled(numer, cfg.Beta, gus)
 		denom.AddScaled(denom, cfg.Beta, dus)
+		ws.Put(gus, dus)
 	}
 	if tr != nil && tr.gamma > 0 {
 		// Eq. 26: + γ Suw in the numerator, + γ Su in the denominator,
@@ -187,8 +202,9 @@ func updateSu(p *Problem, f *Factors, cfg Config, tr *temporalUser) {
 		tr.addTemporalTerms(numer, denom, f.Su)
 	}
 
-	applyExtensions(numer, denom, f.Su, cfg, cfg.GuidedUserLabels)
+	applyExtensions(numer, denom, f.Su, cfg, cfg.GuidedUserLabels, ws)
 	mat.MulUpdate(f.Su, numer, denom)
+	ws.Put(sfHuT, e, e2, gramSf, huGram, f1, f2, fd, delta, dPos, dNeg, numer, denom, suPos)
 }
 
 // updateSf applies Eq. 7 (offline; prior = Sf0) and Eq. 23 (online;
@@ -196,68 +212,90 @@ func updateSu(p *Problem, f *Factors, cfg Config, tr *temporalUser) {
 //
 //	Sf ← Sf ∘ √( (Xuᵀ Su Hu + Xpᵀ Sp Hp + α·prior + Sf Δ⁻) /
 //	             (Sf Huᵀ Suᵀ Su Hu + Sf Hpᵀ Spᵀ Sp Hp + α Sf + Sf Δ⁺) )
-func updateSf(p *Problem, f *Factors, cfg Config, prior *mat.Dense) {
+func updateSf(p *Problem, f *Factors, cfg Config, prior *mat.Dense, ws *mat.Workspace) {
 	k := f.Sf.Cols()
-	a1 := p.Xp.MulTDense(mat.Product(f.Sp, f.Hp)) // l×k: Xpᵀ Sp Hp
-	a2 := p.Xu.MulTDense(mat.Product(f.Su, f.Hu)) // l×k: Xuᵀ Su Hu
-	a := mat.NewDense(a1.Rows(), k)
-	a.Add(a1, a2)
+	n, m, l := f.Sp.Rows(), f.Su.Rows(), f.Sf.Rows()
+	spHp := mat.ProductInto(ws.Get(n, k), f.Sp, f.Hp)
+	suHu := mat.ProductInto(ws.Get(m, k), f.Su, f.Hu)
+	a := p.XpT().MulDenseInto(ws.Get(l, k), spHp)  // l×k: Xpᵀ Sp Hp
+	a2 := p.XuT().MulDenseInto(ws.Get(l, k), suHu) // l×k: Xuᵀ Su Hu
+	a.Add(a, a2)
 
-	b1 := mat.NewDense(k, k) // Hpᵀ Gram(Sp) Hp
-	b1.MulATB(f.Hp, mat.Product(mat.Gram(f.Sp), f.Hp))
-	b2 := mat.NewDense(k, k) // Huᵀ Gram(Su) Hu
-	b2.MulATB(f.Hu, mat.Product(mat.Gram(f.Su), f.Hu))
-	b := mat.NewDense(k, k)
+	gramSp := mat.GramInto(ws.Get(k, k), f.Sp)
+	gramSpHp := mat.ProductInto(ws.Get(k, k), gramSp, f.Hp)
+	b1 := ws.Get(k, k) // Hpᵀ Gram(Sp) Hp
+	b1.MulATB(f.Hp, gramSpHp)
+	gramSu := mat.GramInto(ws.Get(k, k), f.Su)
+	gramSuHu := mat.ProductInto(ws.Get(k, k), gramSu, f.Hu)
+	b2 := ws.Get(k, k) // Huᵀ Gram(Su) Hu
+	b2.MulATB(f.Hu, gramSuHu)
+	b := ws.Get(k, k)
 	b.Add(b1, b2)
 
-	delta := mat.NewDense(k, k) // Sfᵀ(A) − B − α Sfᵀ(Sf − prior)
+	delta := ws.Get(k, k) // Sfᵀ(A) − B − α Sfᵀ(Sf − prior)
 	delta.MulATB(f.Sf, a)
 	delta.Sub(delta, b)
 	if cfg.Alpha > 0 && prior != nil {
-		diff := f.Sf.Clone()
-		diff.Sub(diff, prior)
-		g := mat.NewDense(k, k)
+		diff := ws.Get(l, k)
+		diff.Sub(f.Sf, prior)
+		g := ws.Get(k, k)
 		g.MulATB(f.Sf, diff)
 		delta.AddScaled(delta, -cfg.Alpha, g)
+		ws.Put(diff, g)
 	}
-	dPos, dNeg := mat.SplitPosNeg(delta)
+	dPos, dNeg := ws.Get(k, k), ws.Get(k, k)
+	mat.SplitPosNegInto(dPos, dNeg, delta)
 
-	numer := mat.Product(f.Sf, dNeg)
+	numer := mat.ProductInto(ws.Get(l, k), f.Sf, dNeg)
 	numer.Add(numer, a)
-	denom := mat.NewDense(f.Sf.Rows(), k)
-	denom.Mul(f.Sf, b)
-	denom.Add(denom, mat.Product(f.Sf, dPos))
+	denom := mat.ProductInto(ws.Get(l, k), f.Sf, b)
+	sfPos := mat.ProductInto(ws.Get(l, k), f.Sf, dPos)
+	denom.Add(denom, sfPos)
 	if cfg.Alpha > 0 && prior != nil {
 		numer.AddScaled(numer, cfg.Alpha, prior)
 		denom.AddScaled(denom, cfg.Alpha, f.Sf)
 	}
 
-	applyExtensions(numer, denom, f.Sf, cfg, nil)
+	applyExtensions(numer, denom, f.Sf, cfg, nil, ws)
 	mat.MulUpdate(f.Sf, numer, denom)
+	ws.Put(spHp, suHu, a, a2, gramSp, gramSpHp, b1, b2, gramSu, gramSuHu, b,
+		delta, dPos, dNeg, numer, denom, sfPos)
 }
 
 // updateHp applies Eq. 12: Hp ← Hp ∘ √(Spᵀ Xp Sf / Spᵀ Sp Hp Sfᵀ Sf).
-func updateHp(p *Problem, f *Factors) {
+func updateHp(p *Problem, f *Factors, ws *mat.Workspace) {
 	k := f.Hp.Rows()
-	numer := mat.NewDense(k, k)
-	numer.MulATB(f.Sp, p.Xp.MulDense(f.Sf))
-	denom := mat.Product(mat.Product(mat.Gram(f.Sp), f.Hp), mat.Gram(f.Sf))
+	n := f.Sp.Rows()
+	xpSf := p.Xp.MulDenseInto(ws.Get(n, k), f.Sf)
+	numer := ws.Get(k, k)
+	numer.MulATB(f.Sp, xpSf)
+	gramSp := mat.GramInto(ws.Get(k, k), f.Sp)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	gh := mat.ProductInto(ws.Get(k, k), gramSp, f.Hp)
+	denom := mat.ProductInto(ws.Get(k, k), gh, gramSf)
 	mat.MulUpdate(f.Hp, numer, denom)
+	ws.Put(xpSf, numer, gramSp, gramSf, gh, denom)
 }
 
 // updateHu applies Eq. 13: Hu ← Hu ∘ √(Suᵀ Xu Sf / Suᵀ Su Hu Sfᵀ Sf).
-func updateHu(p *Problem, f *Factors) {
+func updateHu(p *Problem, f *Factors, ws *mat.Workspace) {
 	k := f.Hu.Rows()
-	numer := mat.NewDense(k, k)
-	numer.MulATB(f.Su, p.Xu.MulDense(f.Sf))
-	denom := mat.Product(mat.Product(mat.Gram(f.Su), f.Hu), mat.Gram(f.Sf))
+	m := f.Su.Rows()
+	xuSf := p.Xu.MulDenseInto(ws.Get(m, k), f.Sf)
+	numer := ws.Get(k, k)
+	numer.MulATB(f.Su, xuSf)
+	gramSu := mat.GramInto(ws.Get(k, k), f.Su)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	gh := mat.ProductInto(ws.Get(k, k), gramSu, f.Hu)
+	denom := mat.ProductInto(ws.Get(k, k), gh, gramSf)
 	mat.MulUpdate(f.Hu, numer, denom)
+	ws.Put(xuSf, numer, gramSu, gramSf, gh, denom)
 }
 
 // applyExtensions adds the §7 optional regularizer terms to a factor's
 // multiplicative numerator/denominator. labels may be nil (no guidance for
 // this factor).
-func applyExtensions(numer, denom, s *mat.Dense, cfg Config, labels []int) {
+func applyExtensions(numer, denom, s *mat.Dense, cfg Config, labels []int, ws *mat.Workspace) {
 	if cfg.SparsityLambda > 0 {
 		// ∂(λ‖S‖₁)/∂S = λ → pure denominator (shrinkage) term.
 		d := denom.Data()
@@ -268,12 +306,14 @@ func applyExtensions(numer, denom, s *mat.Dense, cfg Config, labels []int) {
 	if cfg.DiversityLambda > 0 {
 		// λ tr(Sᵀ S (𝟙𝟙ᵀ − I)): gradient 2λ S(𝟙𝟙ᵀ−I) ≥ 0 → denominator.
 		k := s.Cols()
-		ones := mat.NewDense(k, k)
+		ones := ws.Get(k, k)
 		ones.Fill(1)
 		for i := 0; i < k; i++ {
 			ones.Set(i, i, 0)
 		}
-		denom.AddScaled(denom, cfg.DiversityLambda, mat.Product(s, ones))
+		sOnes := mat.ProductInto(ws.Get(s.Rows(), k), s, ones)
+		denom.AddScaled(denom, cfg.DiversityLambda, sOnes)
+		ws.Put(ones, sOnes)
 	}
 	if cfg.GuidedLambda > 0 && labels != nil {
 		// λ‖S(i) − e_y(i)‖² on labeled rows: numerator += λ e_y(i),
@@ -296,12 +336,15 @@ func applyExtensions(numer, denom, s *mat.Dense, cfg Config, labels []int) {
 // Loss evaluates every term of the objective. tr is nil for the offline
 // objective (Eq. 1); online (Eq. 19) it supplies the temporal user term,
 // and the Lexicon field then measures α‖Sf − Sfw‖² via the prior recorded
-// in tr.
-func Loss(p *Problem, f *Factors, cfg Config, tr *temporalUser) LossBreakdown {
+// in tr. ws provides scratch space (nil allocates fresh temporaries).
+func Loss(p *Problem, f *Factors, cfg Config, tr *temporalUser, ws *mat.Workspace) LossBreakdown {
+	if ws == nil {
+		ws = mat.NewWorkspace()
+	}
 	var lb LossBreakdown
-	lb.TweetFeature = p.Xp.ResidualFrobeniusSq(f.Sp, f.Hp, f.Sf)
-	lb.UserFeature = p.Xu.ResidualFrobeniusSq(f.Su, f.Hu, f.Sf)
-	lb.UserTweet = p.Xr.ResidualFrobeniusSq(f.Su, nil, f.Sp)
+	lb.TweetFeature = p.Xp.ResidualFrobeniusSqWS(f.Sp, f.Hp, f.Sf, ws)
+	lb.UserFeature = p.Xu.ResidualFrobeniusSqWS(f.Su, f.Hu, f.Sf, ws)
+	lb.UserTweet = p.Xr.ResidualFrobeniusSqWS(f.Su, nil, f.Sp, ws)
 
 	prior := p.Sf0
 	if tr != nil && tr.sfPrior != nil {
@@ -311,19 +354,20 @@ func Loss(p *Problem, f *Factors, cfg Config, tr *temporalUser) LossBreakdown {
 		lb.Lexicon = cfg.Alpha * mat.DiffFrobeniusSq(f.Sf, prior)
 	}
 	if cfg.Beta > 0 && p.Gu != nil {
-		lb.GraphReg = cfg.Beta * sparse.GraphRegularization(p.Gu, f.Su)
+		lb.GraphReg = cfg.Beta * sparse.GraphRegularizationWS(p.Gu, p.GuDegrees(), f.Su, ws)
 	}
 	if tr != nil && tr.gamma > 0 {
-		diff := f.Su.Clone()
-		diff.Sub(diff, tr.suw)
+		diff := ws.Get(f.Su.Rows(), f.Su.Cols())
+		diff.Sub(f.Su, tr.suw)
 		tr.maskRowsWithoutHistory(diff)
 		lb.Temporal = tr.gamma * diff.FrobeniusSq()
+		ws.Put(diff)
 	}
 	if cfg.SparsityLambda > 0 {
 		lb.Sparsity = cfg.SparsityLambda * (f.Sp.Sum() + f.Su.Sum() + f.Sf.Sum())
 	}
 	if cfg.DiversityLambda > 0 {
-		lb.Diversity = cfg.DiversityLambda * (diversityPenalty(f.Sp) + diversityPenalty(f.Su) + diversityPenalty(f.Sf))
+		lb.Diversity = cfg.DiversityLambda * (diversityPenalty(f.Sp, ws) + diversityPenalty(f.Su, ws) + diversityPenalty(f.Sf, ws))
 	}
 	if cfg.GuidedLambda > 0 {
 		lb.Guided = cfg.GuidedLambda * (guidedPenalty(f.Sp, cfg.GuidedTweetLabels) + guidedPenalty(f.Su, cfg.GuidedUserLabels))
@@ -333,8 +377,8 @@ func Loss(p *Problem, f *Factors, cfg Config, tr *temporalUser) LossBreakdown {
 	return lb
 }
 
-func diversityPenalty(s *mat.Dense) float64 {
-	g := mat.Gram(s)
+func diversityPenalty(s *mat.Dense, ws *mat.Workspace) float64 {
+	g := mat.GramInto(ws.Get(s.Cols(), s.Cols()), s)
 	var off float64
 	for i := 0; i < g.Rows(); i++ {
 		for j := 0; j < g.Cols(); j++ {
@@ -343,6 +387,7 @@ func diversityPenalty(s *mat.Dense) float64 {
 			}
 		}
 	}
+	ws.Put(g)
 	return off
 }
 

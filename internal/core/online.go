@@ -183,17 +183,18 @@ func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
 		}
 	}
 
-	res := &Result{Factors: f}
+	res := &Result{Factors: f, History: make([]LossBreakdown, 0, cfg.MaxIter)}
+	ws := mat.NewWorkspace()
 	prev := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
 		// Lines 4–8 of Algorithm 2.
-		updateSf(p, &f, cfg.Config, tr.sfPrior)
-		updateSp(p, &f, cfg.Config)
-		updateHp(p, &f)
-		updateHu(p, &f)
-		updateSu(p, &f, cfg.Config, tr)
+		updateSf(p, &f, cfg.Config, tr.sfPrior, ws)
+		updateSp(p, &f, cfg.Config, ws)
+		updateHp(p, &f, ws)
+		updateHu(p, &f, ws)
+		updateSu(p, &f, cfg.Config, tr, ws)
 
-		loss := Loss(p, &f, cfg.Config, tr)
+		loss := Loss(p, &f, cfg.Config, tr, ws)
 		res.History = append(res.History, loss)
 		res.Iterations = it + 1
 		if relChange(prev, loss.Total) < cfg.Tol {

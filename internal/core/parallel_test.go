@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"triclust/internal/mat"
+	"triclust/internal/par"
+	"triclust/internal/sparse"
+)
+
+// randomProblem builds a Problem large enough that the solver's kernels
+// cross the par parallelism threshold.
+func randomProblem(seed int64, n, m, l int, k int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	fill := func(rows, cols, nnz int) *sparse.CSR {
+		b := sparse.NewCOO(rows, cols)
+		for e := 0; e < nnz; e++ {
+			b.Add(rng.Intn(rows), rng.Intn(cols), 0.1+rng.Float64())
+		}
+		return b.ToCSR()
+	}
+	gu := fill(m, m, 4*m)
+	return &Problem{
+		Xp:  fill(n, l, 10*n),
+		Xu:  fill(m, l, 10*m),
+		Xr:  fill(m, n, 5*m),
+		Gu:  sparse.Symmetrize(gu),
+		Sf0: mat.RandomNonNegative(rng, l, k, 0.1, 1),
+	}
+}
+
+// TestFitOfflineSerialParallelEquivalent runs the full solver at
+// parallelism 1 and 4 on the same problem and requires the factor outputs
+// to agree within 1e-10 — the parallel engine must not change results.
+func TestFitOfflineSerialParallelEquivalent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxIter = 4
+	cfg.Tol = -1
+
+	run := func(procs int) *Result {
+		par.SetProcs(procs)
+		defer par.SetProcs(0)
+		// Fresh Problem per run: the transpose caches are shared state.
+		res, err := FitOffline(randomProblem(42, 6000, 800, 400, 3), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+
+	pairs := []struct {
+		name string
+		s, p *mat.Dense
+	}{
+		{"Sp", serial.Sp, parallel.Sp},
+		{"Su", serial.Su, parallel.Su},
+		{"Sf", serial.Sf, parallel.Sf},
+		{"Hp", serial.Hp, parallel.Hp},
+		{"Hu", serial.Hu, parallel.Hu},
+	}
+	for _, pr := range pairs {
+		if !mat.Equal(pr.s, pr.p, 1e-10) {
+			t.Fatalf("%s: serial and parallel runs diverged beyond 1e-10", pr.name)
+		}
+	}
+	st, pt := serial.FinalLoss().Total, parallel.FinalLoss().Total
+	if d := math.Abs(st - pt); d > 1e-10*(1+math.Abs(st)) {
+		t.Fatalf("loss diverged: serial %v vs parallel %v", st, pt)
+	}
+}
+
+// TestProblemDerivedCaches checks the cached transposes and degrees
+// against their direct computation.
+func TestProblemDerivedCaches(t *testing.T) {
+	p := randomProblem(7, 50, 20, 30, 3)
+	if got, want := p.XpT().ToDense(), p.Xp.T().ToDense(); !mat.Equal(got, want, 0) {
+		t.Fatal("XpT cache mismatch")
+	}
+	if got, want := p.XuT().ToDense(), p.Xu.T().ToDense(); !mat.Equal(got, want, 0) {
+		t.Fatal("XuT cache mismatch")
+	}
+	if got, want := p.XrT().ToDense(), p.Xr.T().ToDense(); !mat.Equal(got, want, 0) {
+		t.Fatal("XrT cache mismatch")
+	}
+	deg := p.GuDegrees()
+	want := sparse.Degrees(p.Gu)
+	for i := range deg {
+		if deg[i] != want[i] {
+			t.Fatal("GuDegrees cache mismatch")
+		}
+	}
+	// Second access returns the same cached objects.
+	if p.XpT() != p.XpT() {
+		t.Fatal("XpT not cached")
+	}
+}

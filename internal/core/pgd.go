@@ -30,6 +30,10 @@ func DefaultPGOptions() PGOptions {
 // Lee–Seung multiplicative updates. It exists for cross-checking the
 // multiplicative solver and for the solver-choice ablation bench; the
 // multiplicative algorithm (FitOffline) is the paper's method.
+//
+// Like FitOffline it draws all per-sweep temporaries (gradients, line
+// search backups, loss scratch) from one workspace, so the iteration loop
+// is allocation-free after the first sweep.
 func FitOfflinePG(p *Problem, cfg Config, opts PGOptions) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := p.Validate(cfg.K); err != nil {
@@ -50,24 +54,27 @@ func FitOfflinePG(p *Problem, cfg Config, opts PGOptions) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f := initFactors(p, cfg, rng)
-	res := &Result{Factors: f}
+	res := &Result{Factors: f, History: make([]LossBreakdown, 0, cfg.MaxIter)}
+	ws := mat.NewWorkspace()
 
 	// Per-factor adaptive step sizes.
 	steps := map[string]float64{"Sp": opts.InitialStep, "Su": opts.InitialStep,
 		"Sf": opts.InitialStep, "Hp": opts.InitialStep, "Hu": opts.InitialStep}
 
-	objective := func() float64 { return Loss(p, &f, cfg, nil).Total }
+	objective := func() float64 { return Loss(p, &f, cfg, nil, ws).Total }
 
 	descend := func(name string, factor *mat.Dense, grad *mat.Dense) {
 		cur := objective()
 		step := steps[name]
-		backup := factor.Clone()
+		backup := ws.Get(factor.Rows(), factor.Cols())
+		backup.CopyFrom(factor)
 		for try := 0; try < opts.Backtracks; try++ {
 			factor.CopyFrom(backup)
 			factor.AddScaled(factor, -step, grad)
 			factor.ClampNonNegative()
 			if objective() < cur {
 				steps[name] = step * opts.StepGrowth
+				ws.Put(backup, grad)
 				return
 			}
 			step /= 2
@@ -75,17 +82,18 @@ func FitOfflinePG(p *Problem, cfg Config, opts PGOptions) (*Result, error) {
 		// No improving step found: restore and shrink future trials.
 		factor.CopyFrom(backup)
 		steps[name] = step
+		ws.Put(backup, grad)
 	}
 
 	prev := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
-		descend("Sp", f.Sp, gradSp(p, &f))
-		descend("Hp", f.Hp, gradHp(p, &f))
-		descend("Su", f.Su, gradSu(p, &f, cfg))
-		descend("Hu", f.Hu, gradHu(p, &f))
-		descend("Sf", f.Sf, gradSf(p, &f, cfg))
+		descend("Sp", f.Sp, gradSp(p, &f, ws))
+		descend("Hp", f.Hp, gradHp(p, &f, ws))
+		descend("Su", f.Su, gradSu(p, &f, cfg, ws))
+		descend("Hu", f.Hu, gradHu(p, &f, ws))
+		descend("Sf", f.Sf, gradSf(p, &f, cfg, ws))
 
-		lb := Loss(p, &f, cfg, nil)
+		lb := Loss(p, &f, cfg, nil, ws)
 		res.History = append(res.History, lb)
 		res.Iterations = it + 1
 		if relChange(prev, lb.Total) < cfg.Tol {
@@ -98,80 +106,120 @@ func FitOfflinePG(p *Problem, cfg Config, opts PGOptions) (*Result, error) {
 }
 
 // gradSp = −2XpSfHpᵀ + 2SpHpGram(Sf)Hpᵀ − 2XrᵀSu + 2SpGram(Su).
-func gradSp(p *Problem, f *Factors) *mat.Dense {
+// The returned matrix belongs to ws; the caller puts it back.
+func gradSp(p *Problem, f *Factors, ws *mat.Workspace) *mat.Dense {
 	k := f.Sp.Cols()
-	sfHpT := mat.NewDense(f.Sf.Rows(), k)
+	n, l := f.Sp.Rows(), f.Sf.Rows()
+	sfHpT := ws.Get(l, k)
 	sfHpT.MulABT(f.Sf, f.Hp)
-	g := p.Xp.MulDense(sfHpT)
-	g.Add(g, p.Xr.MulTDense(f.Su))
+	g := p.Xp.MulDenseInto(ws.Get(n, k), sfHpT)
+	xrtSu := p.XrT().MulDenseInto(ws.Get(n, k), f.Su)
+	g.Add(g, xrtSu)
 	g.Scale(-2, g)
 
-	d := mat.NewDense(k, k)
-	tmp := mat.Product(f.Hp, mat.Gram(f.Sf))
-	d.MulABT(tmp, f.Hp)
-	d.Add(d, mat.Gram(f.Su))
-	g.AddScaled(g, 2, mat.Product(f.Sp, d))
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	hpGram := mat.ProductInto(ws.Get(k, k), f.Hp, gramSf)
+	d := ws.Get(k, k)
+	d.MulABT(hpGram, f.Hp)
+	gramSu := mat.GramInto(ws.Get(k, k), f.Su)
+	d.Add(d, gramSu)
+	spD := mat.ProductInto(ws.Get(n, k), f.Sp, d)
+	g.AddScaled(g, 2, spD)
+	ws.Put(sfHpT, xrtSu, gramSf, hpGram, d, gramSu, spD)
 	return g
 }
 
 // gradSu = −2XuSfHuᵀ + 2SuHuGram(Sf)Huᵀ − 2XrSp + 2SuGram(Sp) + 2βLuSu.
-func gradSu(p *Problem, f *Factors, cfg Config) *mat.Dense {
+func gradSu(p *Problem, f *Factors, cfg Config, ws *mat.Workspace) *mat.Dense {
 	k := f.Su.Cols()
-	sfHuT := mat.NewDense(f.Sf.Rows(), k)
+	m, l := f.Su.Rows(), f.Sf.Rows()
+	sfHuT := ws.Get(l, k)
 	sfHuT.MulABT(f.Sf, f.Hu)
-	g := p.Xu.MulDense(sfHuT)
-	g.Add(g, p.Xr.MulDense(f.Sp))
+	g := p.Xu.MulDenseInto(ws.Get(m, k), sfHuT)
+	xrSp := p.Xr.MulDenseInto(ws.Get(m, k), f.Sp)
+	g.Add(g, xrSp)
 	g.Scale(-2, g)
 
-	d := mat.NewDense(k, k)
-	tmp := mat.Product(f.Hu, mat.Gram(f.Sf))
-	d.MulABT(tmp, f.Hu)
-	d.Add(d, mat.Gram(f.Sp))
-	g.AddScaled(g, 2, mat.Product(f.Su, d))
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	huGram := mat.ProductInto(ws.Get(k, k), f.Hu, gramSf)
+	d := ws.Get(k, k)
+	d.MulABT(huGram, f.Hu)
+	gramSp := mat.GramInto(ws.Get(k, k), f.Sp)
+	d.Add(d, gramSp)
+	suD := mat.ProductInto(ws.Get(m, k), f.Su, d)
+	g.AddScaled(g, 2, suD)
 	if cfg.Beta > 0 && p.Gu != nil {
-		g.AddScaled(g, 2*cfg.Beta, sparse.LaplacianMulDense(p.Gu, f.Su))
+		lus := sparse.LaplacianMulDenseInto(ws.Get(m, k), p.Gu, p.GuDegrees(), f.Su)
+		g.AddScaled(g, 2*cfg.Beta, lus)
+		ws.Put(lus)
 	}
+	ws.Put(sfHuT, xrSp, gramSf, huGram, d, gramSp, suD)
 	return g
 }
 
 // gradSf = −2XpᵀSpHp + 2SfHpᵀGram(Sp)Hp − 2XuᵀSuHu + 2SfHuᵀGram(Su)Hu
 // + 2α(Sf − Sf0).
-func gradSf(p *Problem, f *Factors, cfg Config) *mat.Dense {
+func gradSf(p *Problem, f *Factors, cfg Config, ws *mat.Workspace) *mat.Dense {
 	k := f.Sf.Cols()
-	g := p.Xp.MulTDense(mat.Product(f.Sp, f.Hp))
-	g.Add(g, p.Xu.MulTDense(mat.Product(f.Su, f.Hu)))
+	n, m, l := f.Sp.Rows(), f.Su.Rows(), f.Sf.Rows()
+	spHp := mat.ProductInto(ws.Get(n, k), f.Sp, f.Hp)
+	suHu := mat.ProductInto(ws.Get(m, k), f.Su, f.Hu)
+	g := p.XpT().MulDenseInto(ws.Get(l, k), spHp)
+	xutSuHu := p.XuT().MulDenseInto(ws.Get(l, k), suHu)
+	g.Add(g, xutSuHu)
 	g.Scale(-2, g)
 
-	b := mat.NewDense(k, k)
-	b.MulATB(f.Hp, mat.Product(mat.Gram(f.Sp), f.Hp))
-	b2 := mat.NewDense(k, k)
-	b2.MulATB(f.Hu, mat.Product(mat.Gram(f.Su), f.Hu))
+	gramSp := mat.GramInto(ws.Get(k, k), f.Sp)
+	gramSpHp := mat.ProductInto(ws.Get(k, k), gramSp, f.Hp)
+	b := ws.Get(k, k)
+	b.MulATB(f.Hp, gramSpHp)
+	gramSu := mat.GramInto(ws.Get(k, k), f.Su)
+	gramSuHu := mat.ProductInto(ws.Get(k, k), gramSu, f.Hu)
+	b2 := ws.Get(k, k)
+	b2.MulATB(f.Hu, gramSuHu)
 	b.Add(b, b2)
-	g.AddScaled(g, 2, mat.Product(f.Sf, b))
+	sfB := mat.ProductInto(ws.Get(l, k), f.Sf, b)
+	g.AddScaled(g, 2, sfB)
 	if cfg.Alpha > 0 && p.Sf0 != nil {
-		diff := f.Sf.Clone()
-		diff.Sub(diff, p.Sf0)
+		diff := ws.Get(l, k)
+		diff.Sub(f.Sf, p.Sf0)
 		g.AddScaled(g, 2*cfg.Alpha, diff)
+		ws.Put(diff)
 	}
+	ws.Put(spHp, suHu, xutSuHu, gramSp, gramSpHp, b, gramSu, gramSuHu, b2, sfB)
 	return g
 }
 
 // gradHp = −2SpᵀXpSf + 2Gram(Sp)HpGram(Sf).
-func gradHp(p *Problem, f *Factors) *mat.Dense {
+func gradHp(p *Problem, f *Factors, ws *mat.Workspace) *mat.Dense {
 	k := f.Hp.Rows()
-	g := mat.NewDense(k, k)
-	g.MulATB(f.Sp, p.Xp.MulDense(f.Sf))
+	n := f.Sp.Rows()
+	xpSf := p.Xp.MulDenseInto(ws.Get(n, k), f.Sf)
+	g := ws.Get(k, k)
+	g.MulATB(f.Sp, xpSf)
 	g.Scale(-2, g)
-	g.AddScaled(g, 2, mat.Product(mat.Product(mat.Gram(f.Sp), f.Hp), mat.Gram(f.Sf)))
+	gramSp := mat.GramInto(ws.Get(k, k), f.Sp)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	gh := mat.ProductInto(ws.Get(k, k), gramSp, f.Hp)
+	ghg := mat.ProductInto(ws.Get(k, k), gh, gramSf)
+	g.AddScaled(g, 2, ghg)
+	ws.Put(xpSf, gramSp, gramSf, gh, ghg)
 	return g
 }
 
 // gradHu = −2SuᵀXuSf + 2Gram(Su)HuGram(Sf).
-func gradHu(p *Problem, f *Factors) *mat.Dense {
+func gradHu(p *Problem, f *Factors, ws *mat.Workspace) *mat.Dense {
 	k := f.Hu.Rows()
-	g := mat.NewDense(k, k)
-	g.MulATB(f.Su, p.Xu.MulDense(f.Sf))
+	m := f.Su.Rows()
+	xuSf := p.Xu.MulDenseInto(ws.Get(m, k), f.Sf)
+	g := ws.Get(k, k)
+	g.MulATB(f.Su, xuSf)
 	g.Scale(-2, g)
-	g.AddScaled(g, 2, mat.Product(mat.Product(mat.Gram(f.Su), f.Hu), mat.Gram(f.Sf)))
+	gramSu := mat.GramInto(ws.Get(k, k), f.Su)
+	gramSf := mat.GramInto(ws.Get(k, k), f.Sf)
+	gh := mat.ProductInto(ws.Get(k, k), gramSu, f.Hu)
+	ghg := mat.ProductInto(ws.Get(k, k), gh, gramSf)
+	g.AddScaled(g, 2, ghg)
+	ws.Put(xuSf, gramSu, gramSf, gh, ghg)
 	return g
 }

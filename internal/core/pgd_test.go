@@ -136,11 +136,12 @@ func TestGradientsMatchFiniteDifferences(t *testing.T) {
 			}
 		}
 	}
-	check("Sp", f.Sp, gradSp(p, &f))
-	check("Su", f.Su, gradSu(p, &f, cfg))
-	check("Sf", f.Sf, gradSf(p, &f, cfg))
-	check("Hp", f.Hp, gradHp(p, &f))
-	check("Hu", f.Hu, gradHu(p, &f))
+	ws := mat.NewWorkspace()
+	check("Sp", f.Sp, gradSp(p, &f, ws))
+	check("Su", f.Su, gradSu(p, &f, cfg, ws))
+	check("Sf", f.Sf, gradSf(p, &f, cfg, ws))
+	check("Hp", f.Hp, gradHp(p, &f, ws))
+	check("Hu", f.Hu, gradHu(p, &f, ws))
 }
 
 func abs(v float64) float64 {

@@ -9,12 +9,18 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"triclust/internal/mat"
 	"triclust/internal/sparse"
 )
 
 // Problem bundles the inputs of the offline objective (Eq. 1).
+//
+// The matrices are treated as immutable once a solver starts: the hot
+// update rules consume cached transposes of Xp, Xu and Xr (see XpT),
+// computed lazily on first use, so mutating the inputs mid-solve would
+// desynchronize the caches.
 type Problem struct {
 	// Xp is the n×l tweet–feature matrix.
 	Xp *sparse.CSR
@@ -27,7 +33,39 @@ type Problem struct {
 	Gu *sparse.CSR
 	// Sf0 is the l×k feature-sentiment prior (sentiment lexicon rows).
 	Sf0 *mat.Dense
+
+	// Lazily cached derived data. Every mᵀ·b the update rules need is a
+	// racy scatter in CSR form; against the cached transpose it becomes a
+	// gather (MulDenseInto) that parallelizes over row chunks — and the
+	// transposition cost is paid once per problem instead of per sweep.
+	derived  sync.Once
+	xpT, xuT *sparse.CSR
+	xrT      *sparse.CSR
+	guDeg    []float64
 }
+
+func (p *Problem) derive() {
+	p.derived.Do(func() {
+		p.xpT = p.Xp.T()
+		p.xuT = p.Xu.T()
+		p.xrT = p.Xr.T()
+		if p.Gu != nil {
+			p.guDeg = sparse.Degrees(p.Gu)
+		}
+	})
+}
+
+// XpT returns the cached transpose of Xp (l×n).
+func (p *Problem) XpT() *sparse.CSR { p.derive(); return p.xpT }
+
+// XuT returns the cached transpose of Xu (l×m).
+func (p *Problem) XuT() *sparse.CSR { p.derive(); return p.xuT }
+
+// XrT returns the cached transpose of Xr (n×m).
+func (p *Problem) XrT() *sparse.CSR { p.derive(); return p.xrT }
+
+// GuDegrees returns the cached degree vector of Gu (nil when Gu is nil).
+func (p *Problem) GuDegrees() []float64 { p.derive(); return p.guDeg }
 
 // Validate checks dimension consistency.
 func (p *Problem) Validate(k int) error {

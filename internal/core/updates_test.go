@@ -43,7 +43,7 @@ func TestHpUpdateFixedPointOnExactFactorization(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p, f := exactProblem(rng, 12, 6, 9, 3)
 	before := f.Hp.Clone()
-	updateHp(p, &f)
+	updateHp(p, &f, mat.NewWorkspace())
 	// At an exact factorization, Spᵀ Xp Sf = Spᵀ Sp Hp Sfᵀ Sf, so the
 	// multiplicative ratio is 1 and Hp must not move.
 	if !mat.Equal(f.Hp, before, 1e-8) {
@@ -55,7 +55,7 @@ func TestHuUpdateFixedPointOnExactFactorization(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p, f := exactProblem(rng, 12, 6, 9, 3)
 	before := f.Hu.Clone()
-	updateHu(p, &f)
+	updateHu(p, &f, mat.NewWorkspace())
 	if !mat.Equal(f.Hu, before, 1e-8) {
 		t.Fatal("Hu moved at fixed point")
 	}
@@ -69,7 +69,7 @@ func TestHpUpdateReducesResidual(t *testing.T) {
 	mat.PerturbPositive(rng, f.Hp, 2)
 	before := p.Xp.ResidualFrobeniusSq(f.Sp, f.Hp, f.Sf)
 	for i := 0; i < 5; i++ {
-		updateHp(p, &f)
+		updateHp(p, &f, mat.NewWorkspace())
 	}
 	after := p.Xp.ResidualFrobeniusSq(f.Sp, f.Hp, f.Sf)
 	if after >= before {
@@ -88,7 +88,7 @@ func TestSfUpdateReducesResidual(t *testing.T) {
 	}
 	before := loss()
 	for i := 0; i < 5; i++ {
-		updateSf(p, &f, cfg, nil)
+		updateSf(p, &f, cfg, nil, mat.NewWorkspace())
 	}
 	after := loss()
 	if after >= before {
@@ -107,7 +107,7 @@ func TestSpUpdateReducesResidual(t *testing.T) {
 	}
 	before := loss()
 	for i := 0; i < 5; i++ {
-		updateSp(p, &f, cfg)
+		updateSp(p, &f, cfg, mat.NewWorkspace())
 	}
 	after := loss()
 	if after >= before {
@@ -126,7 +126,7 @@ func TestSuUpdateReducesResidual(t *testing.T) {
 	}
 	before := loss()
 	for i := 0; i < 5; i++ {
-		updateSu(p, &f, cfg, nil)
+		updateSu(p, &f, cfg, nil, mat.NewWorkspace())
 	}
 	after := loss()
 	if after >= before {
@@ -147,7 +147,7 @@ func TestGammaPullsSuTowardHistory(t *testing.T) {
 	cfg := Config{K: 3}.withDefaults()
 	before := mat.DiffFrobeniusSq(f.Su, target)
 	for i := 0; i < 50; i++ {
-		updateSu(p, &f, cfg, tr)
+		updateSu(p, &f, cfg, tr, mat.NewWorkspace())
 	}
 	after := mat.DiffFrobeniusSq(f.Su, target)
 	if after >= before {
@@ -171,7 +171,7 @@ func TestGammaIgnoresRowsWithoutHistory(t *testing.T) {
 		}
 	}
 	for i := 0; i < 10; i++ {
-		updateSu(p, &f, cfg, tr)
+		updateSu(p, &f, cfg, tr, mat.NewWorkspace())
 	}
 	// Rows with history must approach the target; rows without must not
 	// be dragged toward the (far) target rows.
@@ -239,12 +239,13 @@ func TestUpdatesPreserveNonNegativityProperty(t *testing.T) {
 		mat.PerturbPositive(rng, fac.Su, 1)
 		mat.PerturbPositive(rng, fac.Sf, 1)
 		cfg := Config{K: 2}.withDefaults()
+		ws := mat.NewWorkspace()
 		for i := 0; i < 3; i++ {
-			updateSp(p, &fac, cfg)
-			updateHp(p, &fac)
-			updateSu(p, &fac, cfg, nil)
-			updateHu(p, &fac)
-			updateSf(p, &fac, cfg, nil)
+			updateSp(p, &fac, cfg, ws)
+			updateHp(p, &fac, ws)
+			updateSu(p, &fac, cfg, nil, ws)
+			updateHu(p, &fac, ws)
+			updateSf(p, &fac, cfg, nil, ws)
 		}
 		for _, m := range []*mat.Dense{fac.Sp, fac.Su, fac.Sf, fac.Hp, fac.Hu} {
 			if !m.IsFinite() {

@@ -72,14 +72,16 @@ func Ablation(s *Setup, maxIter int) ([]AblationRow, error) {
 	if err := add(run("no-graph (β=0)", base, func(c *core.Config) { c.Beta = 0 })); err != nil {
 		return nil, err
 	}
-	noXr := *base
-	noXr.Xr = sparse.Zeros(base.Xr.Rows(), base.Xr.Cols())
-	if err := add(run("no-Xr coupling", &noXr, nil)); err != nil {
+	// Problems carry lazily derived caches (transposes), so knockouts build
+	// fresh Problem values instead of copying base.
+	noXr := &core.Problem{Xp: base.Xp, Xu: base.Xu, Gu: base.Gu, Sf0: base.Sf0,
+		Xr: sparse.Zeros(base.Xr.Rows(), base.Xr.Cols())}
+	if err := add(run("no-Xr coupling", noXr, nil)); err != nil {
 		return nil, err
 	}
-	noXu := *base
-	noXu.Xu = sparse.Zeros(base.Xu.Rows(), base.Xu.Cols())
-	if err := add(run("no-Xu term", &noXu, nil)); err != nil {
+	noXu := &core.Problem{Xp: base.Xp, Xr: base.Xr, Gu: base.Gu, Sf0: base.Sf0,
+		Xu: sparse.Zeros(base.Xu.Rows(), base.Xu.Cols())}
+	if err := add(run("no-Xu term", noXu, nil)); err != nil {
 		return nil, err
 	}
 	essaLike := &core.Problem{

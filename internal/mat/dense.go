@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+
+	"triclust/internal/par"
 )
 
 // Dense is a dense row-major matrix.
@@ -137,7 +140,38 @@ func checkSame(op string, a, b *Dense) {
 	}
 }
 
+// Kernel launches must stay allocation-free (solver sweeps run thousands
+// of them), so the parallel loop bodies below are small pooled structs
+// implementing par.Body rather than closures, which would escape to the
+// heap on every call.
+
+type mulBody struct{ dst, a, b *Dense }
+
+func (t *mulBody) Range(_, lo, hi int) {
+	a, b, dst := t.a, t.b, t.dst
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		mrow := dst.Row(i)
+		for j := range mrow {
+			mrow[j] = 0
+		}
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(p)
+			orow := mrow[:len(brow)]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+var mulBodyPool = sync.Pool{New: func() any { return new(mulBody) }}
+
 // Mul stores a·b into m. m must not alias a or b and must be a.rows×b.cols.
+// Large products are split across row blocks by package par.
 func (m *Dense) Mul(a, b *Dense) {
 	if a.cols != b.rows {
 		panic(dimErr("Mul", a, b))
@@ -145,20 +179,11 @@ func (m *Dense) Mul(a, b *Dense) {
 	if m.rows != a.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: Mul dst is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.cols))
 	}
-	m.Zero()
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		mrow := m.Row(i)
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(p)
-			for j, bv := range brow {
-				mrow[j] += av * bv
-			}
-		}
-	}
+	t := mulBodyPool.Get().(*mulBody)
+	t.dst, t.a, t.b = m, a, b
+	par.Run(a.rows, a.cols*b.cols, t)
+	*t = mulBody{}
+	mulBodyPool.Put(t)
 }
 
 // Product returns a·b as a freshly allocated matrix.
@@ -168,17 +193,23 @@ func Product(a, b *Dense) *Dense {
 	return out
 }
 
-// MulABT stores a·bᵀ into m. m must be a.rows×b.rows.
-func (m *Dense) MulABT(a, b *Dense) {
-	if a.cols != b.cols {
-		panic(dimErr("MulABT", a, b))
+// ProductInto stores a·b into dst and returns it; a nil dst allocates.
+// Solvers pass workspace matrices here to keep sweeps allocation-free.
+func ProductInto(dst *Dense, a, b *Dense) *Dense {
+	if dst == nil {
+		dst = NewDense(a.rows, b.cols)
 	}
-	if m.rows != a.rows || m.cols != b.rows {
-		panic(fmt.Sprintf("mat: MulABT dst is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.rows))
-	}
-	for i := 0; i < a.rows; i++ {
+	dst.Mul(a, b)
+	return dst
+}
+
+type abtBody struct{ dst, a, b *Dense }
+
+func (t *abtBody) Range(_, lo, hi int) {
+	a, b, dst := t.a, t.b, t.dst
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
-		mrow := m.Row(i)
+		mrow := dst.Row(i)
 		for j := 0; j < b.rows; j++ {
 			brow := b.Row(j)
 			var s float64
@@ -190,7 +221,49 @@ func (m *Dense) MulABT(a, b *Dense) {
 	}
 }
 
+var abtBodyPool = sync.Pool{New: func() any { return new(abtBody) }}
+
+// MulABT stores a·bᵀ into m. m must be a.rows×b.rows. Large products are
+// split across row blocks by package par.
+func (m *Dense) MulABT(a, b *Dense) {
+	if a.cols != b.cols {
+		panic(dimErr("MulABT", a, b))
+	}
+	if m.rows != a.rows || m.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulABT dst is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.rows))
+	}
+	t := abtBodyPool.Get().(*abtBody)
+	t.dst, t.a, t.b = m, a, b
+	par.Run(a.rows, a.cols*b.rows, t)
+	*t = abtBody{}
+	abtBodyPool.Put(t)
+}
+
+// atbBody accumulates aᵀ·b row chunks into per-chunk private buffers
+// (buf[chunk*rc:(chunk+1)*rc]); pooled with its buffer so the parallel
+// path stays allocation-free after warmup.
+type atbBody struct {
+	a, b *Dense
+	buf  []float64
+	rc   int
+}
+
+func (t *atbBody) Range(chunk, lo, hi int) {
+	part := t.buf[chunk*t.rc : (chunk+1)*t.rc]
+	for i := range part {
+		part[i] = 0
+	}
+	mulATBRange(part, t.a, t.b, lo, hi)
+}
+
+var atbBodyPool = sync.Pool{New: func() any { return new(atbBody) }}
+
 // MulATB stores aᵀ·b into m. m must be a.cols×b.cols.
+//
+// The accumulation pattern scatters into output rows indexed by columns of
+// a, so the parallel path gives each row chunk a private accumulator and
+// reduces them in chunk order — deterministic for a fixed par.Procs() and
+// within floating-point reassociation error of the serial path.
 func (m *Dense) MulATB(a, b *Dense) {
 	if a.rows != b.rows {
 		panic(dimErr("MulATB", a, b))
@@ -198,17 +271,45 @@ func (m *Dense) MulATB(a, b *Dense) {
 	if m.rows != a.cols || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulATB dst is %dx%d, want %dx%d", m.rows, m.cols, a.cols, b.cols))
 	}
+	costPerRow := a.cols * b.cols
+	if par.Procs() == 1 || a.rows*costPerRow < par.MinParallelWork {
+		m.Zero()
+		mulATBRange(m.data, a, b, 0, a.rows)
+		return
+	}
+	rc := m.rows * m.cols
+	t := atbBodyPool.Get().(*atbBody)
+	if cap(t.buf) < par.MaxChunks()*rc {
+		t.buf = make([]float64, par.MaxChunks()*rc)
+	}
+	t.buf = t.buf[:cap(t.buf)]
+	t.a, t.b, t.rc = a, b, rc
+	used := par.Run(a.rows, costPerRow, t)
 	m.Zero()
-	for i := 0; i < a.rows; i++ {
+	for c := 0; c < used; c++ {
+		part := t.buf[c*rc : (c+1)*rc]
+		for i, v := range part {
+			m.data[i] += v
+		}
+	}
+	t.a, t.b = nil, nil
+	atbBodyPool.Put(t)
+}
+
+// mulATBRange accumulates aᵀ·b over rows [lo, hi) of a into the row-major
+// dst buffer (a.cols×b.cols).
+func mulATBRange(dst []float64, a, b *Dense, lo, hi int) {
+	cols := b.cols
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		brow := b.Row(i)
 		for p, av := range arow {
 			if av == 0 {
 				continue
 			}
-			mrow := m.Row(p)
+			drow := dst[p*cols : (p+1)*cols][:len(brow)]
 			for j, bv := range brow {
-				mrow[j] += av * bv
+				drow[j] += av * bv
 			}
 		}
 	}
@@ -219,6 +320,16 @@ func Gram(a *Dense) *Dense {
 	out := NewDense(a.cols, a.cols)
 	out.MulATB(a, a)
 	return out
+}
+
+// GramInto stores aᵀ·a into dst (cols×cols) and returns it; a nil dst
+// allocates.
+func GramInto(dst *Dense, a *Dense) *Dense {
+	if dst == nil {
+		dst = NewDense(a.cols, a.cols)
+	}
+	dst.MulATB(a, a)
+	return dst
 }
 
 // T returns the transpose of m as a new matrix.
@@ -307,15 +418,25 @@ func (m *Dense) Max() float64 {
 func SplitPosNeg(m *Dense) (pos, neg *Dense) {
 	pos = NewDense(m.rows, m.cols)
 	neg = NewDense(m.rows, m.cols)
+	SplitPosNegInto(pos, neg, m)
+	return pos, neg
+}
+
+// SplitPosNegInto is SplitPosNeg writing into caller-provided matrices of
+// m's shape (e.g. workspace scratch).
+func SplitPosNegInto(pos, neg, m *Dense) {
+	checkSame("SplitPosNegInto(pos)", pos, m)
+	checkSame("SplitPosNegInto(neg)", neg, m)
 	for i, v := range m.data {
 		// Equivalent to ((|v|+v)/2, (|v|−v)/2) but immune to overflow.
 		if v >= 0 {
 			pos.data[i] = v
+			neg.data[i] = 0
 		} else {
+			pos.data[i] = 0
 			neg.data[i] = -v
 		}
 	}
-	return pos, neg
 }
 
 // Eps is the guard added to denominators in multiplicative updates.
@@ -331,7 +452,20 @@ const Eps = 1e-12
 func MulUpdate(dst, numer, denom *Dense) {
 	checkSame("MulUpdate", numer, denom)
 	checkSame("MulUpdate(dst)", dst, numer)
-	for i := range dst.data {
+	t := mulUpdateBodyPool.Get().(*mulUpdateBody)
+	t.dst, t.numer, t.denom = dst, numer, denom
+	// The per-element sqrt+div makes this compute-bound enough to split;
+	// cost 8 ≈ scalar-op equivalent of one sqrt+div pair.
+	par.Run(len(dst.data), 8, t)
+	*t = mulUpdateBody{}
+	mulUpdateBodyPool.Put(t)
+}
+
+type mulUpdateBody struct{ dst, numer, denom *Dense }
+
+func (t *mulUpdateBody) Range(_, lo, hi int) {
+	dst, numer, denom := t.dst, t.numer, t.denom
+	for i := lo; i < hi; i++ {
 		n := numer.data[i]
 		if n < 0 {
 			n = 0
@@ -343,6 +477,8 @@ func MulUpdate(dst, numer, denom *Dense) {
 		dst.data[i] *= math.Sqrt(n / (d + Eps))
 	}
 }
+
+var mulUpdateBodyPool = sync.Pool{New: func() any { return new(mulUpdateBody) }}
 
 // ClampNonNegative zeroes any negative entries (defensive; multiplicative
 // updates preserve non-negativity but external initializers may not).

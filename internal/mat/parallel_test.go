@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+
+	"triclust/internal/par"
+)
+
+// withProcs runs fn at the given parallelism width and restores the
+// default afterwards.
+func withProcs(p int, fn func()) {
+	par.SetProcs(p)
+	defer par.SetProcs(0)
+	fn()
+}
+
+// TestParallelKernelsMatchSerial checks that every parallel kernel agrees
+// with its serial execution within 1e-10 on shapes large enough to cross
+// the par threshold.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, k := 4000, 8
+	a := RandomNonNegative(rng, n, k, 0.1, 1)
+	b := RandomNonNegative(rng, k, k, 0.1, 1)
+	bb := RandomNonNegative(rng, 64, k, 0.1, 1)
+	wide := RandomNonNegative(rng, n, k, 0.1, 2)
+
+	type kernel struct {
+		name string
+		run  func() *Dense
+	}
+	kernels := []kernel{
+		{"Mul", func() *Dense {
+			out := NewDense(n, k)
+			out.Mul(a, b)
+			return out
+		}},
+		{"MulABT", func() *Dense {
+			out := NewDense(n, 64)
+			out.MulABT(a, bb)
+			return out
+		}},
+		{"MulATB", func() *Dense {
+			out := NewDense(k, k)
+			out.MulATB(a, wide)
+			return out
+		}},
+		{"MulUpdate", func() *Dense {
+			out := wide.Clone()
+			MulUpdate(out, a, wide)
+			return out
+		}},
+	}
+	for _, kn := range kernels {
+		var serial, parallel *Dense
+		withProcs(1, func() { serial = kn.run() })
+		withProcs(4, func() { parallel = kn.run() })
+		if !Equal(serial, parallel, 1e-10) {
+			t.Fatalf("%s: serial and parallel outputs differ beyond 1e-10", kn.name)
+		}
+	}
+}
+
+func TestWorkspaceReusesByShape(t *testing.T) {
+	ws := NewWorkspace()
+	m1 := ws.Get(5, 3)
+	for _, v := range m1.Data() {
+		if v != 0 {
+			t.Fatal("fresh workspace matrices are zeroed by allocation")
+		}
+	}
+	m1.Fill(42)
+	ws.Put(m1)
+	m2 := ws.Get(5, 3)
+	if m2 != m1 {
+		t.Fatal("workspace did not reuse the freed matrix")
+	}
+	m3 := ws.Get(5, 3)
+	if m3 == m2 {
+		t.Fatal("workspace handed out a checked-out matrix")
+	}
+	ws.Put(nil, m2, m3) // nil must be tolerated
+}
+
+func TestProductIntoAndGramInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := RandomNonNegative(rng, 6, 4, 0.1, 1)
+	b := RandomNonNegative(rng, 4, 5, 0.1, 1)
+	if got, want := ProductInto(nil, a, b), Product(a, b); !Equal(got, want, 0) {
+		t.Fatal("ProductInto(nil) != Product")
+	}
+	dst := NewDense(6, 5)
+	dst.Fill(3)
+	if got, want := ProductInto(dst, a, b), Product(a, b); !Equal(got, want, 0) {
+		t.Fatal("ProductInto(dst) != Product")
+	}
+	if got, want := GramInto(nil, a), Gram(a); !Equal(got, want, 0) {
+		t.Fatal("GramInto(nil) != Gram")
+	}
+	g := NewDense(4, 4)
+	g.Fill(-1)
+	if got, want := GramInto(g, a), Gram(a); !Equal(got, want, 0) {
+		t.Fatal("GramInto(dst) != Gram")
+	}
+}
+
+func TestSplitPosNegIntoOverwritesStale(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	pos, neg := NewDense(2, 2), NewDense(2, 2)
+	pos.Fill(9)
+	neg.Fill(9)
+	SplitPosNegInto(pos, neg, m)
+	wantPos := FromRows([][]float64{{1, 0}, {0, 4}})
+	wantNeg := FromRows([][]float64{{0, 2}, {3, 0}})
+	if !Equal(pos, wantPos, 0) || !Equal(neg, wantNeg, 0) {
+		t.Fatalf("SplitPosNegInto left stale values: pos=%v neg=%v", pos, neg)
+	}
+}

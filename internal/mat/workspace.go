@@ -1,0 +1,52 @@
+package mat
+
+// Workspace is a shape-keyed arena of reusable scratch matrices. Solvers
+// allocate their per-sweep temporaries from a Workspace and return them
+// with Put, so that after the first sweep every Get is satisfied from the
+// free list and the steady state performs no heap allocation.
+//
+// A Workspace is not safe for concurrent use; each solver goroutine owns
+// its own. The parallel kernels in this package and package sparse split
+// work internally, so a single Workspace per solver is the intended
+// pattern.
+type Workspace struct {
+	free map[wsKey][]*Dense
+}
+
+type wsKey struct{ rows, cols int }
+
+// NewWorkspace returns an empty arena.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[wsKey][]*Dense)}
+}
+
+// Get returns a rows×cols matrix, reusing a previously Put matrix of the
+// same shape when one is available.
+//
+// The contents are UNSPECIFIED: a fresh matrix is zeroed (Go allocation)
+// but a reused one still holds its previous values. Every caller must
+// fully overwrite the buffer (Mul/MulATB/MulDenseInto/Sub/CopyFrom/… all
+// do); zeroing here would add a redundant memory pass to every solver
+// sweep. Call Zero explicitly if accumulation into a clean buffer is
+// needed.
+func (w *Workspace) Get(rows, cols int) *Dense {
+	key := wsKey{rows, cols}
+	if list := w.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		w.free[key] = list[:len(list)-1]
+		return m
+	}
+	return NewDense(rows, cols)
+}
+
+// Put returns matrices to the arena for reuse. Nil entries are ignored.
+// The caller must not use a matrix after putting it back.
+func (w *Workspace) Put(ms ...*Dense) {
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		key := wsKey{m.rows, m.cols}
+		w.free[key] = append(w.free[key], m)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"triclust/internal/mat"
+	"triclust/internal/par"
 )
 
 // CSR is an immutable compressed-sparse-row matrix.
@@ -61,45 +63,108 @@ func Zeros(rows, cols int) *CSR {
 	return &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
 }
 
+// spmmCostPerRow estimates the scalar work per output row of an SpMM so
+// package par can decide whether splitting pays: average row nnz times the
+// dense width.
+func (m *CSR) spmmCostPerRow(denseCols int) int {
+	if m.rows == 0 {
+		return 1
+	}
+	return (len(m.val)/m.rows + 1) * denseCols
+}
+
 // MulDense returns m·b as a dense matrix (rows×b.Cols()).
 func (m *CSR) MulDense(b *mat.Dense) *mat.Dense {
-	if m.cols != b.Rows() {
-		panic(fmt.Sprintf("sparse: MulDense %dx%d · %dx%d", m.rows, m.cols, b.Rows(), b.Cols()))
-	}
-	out := mat.NewDense(m.rows, b.Cols())
-	for i := 0; i < m.rows; i++ {
-		orow := out.Row(i)
-		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		for p := lo; p < hi; p++ {
+	return m.MulDenseInto(nil, b)
+}
+
+// spmmBody is the pooled parallel body of MulDenseInto (see par.Body:
+// pooled structs keep kernel launches allocation-free).
+type spmmBody struct {
+	m   *CSR
+	b   *mat.Dense
+	dst *mat.Dense
+}
+
+func (t *spmmBody) Range(_, lo, hi int) {
+	m, b, dst := t.m, t.b, t.dst
+	for i := lo; i < hi; i++ {
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		rlo, rhi := m.rowPtr[i], m.rowPtr[i+1]
+		for p := rlo; p < rhi; p++ {
 			v := m.val[p]
 			brow := b.Row(m.colIdx[p])
+			drow := orow[:len(brow)]
 			for j, bv := range brow {
-				orow[j] += v * bv
+				drow[j] += v * bv
 			}
 		}
 	}
-	return out
+}
+
+var spmmBodyPool = sync.Pool{New: func() any { return new(spmmBody) }}
+
+// MulDenseInto stores m·b into dst (rows×b.Cols()) and returns it; a nil
+// dst allocates. dst must not alias b: rows of dst are zeroed before rows
+// of b are gathered, so aliasing silently corrupts the product. Output
+// rows are disjoint per input row, so the row range is split across
+// workers by package par.
+func (m *CSR) MulDenseInto(dst *mat.Dense, b *mat.Dense) *mat.Dense {
+	if m.cols != b.Rows() {
+		panic(fmt.Sprintf("sparse: MulDense %dx%d · %dx%d", m.rows, m.cols, b.Rows(), b.Cols()))
+	}
+	if dst == nil {
+		dst = mat.NewDense(m.rows, b.Cols())
+	} else if !dst.Dims(m.rows, b.Cols()) {
+		panic(fmt.Sprintf("sparse: MulDenseInto dst is %dx%d, want %dx%d", dst.Rows(), dst.Cols(), m.rows, b.Cols()))
+	}
+	t := spmmBodyPool.Get().(*spmmBody)
+	t.m, t.b, t.dst = m, b, dst
+	par.Run(m.rows, m.spmmCostPerRow(b.Cols()), t)
+	*t = spmmBody{}
+	spmmBodyPool.Put(t)
+	return dst
 }
 
 // MulTDense returns mᵀ·b as a dense matrix (cols×b.Cols()) without
 // materializing the transpose.
 func (m *CSR) MulTDense(b *mat.Dense) *mat.Dense {
+	return m.MulTDenseInto(nil, b)
+}
+
+// MulTDenseInto stores mᵀ·b into dst (cols×b.Cols()) and returns it; a
+// nil dst allocates. dst must not alias b (see MulDenseInto).
+//
+// The kernel scatters into output rows indexed by the columns of m, so it
+// runs serially: hot paths that need a parallel transpose product should
+// cache m.T() once and call MulDenseInto on it (a gather), as
+// core.Problem does for Xp, Xu and Xr.
+func (m *CSR) MulTDenseInto(dst *mat.Dense, b *mat.Dense) *mat.Dense {
 	if m.rows != b.Rows() {
 		panic(fmt.Sprintf("sparse: MulTDense %dx%d ᵀ· %dx%d", m.rows, m.cols, b.Rows(), b.Cols()))
 	}
-	out := mat.NewDense(m.cols, b.Cols())
+	if dst == nil {
+		dst = mat.NewDense(m.cols, b.Cols())
+	} else if !dst.Dims(m.cols, b.Cols()) {
+		panic(fmt.Sprintf("sparse: MulTDenseInto dst is %dx%d, want %dx%d", dst.Rows(), dst.Cols(), m.cols, b.Cols()))
+	} else {
+		dst.Zero()
+	}
 	for i := 0; i < m.rows; i++ {
 		brow := b.Row(i)
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 		for p := lo; p < hi; p++ {
-			orow := out.Row(m.colIdx[p])
+			orow := dst.Row(m.colIdx[p])
 			v := m.val[p]
 			for j, bv := range brow {
 				orow[j] += v * bv
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // T returns the transpose as a new CSR matrix.
@@ -191,6 +256,43 @@ func (m *CSR) ToDense() *mat.Dense {
 // ||UCVᵀ||² = tr(Cᵀ UᵀU C VᵀV). Pass C = nil for the two-factor residual
 // ||X − U Vᵀ||² (as in the Xr ≈ Su Spᵀ term).
 func (m *CSR) ResidualFrobeniusSq(u, c, v *mat.Dense) float64 {
+	return m.ResidualFrobeniusSqWS(u, c, v, nil)
+}
+
+// crossBody computes the per-chunk partial sums of the residual cross
+// term Σ X(i,j)·(UCVᵀ)(i,j); pooled with its partial buffer so loss
+// evaluation stays allocation-free after warmup.
+type crossBody struct {
+	m     *CSR
+	uc, v *mat.Dense
+	parts []float64
+}
+
+func (t *crossBody) Range(chunk, lo, hi int) {
+	m, uc, v := t.m, t.uc, t.v
+	var sum float64
+	for i := lo; i < hi; i++ {
+		rlo, rhi := m.rowPtr[i], m.rowPtr[i+1]
+		urow := uc.Row(i)
+		for p := rlo; p < rhi; p++ {
+			vrow := v.Row(m.colIdx[p])
+			var dot float64
+			for q, uv := range urow {
+				dot += uv * vrow[q]
+			}
+			sum += m.val[p] * dot
+		}
+	}
+	t.parts[chunk] = sum
+}
+
+var crossBodyPool = sync.Pool{New: func() any { return new(crossBody) }}
+
+// ResidualFrobeniusSqWS is ResidualFrobeniusSq drawing its temporaries
+// (U·C and the two Gram matrices) from ws; a nil ws allocates. The
+// nnz-sized cross term Σ X(i,j)·(UCVᵀ)(i,j) is reduced over parallel row
+// chunks in chunk order.
+func (m *CSR) ResidualFrobeniusSqWS(u, c, v *mat.Dense, ws *mat.Workspace) float64 {
 	k := u.Cols()
 	if v.Cols() != k {
 		panic("sparse: ResidualFrobeniusSq factor rank mismatch")
@@ -198,30 +300,38 @@ func (m *CSR) ResidualFrobeniusSq(u, c, v *mat.Dense) float64 {
 	if u.Rows() != m.rows || v.Rows() != m.cols {
 		panic("sparse: ResidualFrobeniusSq shape mismatch")
 	}
+	if ws == nil {
+		ws = mat.NewWorkspace()
+	}
 	// uc = U·C (rows×k); with C==nil, uc = U.
 	uc := u
+	var ucScratch *mat.Dense
 	if c != nil {
 		if !c.Dims(k, k) {
 			panic("sparse: ResidualFrobeniusSq core must be k×k")
 		}
-		uc = mat.Product(u, c)
+		ucScratch = ws.Get(u.Rows(), k)
+		ucScratch.Mul(u, c)
+		uc = ucScratch
 	}
+	t := crossBodyPool.Get().(*crossBody)
+	if cap(t.parts) < par.MaxChunks() {
+		t.parts = make([]float64, par.MaxChunks())
+	}
+	t.parts = t.parts[:cap(t.parts)]
+	t.m, t.uc, t.v = m, uc, v
+	used := par.Run(m.rows, m.spmmCostPerRow(k), t)
 	cross := 0.0
-	for i := 0; i < m.rows; i++ {
-		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		urow := uc.Row(i)
-		for p := lo; p < hi; p++ {
-			vrow := v.Row(m.colIdx[p])
-			var dot float64
-			for q, uv := range urow {
-				dot += uv * vrow[q]
-			}
-			cross += m.val[p] * dot
-		}
+	for chunk := 0; chunk < used; chunk++ {
+		cross += t.parts[chunk]
 	}
-	gramU := mat.Gram(uc) // k×k
-	gramV := mat.Gram(v)  // k×k
+	t.m, t.uc, t.v = nil, nil, nil
+	crossBodyPool.Put(t)
+
+	gramU := mat.GramInto(ws.Get(k, k), uc)
+	gramV := mat.GramInto(ws.Get(k, k), v)
 	normApprox := mat.Dot(gramU, gramV)
+	ws.Put(gramU, gramV, ucScratch)
 	return m.FrobeniusSq() - 2*cross + normApprox
 }
 

@@ -1,6 +1,11 @@
 package sparse
 
-import "triclust/internal/mat"
+import (
+	"sync"
+
+	"triclust/internal/mat"
+	"triclust/internal/par"
+)
 
 // Degrees returns the degree vector of a (weighted) adjacency matrix:
 // d(i) = Σ_j G(i,j).
@@ -10,42 +15,102 @@ func Degrees(g *CSR) []float64 { return g.RowSums() }
 // adjacency g without forming L: D·B is a row scaling by degrees, G·B is an
 // SpMM. The result is dense (g.Rows()×B.Cols()).
 func LaplacianMulDense(g *CSR, b *mat.Dense) *mat.Dense {
-	deg := Degrees(g)
-	gb := g.MulDense(b)
-	out := mat.NewDense(g.Rows(), b.Cols())
-	for i := 0; i < g.Rows(); i++ {
-		brow := b.Row(i)
-		gbrow := gb.Row(i)
-		orow := out.Row(i)
-		d := deg[i]
-		for j := range orow {
-			orow[j] = d*brow[j] - gbrow[j]
+	return LaplacianMulDenseInto(nil, g, nil, b)
+}
+
+// LaplacianMulDenseInto is LaplacianMulDense writing into dst (nil
+// allocates); dst must not alias b (see CSR.MulDenseInto). deg may carry
+// precomputed Degrees(g) — solvers cache it so repeated Laplacian
+// products skip the O(nnz) degree pass — or be nil to compute it here.
+// The row loop fuses the SpMM with the degree scaling and is split
+// across workers.
+func LaplacianMulDenseInto(dst *mat.Dense, g *CSR, deg []float64, b *mat.Dense) *mat.Dense {
+	if deg == nil {
+		deg = Degrees(g)
+	}
+	if dst == nil {
+		dst = mat.NewDense(g.Rows(), b.Cols())
+	}
+	gb := g.MulDenseInto(dst, b)
+	t := diagBodyPool.Get().(*diagBody)
+	t.deg, t.b, t.dst, t.subtract = deg, b, gb, true
+	par.Run(g.Rows(), b.Cols()+1, t)
+	*t = diagBody{}
+	diagBodyPool.Put(t)
+	return gb
+}
+
+// diagBody applies the diagonal degree term: dst ← D·b (or D·b − dst when
+// subtract is set, completing the Laplacian L·b = D·b − G·b). Pooled so
+// the launch does not allocate (see par.Body).
+type diagBody struct {
+	deg      []float64
+	b, dst   *mat.Dense
+	subtract bool
+}
+
+func (t *diagBody) Range(_, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d := t.deg[i]
+		brow := t.b.Row(i)
+		orow := t.dst.Row(i)
+		if t.subtract {
+			for j := range orow {
+				orow[j] = d*brow[j] - orow[j]
+			}
+		} else {
+			for j := range orow {
+				orow[j] = d * brow[j]
+			}
 		}
 	}
-	return out
 }
+
+var diagBodyPool = sync.Pool{New: func() any { return new(diagBody) }}
 
 // DegreeMulDense computes D·B where D = diag(degrees of g).
 func DegreeMulDense(g *CSR, b *mat.Dense) *mat.Dense {
-	deg := Degrees(g)
-	out := mat.NewDense(g.Rows(), b.Cols())
-	for i := 0; i < g.Rows(); i++ {
-		d := deg[i]
-		brow := b.Row(i)
-		orow := out.Row(i)
-		for j := range orow {
-			orow[j] = d * brow[j]
-		}
+	return DegreeMulDenseInto(nil, g, nil, b)
+}
+
+// DegreeMulDenseInto is DegreeMulDense writing into dst (nil allocates),
+// with an optional precomputed degree vector as in LaplacianMulDenseInto.
+// dst may alias b (each element is read before it is written).
+func DegreeMulDenseInto(dst *mat.Dense, g *CSR, deg []float64, b *mat.Dense) *mat.Dense {
+	if deg == nil {
+		deg = Degrees(g)
 	}
-	return out
+	if dst == nil {
+		dst = mat.NewDense(g.Rows(), b.Cols())
+	}
+	t := diagBodyPool.Get().(*diagBody)
+	t.deg, t.b, t.dst, t.subtract = deg, b, dst, false
+	par.Run(g.Rows(), b.Cols()+1, t)
+	*t = diagBody{}
+	diagBodyPool.Put(t)
+	return dst
 }
 
 // GraphRegularization returns tr(Sᵀ L S) = ½ Σ_{ij} G(i,j)·||S(i)−S(j)||²,
 // the user-graph smoothness penalty of Eq. 6. It is computed from the
 // identity tr(SᵀLS) = tr(SᵀDS) − tr(SᵀGS) without forming L.
 func GraphRegularization(g *CSR, s *mat.Dense) float64 {
-	ls := LaplacianMulDense(g, s)
-	return mat.Dot(s, ls)
+	return GraphRegularizationWS(g, nil, s, nil)
+}
+
+// GraphRegularizationWS is GraphRegularization with an optional
+// precomputed degree vector and workspace for the L·S temporary.
+func GraphRegularizationWS(g *CSR, deg []float64, s *mat.Dense, ws *mat.Workspace) float64 {
+	var dst *mat.Dense
+	if ws != nil {
+		dst = ws.Get(g.Rows(), s.Cols())
+	}
+	ls := LaplacianMulDenseInto(dst, g, deg, s)
+	out := mat.Dot(s, ls)
+	if ws != nil {
+		ws.Put(dst)
+	}
+	return out
 }
 
 // Symmetrize returns (G + Gᵀ)/2 — the paper's user–user retweet graph is
