@@ -1,0 +1,59 @@
+// Command triclustd serves dynamic tripartite sentiment co-clustering
+// over HTTP/JSON: a registry of named topic sessions, each a long-lived
+// engine.Session fed one tweet batch per timestamp. Independent topics
+// are served concurrently; batches within a topic serialize.
+//
+//	triclustd -addr :8547
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz                          liveness
+//	POST   /v1/topics                        create a topic session
+//	       {"name":"prop37","users":["a","b"],"options":{"k":3,"max_iter":40}}
+//	GET    /v1/topics                        list topic summaries
+//	GET    /v1/topics/{topic}                one topic's summary
+//	DELETE /v1/topics/{topic}                drop a topic session
+//	POST   /v1/topics/{topic}/batches        process one timestamped batch
+//	       {"time":3,"tweets":[{"text":"love this","user":0}]}
+//	GET    /v1/topics/{topic}/users/{user}   latest sentiment estimate
+//	GET    /v1/topics/{topic}/snapshot       vocabulary + learned feature sentiments
+//
+// The first non-empty batch of a topic freezes its vocabulary (the online
+// algorithm requires comparable feature spaces across snapshots); batch
+// times must strictly increase per topic; an empty batch is a recorded
+// no-op. Batch results are independent of tweet ordering within a batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"triclust/internal/par"
+)
+
+func main() {
+	addr := flag.String("addr", ":8547", "listen address")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "parallelism width of the compute kernels")
+	flag.Parse()
+	par.SetProcs(*procs)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(),
+		// Bound header/body reads so idle or slow-drip clients cannot
+		// pin connections forever; batch *processing* time is not under
+		// these timeouts (they cover the request read only).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+	fmt.Printf("triclustd listening on %s (kernel procs=%d)\n", *addr, par.Procs())
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "triclustd: %v\n", err)
+		os.Exit(1)
+	}
+}

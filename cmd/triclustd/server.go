@@ -1,0 +1,389 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"triclust/internal/core"
+	"triclust/internal/engine"
+	"triclust/internal/tgraph"
+)
+
+// server is the HTTP façade over a registry of named topic sessions.
+// Registry lookups take the read lock; create/delete take the write lock.
+// Each topic serializes its own batch processing with a per-topic mutex,
+// so batches for independent topics are solved concurrently.
+type server struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	name    string
+	created time.Time
+
+	mu       sync.Mutex // serializes Process + metadata updates
+	sess     *engine.Session
+	lastT    int
+	hasLast  bool
+	features []engine.Sentiment // learned feature sentiments of the last batch
+}
+
+func newServer() http.Handler {
+	s := &server{topics: make(map[string]*topic)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/topics", s.createTopic)
+	mux.HandleFunc("GET /v1/topics", s.listTopics)
+	mux.HandleFunc("GET /v1/topics/{topic}", s.topicInfo)
+	mux.HandleFunc("DELETE /v1/topics/{topic}", s.deleteTopic)
+	mux.HandleFunc("POST /v1/topics/{topic}/batches", s.processBatch)
+	mux.HandleFunc("GET /v1/topics/{topic}/users/{user}", s.userEstimate)
+	mux.HandleFunc("GET /v1/topics/{topic}/snapshot", s.exportSnapshot)
+	return mux
+}
+
+// ——— wire types ———
+
+type topicOptions struct {
+	K          int      `json:"k,omitempty"`
+	Alpha      *float64 `json:"alpha,omitempty"`
+	Beta       *float64 `json:"beta,omitempty"`
+	Gamma      *float64 `json:"gamma,omitempty"`
+	Tau        *float64 `json:"tau,omitempty"`
+	Window     int      `json:"window,omitempty"`
+	MaxIter    int      `json:"max_iter,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	MinDF      int      `json:"min_df,omitempty"`
+	LexiconHit float64  `json:"lexicon_hit,omitempty"`
+}
+
+func (o topicOptions) onlineConfig() core.OnlineConfig {
+	cfg := core.DefaultOnlineConfig()
+	if o.K != 0 {
+		cfg.K = o.K
+	}
+	if o.Alpha != nil {
+		cfg.Alpha = *o.Alpha
+	}
+	if o.Beta != nil {
+		cfg.Beta = *o.Beta
+	}
+	if o.Gamma != nil {
+		cfg.Gamma = *o.Gamma
+	}
+	if o.Tau != nil {
+		cfg.Tau = *o.Tau
+	}
+	if o.Window != 0 {
+		cfg.Window = o.Window
+	}
+	if o.MaxIter != 0 {
+		cfg.MaxIter = o.MaxIter
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+type createTopicRequest struct {
+	Name string `json:"name"`
+	// Users is the fixed user universe; tweets refer to users by index.
+	Users   []string     `json:"users"`
+	Options topicOptions `json:"options"`
+}
+
+type topicSummary struct {
+	Name       string    `json:"name"`
+	Created    time.Time `json:"created"`
+	Users      int       `json:"users"`
+	Batches    int       `json:"batches"`
+	Skipped    int       `json:"skipped"`
+	KnownUsers int       `json:"known_users"`
+	VocabSize  int       `json:"vocab_size"`
+	LastTime   *int      `json:"last_time,omitempty"`
+}
+
+type tweetSpec struct {
+	Text      string   `json:"text,omitempty"`
+	Tokens    []string `json:"tokens,omitempty"`
+	User      int      `json:"user"`
+	Time      *int     `json:"time,omitempty"`       // default: the batch time
+	RetweetOf *int     `json:"retweet_of,omitempty"` // batch-local index; default none
+}
+
+type batchRequest struct {
+	Time   int         `json:"time"`
+	Tweets []tweetSpec `json:"tweets"`
+}
+
+type sentimentJSON struct {
+	Class      int     `json:"class"`
+	ClassName  string  `json:"class_name"`
+	Confidence float64 `json:"confidence"`
+}
+
+type userSentimentJSON struct {
+	User int `json:"user"`
+	sentimentJSON
+}
+
+type batchResponse struct {
+	Time       int                 `json:"time"`
+	Skipped    bool                `json:"skipped"`
+	Iterations int                 `json:"iterations"`
+	Converged  bool                `json:"converged"`
+	Tweets     []sentimentJSON     `json:"tweets"`
+	Users      []userSentimentJSON `json:"users"`
+}
+
+type snapshotResponse struct {
+	topicSummary
+	Vocabulary []string        `json:"vocabulary"`
+	Features   []sentimentJSON `json:"features"`
+}
+
+// ——— handlers ———
+
+func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
+	var req createTopicRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing topic name"))
+		return
+	}
+	if len(req.Users) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("missing user universe"))
+		return
+	}
+	users := make([]tgraph.User, len(req.Users))
+	for i, name := range req.Users {
+		users[i] = tgraph.User{Name: name, Label: tgraph.NoLabel}
+	}
+	model := engine.NewModel(engine.Config{
+		Online:     req.Options.onlineConfig(),
+		LexiconHit: req.Options.LexiconHit,
+		MinDF:      req.Options.MinDF,
+	})
+	tp := &topic{name: req.Name, created: time.Now().UTC(), sess: model.NewSession(users)}
+
+	s.mu.Lock()
+	if _, exists := s.topics[req.Name]; exists {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Errorf("topic %q already exists", req.Name))
+		return
+	}
+	s.topics[req.Name] = tp
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, tp.summary())
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *topic {
+	name := r.PathValue("topic")
+	s.mu.RLock()
+	tp := s.topics[name]
+	s.mu.RUnlock()
+	if tp == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown topic %q", name))
+	}
+	return tp
+}
+
+func (s *server) listTopics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	topics := make([]*topic, 0, len(s.topics))
+	for _, tp := range s.topics {
+		topics = append(topics, tp)
+	}
+	s.mu.RUnlock()
+	out := make([]topicSummary, len(topics))
+	for i, tp := range topics {
+		out[i] = tp.summary()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) topicInfo(w http.ResponseWriter, r *http.Request) {
+	if tp := s.lookup(w, r); tp != nil {
+		writeJSON(w, http.StatusOK, tp.summary())
+	}
+}
+
+func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("topic")
+	s.mu.Lock()
+	_, ok := s.topics[name]
+	delete(s.topics, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown topic %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
+	tp := s.lookup(w, r)
+	if tp == nil {
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	tweets := make([]tgraph.Tweet, len(req.Tweets))
+	for i, ts := range req.Tweets {
+		tw := tgraph.Tweet{
+			Text:      ts.Text,
+			Tokens:    ts.Tokens,
+			User:      ts.User,
+			Time:      req.Time,
+			RetweetOf: -1,
+			Label:     tgraph.NoLabel,
+		}
+		if ts.Time != nil {
+			tw.Time = *ts.Time
+		}
+		if ts.RetweetOf != nil {
+			tw.RetweetOf = *ts.RetweetOf
+		}
+		tweets[i] = tw
+	}
+
+	tp.mu.Lock()
+	if tp.hasLast && len(tweets) > 0 && req.Time <= tp.lastT {
+		tp.mu.Unlock()
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("time %d not after last processed %d", req.Time, tp.lastT))
+		return
+	}
+	out, err := tp.sess.Process(req.Time, tweets)
+	if err != nil {
+		tp.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if !out.Skipped {
+		tp.lastT, tp.hasLast = req.Time, true
+		tp.features = out.FeatureSentiments
+	}
+	tp.mu.Unlock()
+
+	resp := batchResponse{
+		Time:    req.Time,
+		Skipped: out.Skipped,
+		Tweets:  toJSON(out.TweetSentiments),
+		Users:   make([]userSentimentJSON, len(out.UserSentiments)),
+	}
+	if out.Res != nil {
+		resp.Iterations = out.Res.Iterations
+		resp.Converged = out.Res.Converged
+	}
+	for i, sen := range out.UserSentiments {
+		resp.Users[i] = userSentimentJSON{User: out.Active[i], sentimentJSON: oneJSON(sen)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
+	tp := s.lookup(w, r)
+	if tp == nil {
+		return
+	}
+	user, err := strconv.Atoi(r.PathValue("user"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
+		return
+	}
+	est, ok := tp.sess.UserEstimate(user)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("user %d has no history", user))
+		return
+	}
+	writeJSON(w, http.StatusOK, userSentimentJSON{User: user, sentimentJSON: oneJSON(est)})
+}
+
+func (s *server) exportSnapshot(w http.ResponseWriter, r *http.Request) {
+	tp := s.lookup(w, r)
+	if tp == nil {
+		return
+	}
+	resp := snapshotResponse{topicSummary: tp.summary()}
+	if v := tp.sess.Model().Vocabulary(); v != nil {
+		resp.Vocabulary = v.Words()
+	}
+	tp.mu.Lock()
+	resp.Features = toJSON(tp.features)
+	tp.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ——— helpers ———
+
+func (tp *topic) summary() topicSummary {
+	sum := topicSummary{
+		Name:       tp.name,
+		Created:    tp.created,
+		Users:      tp.sess.NumUsers(),
+		Batches:    tp.sess.Batches(),
+		Skipped:    tp.sess.Skipped(),
+		KnownUsers: tp.sess.KnownUsers(),
+	}
+	if v := tp.sess.Model().Vocabulary(); v != nil {
+		sum.VocabSize = v.Len()
+	}
+	tp.mu.Lock()
+	if tp.hasLast {
+		last := tp.lastT
+		sum.LastTime = &last
+	}
+	tp.mu.Unlock()
+	return sum
+}
+
+func classNameOf(c int) string {
+	switch c {
+	case 0:
+		return "positive"
+	case 1:
+		return "negative"
+	case 2:
+		return "neutral"
+	default:
+		return fmt.Sprintf("class%d", c)
+	}
+}
+
+func oneJSON(s engine.Sentiment) sentimentJSON {
+	return sentimentJSON{Class: s.Class, ClassName: classNameOf(s.Class), Confidence: s.Confidence}
+}
+
+func toJSON(ss []engine.Sentiment) []sentimentJSON {
+	out := make([]sentimentJSON, len(ss))
+	for i, s := range ss {
+		out[i] = oneJSON(s)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"triclust/internal/synth"
+)
+
+// doJSON issues one JSON request and decodes the response. It returns
+// errors instead of failing the test so worker goroutines can use it.
+func doJSON(client *http.Client, method, url string, body, out any) (int, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s %s decode: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func synthTopic(t *testing.T, seed int64) (*synth.Dataset, createTopicRequest) {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumUsers = 30
+	cfg.Days = 5
+	cfg.ElectionDay = 3
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	names := make([]string, len(d.Corpus.Users))
+	for i, u := range d.Corpus.Users {
+		names[i] = u.Name
+	}
+	req := createTopicRequest{
+		Name:    fmt.Sprintf("topic-%d", seed),
+		Users:   names,
+		Options: topicOptions{MaxIter: 10, Seed: seed},
+	}
+	return d, req
+}
+
+func dayTweets(d *synth.Dataset, day int) []tweetSpec {
+	var out []tweetSpec
+	for _, tw := range d.Corpus.Tweets {
+		if tw.Time == day {
+			out = append(out, tweetSpec{Tokens: tw.Tokens, User: tw.User})
+		}
+	}
+	return out
+}
+
+// TestTwoTopicsConcurrently drives two independent topic sessions from
+// separate goroutines end to end (create → daily batches → user query →
+// snapshot export). Under go test -race this exercises the registry and
+// the per-session locking.
+func TestTwoTopicsConcurrently(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	client := srv.Client()
+
+	type topicRun struct {
+		d    *synth.Dataset
+		name string
+	}
+	var runs []topicRun
+	for seed := int64(1); seed <= 2; seed++ {
+		d, req := synthTopic(t, seed)
+		var sum topicSummary
+		code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, &sum)
+		if err != nil || code != http.StatusCreated {
+			t.Fatalf("create %s: status %d err %v", req.Name, code, err)
+		}
+		if sum.Users != len(req.Users) || sum.Batches != 0 {
+			t.Fatalf("create summary %+v", sum)
+		}
+		runs = append(runs, topicRun{d, req.Name})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for _, run := range runs {
+		wg.Add(1)
+		go func(run topicRun) {
+			defer wg.Done()
+			processed := 0
+			for day := 0; day < 5; day++ {
+				batch := batchRequest{Time: day, Tweets: dayTweets(run.d, day)}
+				var resp batchResponse
+				code, err := doJSON(client, "POST",
+					srv.URL+"/v1/topics/"+run.name+"/batches", batch, &resp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("%s day %d: status %d", run.name, day, code)
+					return
+				}
+				if resp.Skipped != (len(batch.Tweets) == 0) {
+					errs <- fmt.Errorf("%s day %d: skipped=%v for %d tweets",
+						run.name, day, resp.Skipped, len(batch.Tweets))
+					return
+				}
+				if len(resp.Tweets) != len(batch.Tweets) {
+					errs <- fmt.Errorf("%s day %d: %d results for %d tweets",
+						run.name, day, len(resp.Tweets), len(batch.Tweets))
+					return
+				}
+				if !resp.Skipped {
+					processed++
+					for _, s := range resp.Tweets {
+						if s.Confidence < 0 || s.Confidence > 1 || s.ClassName == "" {
+							errs <- fmt.Errorf("%s day %d: bad sentiment %+v", run.name, day, s)
+							return
+						}
+					}
+				}
+			}
+			if processed < 2 {
+				errs <- fmt.Errorf("%s: only %d batches processed", run.name, processed)
+			}
+		}(run)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Post-stream queries against both sessions.
+	for _, run := range runs {
+		var sum topicSummary
+		code, err := doJSON(client, "GET", srv.URL+"/v1/topics/"+run.name, nil, &sum)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("info %s: status %d err %v", run.name, code, err)
+		}
+		if sum.Batches < 2 || sum.VocabSize == 0 || sum.KnownUsers == 0 {
+			t.Fatalf("summary %s: %+v", run.name, sum)
+		}
+		user := run.d.Corpus.Tweets[0].User
+		var est userSentimentJSON
+		code, err = doJSON(client, "GET",
+			fmt.Sprintf("%s/v1/topics/%s/users/%d", srv.URL, run.name, user), nil, &est)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("estimate %s user %d: status %d err %v", run.name, user, code, err)
+		}
+		if est.User != user || est.Confidence < 0 || est.Confidence > 1 {
+			t.Fatalf("estimate %s: %+v", run.name, est)
+		}
+		var snap snapshotResponse
+		code, err = doJSON(client, "GET", srv.URL+"/v1/topics/"+run.name+"/snapshot", nil, &snap)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("snapshot %s: status %d err %v", run.name, code, err)
+		}
+		if len(snap.Vocabulary) == 0 || len(snap.Features) != len(snap.Vocabulary) {
+			t.Fatalf("snapshot %s: %d words, %d features",
+				run.name, len(snap.Vocabulary), len(snap.Features))
+		}
+	}
+
+	var all []topicSummary
+	if code, err := doJSON(client, "GET", srv.URL+"/v1/topics", nil, &all); err != nil || code != http.StatusOK {
+		t.Fatalf("list: status %d err %v", code, err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("list has %d topics", len(all))
+	}
+}
+
+func TestTopicLifecycleAndErrors(t *testing.T) {
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Unknown topic → 404.
+	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/nope", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown topic: status %d", code)
+	}
+	// Create without users → 400.
+	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics",
+		createTopicRequest{Name: "x"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("create without users: status %d", code)
+	}
+	// Create, duplicate → 409.
+	req := createTopicRequest{Name: "x", Users: []string{"a", "b"}}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("create: status %d err %v", code, err)
+	}
+	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d", code)
+	}
+
+	// Empty batch is a recorded no-op.
+	var resp batchResponse
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 0}, &resp); err != nil || code != http.StatusOK || !resp.Skipped {
+		t.Fatalf("empty batch: status %d skipped %v err %v", code, resp.Skipped, err)
+	}
+	// Invalid user index → 422.
+	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "hi", User: 9}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid batch: status %d", code)
+	}
+	// Valid batch; then a stale timestamp → 409.
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 1, Tweets: []tweetSpec{
+			{Text: "love love great win", User: 0},
+			{Text: "love great hate awful", User: 1},
+		}}, &resp); err != nil || code != http.StatusOK || resp.Skipped {
+		t.Fatalf("valid batch: status %d err %v", code, err)
+	}
+	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "again", User: 0}}}, nil); code != http.StatusConflict {
+		t.Fatalf("stale timestamp: status %d", code)
+	}
+	// User with no history → 404; delete → 204; gone → 404.
+	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x/users/1", nil, nil); code != http.StatusOK {
+		t.Fatalf("active user estimate: status %d", code)
+	}
+	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x/users/99", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown user estimate: status %d", code)
+	}
+	req2, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/topics/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", del.StatusCode)
+	}
+	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted topic: status %d", code)
+	}
+}

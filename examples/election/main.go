@@ -59,13 +59,15 @@ func main() {
 			batch = append(batch, tw)
 			truth = append(truth, d.TweetClass[i])
 		}
-		if len(batch) == 0 {
-			continue
-		}
 		start := time.Now()
 		out, err := st.Process(day, batch)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if out.Skipped {
+			// Quiet day: the stream records a well-defined no-op.
+			fmt.Printf("%3d     –  (no tweets, skipped)\n", day)
+			continue
 		}
 		el := time.Since(start)
 		total += el

@@ -1,0 +1,43 @@
+package baseline
+
+import (
+	"testing"
+)
+
+// The SVM and UserReg baselines dominate the Table 4/5 comparison
+// harness; these micro-benchmarks track the lazy-scaling Pegasos training
+// step and the parallel refinement sweeps in isolation.
+
+func BenchmarkTrainSVM(b *testing.B) {
+	d, g := fixture(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := TrainSVM(g.Xp, d.TweetClass, 3, DefaultSVMOptions()); m == nil {
+			b.Fatal("nil model")
+		}
+	}
+}
+
+func BenchmarkSVMPredict(b *testing.B) {
+	d, g := fixture(b, 1)
+	m := TrainSVM(g.Xp, d.TweetClass, 3, DefaultSVMOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pred := m.Predict(g.Xp); len(pred) != g.Xp.Rows() {
+			b.Fatal("bad prediction length")
+		}
+	}
+}
+
+func BenchmarkUserReg(b *testing.B) {
+	d, g := fixture(b, 1)
+	revealed := RevealLabels(d.TweetClass, 0.10, 10)
+	own := owners(d.Corpus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := UserReg(g.Xp, revealed, own, d.Corpus.NumUsers(), 3, DefaultUserRegOptions())
+		if len(res.TweetClasses) != g.Xp.Rows() {
+			b.Fatal("bad result length")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"triclust/internal/par"
 	"triclust/internal/sparse"
 )
 
@@ -30,6 +31,13 @@ type SVMOptions struct {
 func DefaultSVMOptions() SVMOptions { return SVMOptions{Lambda: 1e-4, Epochs: 12, Seed: 1} }
 
 // TrainSVM fits k one-vs-rest hyperplanes on the rows with label ≥ 0.
+//
+// The shrink step (1−ηλ)·w is applied lazily through a per-class scale
+// factor, so one stochastic step costs O(k·nnz(row)) instead of the
+// O(k·l) dense rescan of the naive implementation — on tweet matrices
+// (nnz/row ≪ l) this is the difference that made Table5UserComparison
+// SVM-bound. The learned hyperplanes are mathematically identical to the
+// eager form (the scale is folded back in before returning).
 func TrainSVM(x *sparse.CSR, labels []int, k int, opts SVMOptions) *SVM {
 	if len(labels) != x.Rows() {
 		panic("baseline: labels length mismatch")
@@ -54,70 +62,115 @@ func TrainSVM(x *sparse.CSR, labels []int, k int, opts SVMOptions) *SVM {
 		return m
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	// scale[c] carries the accumulated shrink of class c's hyperplane:
+	// the true weights are scale[c]·w[c].
+	scale := make([]float64, k)
+	for c := range scale {
+		scale[c] = 1
+	}
 	t := 1
 	steps := opts.Epochs * len(rows)
 	for s := 0; s < steps; s++ {
 		i := rows[rng.Intn(len(rows))]
 		cols, vals := x.Row(i)
 		eta := 1 / (opts.Lambda * float64(t))
+		shrink := 1 - eta*opts.Lambda
 		t++
 		for c := 0; c < k; c++ {
 			y := -1.0
 			if labels[i] == c {
 				y = 1.0
 			}
-			// margin = y(w·x + b)
+			// margin = y(scale·w·x + b)
+			wc := m.w[c]
 			var dot float64
 			for p, j := range cols {
-				dot += m.w[c][j] * vals[p]
+				dot += wc[j] * vals[p]
 			}
-			margin := y * (dot + m.b[c])
-			// w ← (1 − ηλ)w [+ ηy·x if margin < 1]
-			shrink := 1 - eta*opts.Lambda
-			if shrink < 0 {
-				shrink = 0
-			}
-			wc := m.w[c]
-			for j := range wc {
-				wc[j] *= shrink
+			margin := y * (scale[c]*dot + m.b[c])
+			// w ← (1 − ηλ)w [+ ηy·x if margin < 1], shrink applied lazily.
+			if shrink <= 0 {
+				// Only at t = 1, where the eager update zeroes w.
+				for j := range wc {
+					wc[j] = 0
+				}
+				scale[c] = 1
+			} else {
+				scale[c] *= shrink
+				if scale[c] < 1e-120 {
+					// Fold a tiny scale back in before it underflows.
+					for j := range wc {
+						wc[j] *= scale[c]
+					}
+					scale[c] = 1
+				}
 			}
 			if margin < 1 {
+				inv := eta * y / scale[c]
 				for p, j := range cols {
-					wc[j] += eta * y * vals[p]
+					wc[j] += inv * vals[p]
 				}
 				m.b[c] += eta * y * 0.1 // damped bias update
+			}
+		}
+	}
+	// Materialize the true hyperplanes so Score stays a plain dot product.
+	for c := range m.w {
+		if scale[c] != 1 {
+			wc := m.w[c]
+			for j := range wc {
+				wc[j] *= scale[c]
 			}
 		}
 	}
 	return m
 }
 
+// ScoreInto writes the raw decision values of one row into dst (length k).
+func (m *SVM) ScoreInto(dst []float64, cols []int, vals []float64) {
+	for c := 0; c < m.k; c++ {
+		s := m.b[c]
+		wc := m.w[c]
+		for p, j := range cols {
+			s += wc[j] * vals[p]
+		}
+		dst[c] = s
+	}
+}
+
 // Score returns the raw decision values of one row.
 func (m *SVM) Score(cols []int, vals []float64) []float64 {
 	out := make([]float64, m.k)
-	for c := 0; c < m.k; c++ {
-		s := m.b[c]
-		for p, j := range cols {
-			s += m.w[c][j] * vals[p]
-		}
-		out[c] = s
-	}
+	m.ScoreInto(out, cols, vals)
 	return out
 }
 
-// Predict classifies every row of x by the largest decision value.
+// Predict classifies every row of x by the largest decision value. Rows
+// are scored on the parallel row-chunk kernel; the output is independent
+// of the chunking.
 func (m *SVM) Predict(x *sparse.CSR) []int {
 	out := make([]int, x.Rows())
-	for i := range out {
-		cols, vals := x.Row(i)
-		scores := m.Score(cols, vals)
-		best, bestV := 0, math.Inf(-1)
-		for c, v := range scores {
-			if v > bestV {
-				best, bestV = c, v
+	cost := m.k * (2 + x.NNZ()/maxInt(1, x.Rows()))
+	par.For(x.Rows(), cost, func(lo, hi int) {
+		scores := make([]float64, m.k)
+		for i := lo; i < hi; i++ {
+			cols, vals := x.Row(i)
+			m.ScoreInto(scores, cols, vals)
+			best, bestV := 0, math.Inf(-1)
+			for c, v := range scores {
+				if v > bestV {
+					best, bestV = c, v
+				}
 			}
+			out[i] = best
 		}
-		out[i] = best
-	}
+	})
 	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"triclust/internal/mat"
+	"triclust/internal/sparse"
+)
+
+func denseToCSR(d *mat.Dense) *sparse.CSR {
+	b := sparse.NewCOO(d.Rows(), d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if v := d.At(i, j); v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// TestProblemResetClearsDerivedCaches reuses one Problem across two input
+// sets and checks the cached transposes track the current inputs.
+func TestProblemResetClearsDerivedCaches(t *testing.T) {
+	xp1 := denseToCSR(mat.NewDenseData(2, 3, []float64{1, 0, 2, 0, 3, 0}))
+	xu1 := denseToCSR(mat.NewDenseData(1, 3, []float64{1, 3, 2}))
+	xr1 := denseToCSR(mat.NewDenseData(1, 2, []float64{1, 1}))
+
+	var p Problem
+	p.Reset(xp1, xu1, xr1, nil, nil)
+	if got := p.XpT(); got.Rows() != 3 || got.Cols() != 2 {
+		t.Fatalf("XpT dims %dx%d", got.Rows(), got.Cols())
+	}
+	if p.GuDegrees() != nil {
+		t.Fatal("GuDegrees non-nil without Gu")
+	}
+
+	// New shapes: the stale caches must not survive the Reset.
+	xp2 := denseToCSR(mat.NewDenseData(4, 2, []float64{1, 0, 0, 2, 3, 0, 0, 4}))
+	xu2 := denseToCSR(mat.NewDenseData(2, 2, []float64{1, 2, 3, 4}))
+	xr2 := denseToCSR(mat.NewDenseData(2, 4, []float64{1, 0, 0, 1, 0, 1, 1, 0}))
+	gu2 := denseToCSR(mat.NewDenseData(2, 2, []float64{0, 2, 2, 0}))
+	p.Reset(xp2, xu2, xr2, gu2, nil)
+	if got := p.XpT(); got.Rows() != 2 || got.Cols() != 4 {
+		t.Fatalf("post-reset XpT dims %dx%d", got.Rows(), got.Cols())
+	}
+	deg := p.GuDegrees()
+	if len(deg) != 2 || deg[0] != 2 || deg[1] != 2 {
+		t.Fatalf("post-reset GuDegrees = %v", deg)
+	}
+	if got := p.XrT(); got.At(3, 0) != 1 {
+		t.Fatal("post-reset XrT stale")
+	}
+}
+
+// TestProblemResetAllocFree asserts the scaffolding reuse itself performs
+// no heap allocation (the derived caches are lazily rebuilt on use).
+func TestProblemResetAllocFree(t *testing.T) {
+	xp := denseToCSR(mat.NewDenseData(2, 2, []float64{1, 0, 0, 1}))
+	xu := denseToCSR(mat.NewDenseData(1, 2, []float64{1, 1}))
+	xr := denseToCSR(mat.NewDenseData(1, 2, []float64{1, 1}))
+	var p Problem
+	if avg := testing.AllocsPerRun(100, func() {
+		p.Reset(xp, xu, xr, nil, nil)
+	}); avg != 0 {
+		t.Fatalf("Problem.Reset allocates %.1f times per call", avg)
+	}
+}

@@ -55,6 +55,14 @@ func (p *Problem) derive() {
 	})
 }
 
+// Reset repoints the problem at a new set of input matrices and clears
+// every lazily derived cache, so one Problem value can be reused across
+// the snapshots of a long-lived session without per-batch allocation of
+// the scaffolding. The previous inputs are released.
+func (p *Problem) Reset(xp, xu, xr, gu *sparse.CSR, sf0 *mat.Dense) {
+	*p = Problem{Xp: xp, Xu: xu, Xr: xr, Gu: gu, Sf0: sf0}
+}
+
 // XpT returns the cached transpose of Xp (l×n).
 func (p *Problem) XpT() *sparse.CSR { p.derive(); return p.xpT }
 

@@ -1,0 +1,46 @@
+package engine
+
+import "triclust/internal/mat"
+
+// Sentiment is one item's inferred class with its soft membership weight —
+// the output of the pipeline's labeling stage.
+type Sentiment struct {
+	// Class is the argmax cluster (aligned to the lexicon classes when a
+	// prior is used).
+	Class int
+	// Confidence is the normalized membership weight of Class in [0,1].
+	Confidence float64
+}
+
+// Label is stage 6: it turns the rows of a factor matrix into hard classes
+// with normalized confidences.
+func Label(f *mat.Dense) []Sentiment {
+	out := make([]Sentiment, f.Rows())
+	for i := range out {
+		out[i] = labelRow(f.Row(i), f.Cols())
+	}
+	return out
+}
+
+// LabelRow labels one membership row (e.g. a stored user estimate).
+func LabelRow(row []float64) Sentiment {
+	return labelRow(row, len(row))
+}
+
+func labelRow(row []float64, k int) Sentiment {
+	var sum, best float64
+	cls := 0
+	for j, v := range row {
+		sum += v
+		if v > best {
+			best, cls = v, j
+		}
+	}
+	conf := 0.0
+	if sum > 0 {
+		conf = best / sum
+	} else if k > 0 {
+		conf = 1 / float64(k)
+	}
+	return Sentiment{Class: cls, Confidence: conf}
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"slices"
+	"sort"
+	"sync"
+
+	"triclust/internal/core"
+	"triclust/internal/mat"
+	"triclust/internal/tgraph"
+)
+
+// Session is the per-topic mutable half of the pipeline: the online solver
+// (Algorithm 2) with its user history, a reusable core.Problem skeleton
+// and the snapshot-construction scratch buffers. A Session serializes its
+// own Process calls with an internal mutex, so it is safe to share;
+// independent sessions (even of the same Model) run concurrently.
+//
+// In steady state the per-batch prior and problem scaffolding allocate
+// nothing: the lexicon prior is the Model's cached Sf0 and the Problem
+// value is Reset in place.
+type Session struct {
+	mu    sync.Mutex
+	model *Model
+	users []tgraph.User
+
+	online *core.Online
+	prob   core.Problem
+	sb     tgraph.SnapshotBuilder
+
+	// Reusable per-batch buffers.
+	order  []int // order[r] = caller index of canonical row r
+	pos    []int // pos[callerIdx] = canonical row
+	sorted []tgraph.Tweet
+	docs   [][]string
+	batch  tgraph.Corpus
+
+	batches int
+	skips   int
+}
+
+// NewSession derives a stream over a fixed user universe: tweets in later
+// batches refer to users by index into users. The slice is copied.
+func (m *Model) NewSession(users []tgraph.User) *Session {
+	return &Session{
+		model:  m,
+		users:  append([]tgraph.User(nil), users...),
+		online: core.NewOnline(m.cfg),
+	}
+}
+
+// Model returns the session's shared frozen artifacts.
+func (s *Session) Model() *Model { return s.model }
+
+// Batches returns the number of non-empty batches processed.
+func (s *Session) Batches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches
+}
+
+// Skipped returns the number of empty batches skipped.
+func (s *Session) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skips
+}
+
+// NumUsers returns the size of the session's user universe.
+func (s *Session) NumUsers() int { return len(s.users) }
+
+// KnownUsers returns the number of users with recorded history.
+func (s *Session) KnownUsers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.online.KnownUsers()
+}
+
+// UserEstimate returns the most recent sentiment estimate for a user, or
+// ok = false if the user has never appeared.
+func (s *Session) UserEstimate(user int) (Sentiment, bool) {
+	s.mu.Lock()
+	row := s.online.LastUserEstimate(user)
+	s.mu.Unlock()
+	if row == nil {
+		return Sentiment{}, false
+	}
+	return LabelRow(row), true
+}
+
+// Process runs one online step (Algorithm 2) on the batch of tweets with
+// timestamp t. Timestamps must strictly increase across non-empty batches;
+// the first non-empty batch freezes the Model's vocabulary. An empty batch
+// is a well-defined no-op: it returns a Skipped outcome without freezing
+// the vocabulary, consuming the timestamp or touching user history.
+//
+// Within a batch the result is independent of tweet ordering: tweets are
+// canonicalized (by time, user, tokens, retweet-target content) before
+// the solver runs and the outcome is scattered back to the caller's
+// ordering. Tweets identical under that whole key are interchangeable.
+func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Stage 0–1: validate and tokenize against the caller's ordering
+	// (RetweetOf indices refer to positions in tweets).
+	s.batch = tgraph.Corpus{Users: s.users, Tweets: tweets}
+	if err := s.batch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tweets) == 0 {
+		s.skips++
+		return skippedOutcome(), nil
+	}
+	s.model.Tokenize(&s.batch)
+
+	// Canonical ordering for order-independent batch semantics.
+	s.canonicalize(tweets)
+
+	// Stage 2: the first batch freezes the vocabulary (and the prior).
+	s.docs = s.docs[:0]
+	for _, tw := range s.sorted {
+		s.docs = append(s.docs, tw.Tokens)
+	}
+	vocab := s.model.EnsureVocabulary(s.docs)
+
+	// Stage 3: snapshot graph over the batch's time window.
+	lo, hi := timeBounds(tweets)
+	s.batch.Tweets = s.sorted
+	snap := s.sb.Build(&s.batch, lo, hi+1, vocab, s.model.weighting)
+
+	// Stage 4–5: cached prior, problem skeleton reset in place, solve.
+	s.prob.Reset(snap.Graph.Xp, snap.Graph.Xu, snap.Graph.Xr, snap.Graph.Gu, s.model.Prior())
+	res, err := s.online.Step(t, &s.prob, snap.Active)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scatter the tweet factor back to the caller's ordering so the
+	// public contract (rows follow the input) survives canonicalization.
+	res.Sp = permuteRows(res.Sp, s.order)
+
+	s.batches++
+	// Stage 6: label.
+	return newOutcome(res, snap.Active), nil
+}
+
+// canonicalize fills s.order with a permutation of [0,n) sorted by
+// (Time, User, Tokens) and s.sorted with the correspondingly reordered
+// tweets, remapping batch-local RetweetOf indices through the permutation.
+func (s *Session) canonicalize(tweets []tgraph.Tweet) {
+	n := len(tweets)
+	s.order = s.order[:0]
+	for i := 0; i < n; i++ {
+		s.order = append(s.order, i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ai, bi := s.order[a], s.order[b]
+		if c := compareTweet(&tweets[ai], &tweets[bi]); c != 0 {
+			return c < 0
+		}
+		// Tie-break by retweet-target *content* (not its batch-local
+		// index, which depends on the input ordering): tweets that agree
+		// on (Time, User, Tokens) but retweet different targets carry
+		// different Xr edges and must not be treated as interchangeable.
+		at, bt := tweets[ai].RetweetOf, tweets[bi].RetweetOf
+		aHas, bHas := at >= 0 && at < n, bt >= 0 && bt < n
+		if aHas != bHas {
+			return !aHas // plain tweets sort before retweets
+		}
+		if aHas {
+			return compareTweet(&tweets[at], &tweets[bt]) < 0
+		}
+		return false
+	})
+	s.pos = s.pos[:0]
+	for range tweets {
+		s.pos = append(s.pos, 0)
+	}
+	for r, ci := range s.order {
+		s.pos[ci] = r
+	}
+	s.sorted = s.sorted[:0]
+	for _, ci := range s.order {
+		tw := tweets[ci]
+		if tw.RetweetOf >= 0 && tw.RetweetOf < n {
+			tw.RetweetOf = s.pos[tw.RetweetOf]
+		}
+		s.sorted = append(s.sorted, tw)
+	}
+}
+
+// compareTweet orders tweets by (Time, User, Tokens), the
+// content-derived part of the canonical key.
+func compareTweet(a, b *tgraph.Tweet) int {
+	if a.Time != b.Time {
+		if a.Time < b.Time {
+			return -1
+		}
+		return 1
+	}
+	if a.User != b.User {
+		if a.User < b.User {
+			return -1
+		}
+		return 1
+	}
+	return slices.Compare(a.Tokens, b.Tokens)
+}
+
+// permuteRows returns a matrix whose row callerIdx[r] is src's row r.
+func permuteRows(src *mat.Dense, callerIdx []int) *mat.Dense {
+	out := mat.NewDense(src.Rows(), src.Cols())
+	for r := 0; r < src.Rows(); r++ {
+		copy(out.Row(callerIdx[r]), src.Row(r))
+	}
+	return out
+}
+
+func timeBounds(tweets []tgraph.Tweet) (lo, hi int) {
+	lo, hi = tweets[0].Time, tweets[0].Time
+	for _, tw := range tweets[1:] {
+		if tw.Time < lo {
+			lo = tw.Time
+		}
+		if tw.Time > hi {
+			hi = tw.Time
+		}
+	}
+	return lo, hi
+}

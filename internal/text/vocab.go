@@ -18,22 +18,58 @@ func NewVocabulary() *Vocabulary {
 // only tokens that occur in at least minDF documents. Tokens are assigned
 // indices in lexicographic order for determinism.
 func BuildVocabulary(docs [][]string, minDF int) *Vocabulary {
-	df := make(map[string]int)
-	seen := make(map[string]struct{})
+	b := NewVocabBuilder()
+	b.Add(docs...)
+	return b.Build(minDF)
+}
+
+// VocabBuilder accumulates document frequencies incrementally, so a
+// vocabulary can be grown from streamed batches before being frozen with
+// Build. The resulting vocabulary is identical to BuildVocabulary over the
+// concatenation of every Add call (document frequencies are additive and
+// the index order is lexicographic, so the arrival order of batches does
+// not matter).
+type VocabBuilder struct {
+	df   map[string]int
+	seen map[string]struct{}
+	docs int
+}
+
+// NewVocabBuilder returns an empty builder.
+func NewVocabBuilder() *VocabBuilder {
+	return &VocabBuilder{df: make(map[string]int), seen: make(map[string]struct{})}
+}
+
+// Add folds tokenized documents into the document-frequency counts.
+func (b *VocabBuilder) Add(docs ...[]string) {
 	for _, doc := range docs {
-		for k := range seen {
-			delete(seen, k)
-		}
+		clear(b.seen)
 		for _, tok := range doc {
-			if _, dup := seen[tok]; dup {
+			if _, dup := b.seen[tok]; dup {
 				continue
 			}
-			seen[tok] = struct{}{}
-			df[tok]++
+			b.seen[tok] = struct{}{}
+			b.df[tok]++
 		}
+		b.docs++
 	}
-	kept := make([]string, 0, len(df))
-	for tok, n := range df {
+}
+
+// Docs returns the number of documents added so far.
+func (b *VocabBuilder) Docs() int { return b.docs }
+
+// Distinct returns the number of distinct tokens observed so far.
+func (b *VocabBuilder) Distinct() int { return len(b.df) }
+
+// Build freezes the accumulated counts into a Vocabulary, keeping tokens
+// that occur in at least minDF documents, in lexicographic index order.
+// The builder remains usable (further Adds feed a later Build).
+func (b *VocabBuilder) Build(minDF int) *Vocabulary {
+	if minDF < 1 {
+		minDF = 1
+	}
+	kept := make([]string, 0, len(b.df))
+	for tok, n := range b.df {
 		if n >= minDF {
 			kept = append(kept, tok)
 		}

@@ -17,32 +17,69 @@ type Snapshot struct {
 	Corpus *Corpus
 }
 
-// BuildSnapshot slices c to tweets with Time in [from, to) and builds its
+// SnapshotBuilder builds snapshots with reusable scratch state (the
+// local-user index map and the compacted corpus buffers), so a long-lived
+// session that builds one snapshot per batch does not regrow them each
+// time. The zero value is ready to use; a builder is not safe for
+// concurrent use.
+//
+// Graph matrices are still freshly allocated per snapshot — they are
+// returned to the caller and have data-dependent sizes — but the builder
+// keeps the per-batch bookkeeping out of the steady-state profile.
+type SnapshotBuilder struct {
+	local   map[int]int
+	users   []User
+	tweets  []Tweet
+	compact Corpus
+}
+
+// Build slices c to tweets with Time in [from, to) and builds its
 // tripartite graph with a shared vocabulary (required so Sf(t) matrices
 // are comparable across snapshots) and users renumbered to the active set.
-func BuildSnapshot(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
+//
+// The returned Snapshot's Active and TweetIdx slices are freshly
+// allocated; the Corpus field aliases the builder's internal buffers and
+// is only valid until the next Build call.
+func (b *SnapshotBuilder) Build(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
 	sub, tweetIdx := c.Slice(from, to)
 	active := sub.ActiveUsers()
-	local := make(map[int]int, len(active))
-	for i, g := range active {
-		local[g] = i
-	}
-
-	// Re-home tweets onto local user indices in a compacted corpus copy.
-	compact := &Corpus{
-		Users:  make([]User, len(active)),
-		Tweets: make([]Tweet, len(sub.Tweets)),
+	if b.local == nil {
+		b.local = make(map[int]int, len(active))
+	} else {
+		clear(b.local)
 	}
 	for i, g := range active {
-		compact.Users[i] = c.Users[g]
-	}
-	for i, tw := range sub.Tweets {
-		tw.User = local[tw.User]
-		compact.Tweets[i] = tw
+		b.local[g] = i
 	}
 
-	g := Build(compact, BuildOptions{Weighting: w, Vocab: vocab})
-	return &Snapshot{Graph: g, Active: active, TweetIdx: tweetIdx, Corpus: compact}
+	// Re-home tweets onto local user indices in a compacted corpus copy
+	// backed by the builder's reusable buffers.
+	b.users = b.users[:0]
+	b.tweets = b.tweets[:0]
+	for _, g := range active {
+		b.users = append(b.users, c.Users[g])
+	}
+	for _, tw := range sub.Tweets {
+		tw.User = b.local[tw.User]
+		b.tweets = append(b.tweets, tw)
+	}
+	b.compact = Corpus{Users: b.users, Tweets: b.tweets}
+
+	g := Build(&b.compact, BuildOptions{Weighting: w, Vocab: vocab})
+	return &Snapshot{Graph: g, Active: active, TweetIdx: tweetIdx, Corpus: &b.compact}
+}
+
+// BuildSnapshot is the one-shot convenience over SnapshotBuilder.Build;
+// its Snapshot owns all of its memory.
+func BuildSnapshot(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
+	var b SnapshotBuilder
+	s := b.Build(c, from, to, vocab, w)
+	// Detach from the transient builder so the snapshot outlives it.
+	s.Corpus = &Corpus{
+		Users:  append([]User(nil), b.users...),
+		Tweets: append([]Tweet(nil), b.tweets...),
+	}
+	return s
 }
 
 // SnapshotSeries builds one snapshot per timestamp step in [lo, hi] using

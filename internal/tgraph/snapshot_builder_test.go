@@ -1,0 +1,68 @@
+package tgraph
+
+import (
+	"testing"
+
+	"triclust/internal/text"
+)
+
+func builderCorpus() *Corpus {
+	return &Corpus{
+		Users: []User{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		Tweets: []Tweet{
+			{Tokens: []string{"love", "win"}, User: 0, Time: 0, RetweetOf: -1, Label: NoLabel},
+			{Tokens: []string{"hate", "lose"}, User: 2, Time: 0, RetweetOf: -1, Label: NoLabel},
+			{Tokens: []string{"love", "lose"}, User: 1, Time: 1, RetweetOf: -1, Label: NoLabel},
+			{Tokens: []string{"win", "win"}, User: 2, Time: 1, RetweetOf: 1, Label: NoLabel},
+		},
+	}
+}
+
+// TestSnapshotBuilderMatchesOneShot checks the reusable builder produces
+// the same graphs as the one-shot BuildSnapshot across successive windows.
+func TestSnapshotBuilderMatchesOneShot(t *testing.T) {
+	c := builderCorpus()
+	vocab := text.BuildVocabulary(c.TokenDocs(), 1)
+	var b SnapshotBuilder
+	for _, window := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		got := b.Build(c, window[0], window[1], vocab, text.TF)
+		want := BuildSnapshot(c, window[0], window[1], vocab, text.TF)
+		if got.Graph.Xp.NNZ() != want.Graph.Xp.NNZ() ||
+			got.Graph.Xp.Rows() != want.Graph.Xp.Rows() {
+			t.Fatalf("window %v: Xp mismatch", window)
+		}
+		if len(got.Active) != len(want.Active) {
+			t.Fatalf("window %v: active mismatch %v vs %v", window, got.Active, want.Active)
+		}
+		for i := range got.Active {
+			if got.Active[i] != want.Active[i] {
+				t.Fatalf("window %v: active[%d] %d vs %d", window, i, got.Active[i], want.Active[i])
+			}
+		}
+		if got.Graph.Gu.NNZ() != want.Graph.Gu.NNZ() {
+			t.Fatalf("window %v: Gu mismatch", window)
+		}
+	}
+}
+
+// TestSnapshotBuilderReusesBuffers checks the builder's compact corpus is
+// rebuilt in place: the second Build overwrites, not appends.
+func TestSnapshotBuilderReusesBuffers(t *testing.T) {
+	c := builderCorpus()
+	vocab := text.BuildVocabulary(c.TokenDocs(), 1)
+	var b SnapshotBuilder
+	s0 := b.Build(c, 0, 1, vocab, text.TF)
+	if n := len(s0.Corpus.Tweets); n != 2 {
+		t.Fatalf("window 0 has %d tweets", n)
+	}
+	s1 := b.Build(c, 1, 2, vocab, text.TF)
+	if n := len(s1.Corpus.Tweets); n != 2 {
+		t.Fatalf("window 1 has %d tweets, buffers not reset", n)
+	}
+	// Local user remapping still correct on reuse.
+	for _, tw := range s1.Corpus.Tweets {
+		if tw.User < 0 || tw.User >= len(s1.Active) {
+			t.Fatalf("tweet user %d out of local range %d", tw.User, len(s1.Active))
+		}
+	}
+}

@@ -15,12 +15,22 @@
 //
 // For streaming data, create a Stream and feed it one batch per timestamp:
 //
-//	st, _ := triclust.NewStream(triclust.DefaultStreamOptions())
+//	st, _ := triclust.NewStream(users, triclust.DefaultStreamOptions())
 //	out, err := st.Process(day, batchCorpus)
 //
-// The heavy lifting lives in internal/core (the paper's Algorithms 1
-// and 2); this package wires tokenization, graph construction, lexicon
-// priors and class labeling around it.
+// # Architecture
+//
+// Fit and Stream are thin adapters over internal/engine, which decomposes
+// the pipeline into explicit stages — tokenize → vocabulary → graph build
+// → lexicon prior → solve → label — around two long-lived types:
+// engine.Model holds the frozen per-topic artifacts (tokenizer,
+// vocabulary, cached Sf0 prior, configuration) and engine.Session the
+// per-topic mutable state (the Algorithm-2 solver with its user history
+// plus reusable problem scaffolding, so steady-state batches allocate
+// nothing for the prior or the problem skeleton). The numerical heavy
+// lifting lives in internal/core (the paper's Algorithms 1 and 2) on the
+// parallel kernels of internal/mat and internal/sparse. cmd/triclustd
+// serves many concurrent topic sessions over HTTP on the same engine.
 package triclust
 
 import (
@@ -28,6 +38,7 @@ import (
 	"fmt"
 
 	"triclust/internal/core"
+	"triclust/internal/engine"
 	"triclust/internal/lexicon"
 	"triclust/internal/text"
 	"triclust/internal/tgraph"
@@ -50,6 +61,9 @@ type (
 	OnlineConfig = core.OnlineConfig
 	// Lexicon is a sentiment word list seeding the feature prior Sf0.
 	Lexicon = lexicon.Lexicon
+	// Sentiment is one item's inferred class with its soft membership,
+	// the output of the engine's labeling stage.
+	Sentiment = engine.Sentiment
 )
 
 // NoLabel marks an unlabeled tweet or user.
@@ -75,15 +89,6 @@ func ClassName(c int) string {
 	default:
 		return fmt.Sprintf("class%d", c)
 	}
-}
-
-// Sentiment is one item's inferred class with its soft membership.
-type Sentiment struct {
-	// Class is the argmax cluster (aligned to Pos/Neg/Neu when a lexicon
-	// prior is used).
-	Class int
-	// Confidence is the normalized membership weight of Class in [0,1].
-	Confidence float64
 }
 
 // Options configure Fit.
@@ -133,9 +138,7 @@ type Result struct {
 	// Raw exposes the factor matrices and loss history for analysis.
 	Raw *core.Result
 
-	vocab     *text.Vocabulary
-	weighting text.Weighting
-	tokenizer *text.Tokenizer
+	model *engine.Model
 }
 
 // PredictTweets classifies new tweets against the fitted model without
@@ -146,102 +149,72 @@ type Result struct {
 func (r *Result) PredictTweets(texts []string) ([]Sentiment, error) {
 	docs := make([][]string, len(texts))
 	for i, s := range texts {
-		docs[i] = r.tokenizer.Tokenize(s)
+		docs[i] = r.model.Tokenizer().Tokenize(s)
 	}
 	return r.PredictTokenized(docs)
 }
 
 // PredictTokenized is PredictTweets for pre-tokenized input.
 func (r *Result) PredictTokenized(docs [][]string) ([]Sentiment, error) {
-	xp := text.DocFeatureMatrix(docs, r.vocab, r.weighting)
-	sp, err := core.FoldInTweets(&r.Raw.Factors, xp)
-	if err != nil {
-		return nil, err
+	if r.model == nil || r.Raw == nil {
+		return nil, errors.New("triclust: result carries no model")
 	}
-	return sentimentsFromFactor(sp.Rows(), sp), nil
+	return r.model.Predict(&r.Raw.Factors, docs)
 }
 
-func sentimentsFromFactor(rows int, raw interface {
-	Row(int) []float64
-	Cols() int
-}) []Sentiment {
-	out := make([]Sentiment, rows)
-	for i := 0; i < rows; i++ {
-		row := raw.Row(i)
-		var sum, best float64
-		cls := 0
-		for j, v := range row {
-			sum += v
-			if v > best {
-				best, cls = v, j
-			}
-		}
-		conf := 0.0
-		if sum > 0 {
-			conf = best / sum
-		} else if raw.Cols() > 0 {
-			conf = 1 / float64(raw.Cols())
-		}
-		out[i] = Sentiment{Class: cls, Confidence: conf}
+// resultFrom adapts an engine outcome to the public Result shape.
+func resultFrom(out *engine.Outcome, m *engine.Model) *Result {
+	r := &Result{
+		TweetSentiments:   out.TweetSentiments,
+		UserSentiments:    out.UserSentiments,
+		FeatureSentiments: out.FeatureSentiments,
+		model:             m,
 	}
-	return out
+	if v := m.Vocabulary(); v != nil {
+		r.Vocabulary = v.Words()
+	}
+	if out.Res != nil {
+		r.Iterations = out.Res.Iterations
+		r.Converged = out.Res.Converged
+		r.Raw = out.Res
+	}
+	return r
 }
 
-func resultFrom(res *core.Result, vocab *text.Vocabulary, weighting text.Weighting, tok *text.Tokenizer) *Result {
-	return &Result{
-		TweetSentiments:   sentimentsFromFactor(res.Sp.Rows(), res.Sp),
-		UserSentiments:    sentimentsFromFactor(res.Su.Rows(), res.Su),
-		Vocabulary:        vocab.Words(),
-		FeatureSentiments: sentimentsFromFactor(res.Sf.Rows(), res.Sf),
-		Iterations:        res.Iterations,
-		Converged:         res.Converged,
-		Raw:               res,
-		vocab:             vocab,
-		weighting:         weighting,
-		tokenizer:         tok,
+// engineConfig translates the public option sets to an engine.Config.
+func engineConfig(cfg core.OnlineConfig, lex *Lexicon, hit float64, w text.Weighting, minDF int, tok text.TokenizerOptions) engine.Config {
+	return engine.Config{
+		Online:     cfg,
+		Lexicon:    lex,
+		LexiconHit: hit,
+		Weighting:  w,
+		MinDF:      minDF,
+		Tokenizer:  tok,
 	}
 }
 
 // Fit runs the offline tri-clustering algorithm (Algorithm 1) on a corpus
-// and returns tweet-, user- and feature-level sentiments.
+// and returns tweet-, user- and feature-level sentiments. It is a one-shot
+// adapter over the engine pipeline: a fresh engine.Model is built, its
+// vocabulary frozen from this corpus, and every stage runs once.
 func Fit(c *Corpus, o Options) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("triclust: nil corpus")
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	o = fillOptions(o)
-	c.Tokenize(text.NewTokenizer(o.Tokenizer))
-	g := tgraph.Build(c, tgraph.BuildOptions{Weighting: o.Weighting, MinDF: o.MinDF})
-	p := &core.Problem{
-		Xp:  g.Xp,
-		Xu:  g.Xu,
-		Xr:  g.Xr,
-		Gu:  g.Gu,
-		Sf0: o.Lexicon.Sf0(g.Vocab, o.Config.K, o.LexiconHit),
-	}
-	res, err := core.FitOffline(p, o.Config)
-	if err != nil {
-		return nil, err
-	}
-	return resultFrom(res, g.Vocab, o.Weighting, text.NewTokenizer(o.Tokenizer)), nil
-}
-
-func fillOptions(o Options) Options {
-	if o.Lexicon == nil {
-		o.Lexicon = lexicon.Builtin()
-	}
-	if o.LexiconHit == 0 {
-		o.LexiconHit = 0.8
-	}
-	if o.MinDF == 0 {
-		o.MinDF = 2
-	}
+	// An unconfigured solver selects the paper's *offline* setup (the
+	// engine's own fallback is the online one); every other default
+	// lives in engine.NewModel.
 	if o.Config.K == 0 {
 		o.Config = core.DefaultConfig()
 	}
-	return o
+	m := engine.NewModel(engineConfig(
+		core.OnlineConfig{Config: o.Config}, o.Lexicon, o.LexiconHit,
+		o.Weighting, o.MinDF, o.Tokenizer))
+	out, err := m.FitCorpus(c)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(out, m), nil
 }
 
 // StreamOptions configure a Stream.
@@ -278,116 +251,53 @@ type StreamResult struct {
 	Result
 	// ActiveUsers[i] is the global user index of UserSentiments[i].
 	ActiveUsers []int
+	// Skipped reports that the batch was empty and the step was a
+	// well-defined no-op: no solver ran, the vocabulary was not frozen,
+	// the timestamp was not consumed and user history is untouched.
+	Skipped bool
 }
 
 // Stream is the stateful online analyzer (Algorithm 2). It tracks user
 // history across batches; users are identified by their index in the
-// universe passed to NewStream.
+// universe passed to NewStream. Stream is an adapter over one
+// engine.Session; batch results are independent of tweet ordering within
+// the batch (tweets are canonicalized before the solver runs).
 type Stream struct {
-	opts   StreamOptions
-	online *core.Online
-	vocab  *text.Vocabulary
-	users  []User
-	tok    *text.Tokenizer
+	model *engine.Model
+	sess  *engine.Session
 }
 
 // NewStream creates a stream over a fixed user universe (tweets in later
 // batches refer to users by index into users).
 func NewStream(users []User, opts StreamOptions) (*Stream, error) {
-	if opts.Lexicon == nil {
-		opts.Lexicon = lexicon.Builtin()
-	}
-	if opts.LexiconHit == 0 {
-		opts.LexiconHit = 0.8
-	}
-	if opts.MinDF == 0 {
-		opts.MinDF = 2
-	}
-	if opts.Config.K == 0 {
-		opts.Config = core.DefaultOnlineConfig()
-	}
-	return &Stream{
-		opts:   opts,
-		online: core.NewOnline(opts.Config),
-		users:  users,
-		tok:    text.NewTokenizer(opts.Tokenizer),
-	}, nil
+	// All defaulting (lexicon, hit mass, MinDF, solver config) happens
+	// in engine.NewModel.
+	m := engine.NewModel(engineConfig(
+		opts.Config, opts.Lexicon, opts.LexiconHit,
+		opts.Weighting, opts.MinDF, opts.Tokenizer))
+	return &Stream{model: m, sess: m.NewSession(users)}, nil
 }
 
 // Process runs one online step on the batch of tweets with timestamp t.
-// Timestamps must strictly increase across calls. The first batch fixes
-// the vocabulary.
+// Timestamps must strictly increase across non-empty batches. The first
+// non-empty batch fixes the vocabulary; an empty batch returns a result
+// with Skipped set and changes nothing.
 func (s *Stream) Process(t int, tweets []Tweet) (*StreamResult, error) {
-	batch := &Corpus{Users: s.users, Tweets: tweets}
-	if err := batch.Validate(); err != nil {
-		return nil, err
-	}
-	batch.Tokenize(s.tok)
-	if s.vocab == nil {
-		s.vocab = text.BuildVocabulary(batch.TokenDocs(), s.opts.MinDF)
-	}
-	snap := tgraph.BuildSnapshot(batch, minTime(tweets), maxTime(tweets)+1, s.vocab, s.opts.Weighting)
-	p := &core.Problem{
-		Xp:  snap.Graph.Xp,
-		Xu:  snap.Graph.Xu,
-		Xr:  snap.Graph.Xr,
-		Gu:  snap.Graph.Gu,
-		Sf0: s.opts.Lexicon.Sf0(s.vocab, s.opts.Config.K, s.opts.LexiconHit),
-	}
-	res, err := s.online.Step(t, p, snap.Active)
+	out, err := s.sess.Process(t, tweets)
 	if err != nil {
 		return nil, err
 	}
-	out := &StreamResult{Result: *resultFrom(res, s.vocab, s.opts.Weighting, s.tok), ActiveUsers: snap.Active}
-	return out, nil
+	return &StreamResult{
+		Result:      *resultFrom(out, s.model),
+		ActiveUsers: out.Active,
+		Skipped:     out.Skipped,
+	}, nil
 }
 
 // UserEstimate returns the most recent sentiment estimate for a user, or
 // ok=false if the user has never appeared.
 func (s *Stream) UserEstimate(user int) (Sentiment, bool) {
-	row := s.online.LastUserEstimate(user)
-	if row == nil {
-		return Sentiment{}, false
-	}
-	var sum, best float64
-	cls := 0
-	for j, v := range row {
-		sum += v
-		if v > best {
-			best, cls = v, j
-		}
-	}
-	conf := 0.0
-	if sum > 0 {
-		conf = best / sum
-	}
-	return Sentiment{Class: cls, Confidence: conf}, true
-}
-
-func minTime(tweets []Tweet) int {
-	if len(tweets) == 0 {
-		return 0
-	}
-	lo := tweets[0].Time
-	for _, tw := range tweets[1:] {
-		if tw.Time < lo {
-			lo = tw.Time
-		}
-	}
-	return lo
-}
-
-func maxTime(tweets []Tweet) int {
-	if len(tweets) == 0 {
-		return 0
-	}
-	hi := tweets[0].Time
-	for _, tw := range tweets[1:] {
-		if tw.Time > hi {
-			hi = tw.Time
-		}
-	}
-	return hi
+	return s.sess.UserEstimate(user)
 }
 
 // BuiltinLexicon returns the general-purpose polarity lexicon.

@@ -276,8 +276,29 @@ func TestStreamEmptyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("empty batch should not error: %v", err)
 	}
+	if !out.Skipped {
+		t.Fatal("empty batch not marked Skipped")
+	}
 	if len(out.TweetSentiments) != 0 || len(out.ActiveUsers) != 0 {
 		t.Fatal("empty batch produced sentiments")
+	}
+	if len(out.Vocabulary) != 0 {
+		t.Fatal("empty batch froze a vocabulary")
+	}
+	// The skipped step consumed neither the timestamp nor the vocabulary
+	// freeze: the first *real* batch still defines both.
+	real, err := st.Process(0, []triclust.Tweet{
+		{Text: "love great win support", User: 0, RetweetOf: -1, Label: triclust.NoLabel},
+		{Text: "love great hate awful", User: 0, RetweetOf: -1, Label: triclust.NoLabel},
+	})
+	if err != nil {
+		t.Fatalf("real batch after skip: %v", err)
+	}
+	if real.Skipped || len(real.TweetSentiments) != 2 {
+		t.Fatal("real batch mislabeled after skip")
+	}
+	if len(real.Vocabulary) == 0 {
+		t.Fatal("vocabulary not frozen from the first real batch")
 	}
 }
 
