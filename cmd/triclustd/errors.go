@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"triclust/internal/codec"
+)
+
+// Stable error codes of the v1 API. Clients should branch on these, not
+// on message text or HTTP status alone; codes are append-only across
+// releases.
+const (
+	codeInvalidRequest  = "invalid_request"   // malformed JSON / missing fields
+	codeInvalidName     = "invalid_topic_name"
+	codeInvalidConfig   = "invalid_config"    // rejected by triclust validation
+	codeTopicExists     = "topic_exists"
+	codeTopicNotFound   = "topic_not_found"
+	codeUserNotFound    = "user_not_found"
+	codeInvalidBatch    = "invalid_batch"     // batch rejected by the engine
+	codeStaleTimestamp  = "stale_timestamp"   // batch time not after the last one
+	codeVocabFrozen     = "vocabulary_frozen" // warm-up after the freeze
+	codeInvalidSnapshot = "invalid_snapshot"  // corrupt / truncated snapshot body
+	codeSnapshotVersion = "unsupported_snapshot_version"
+	codeStorage         = "storage_error" // -data-dir persistence failed
+)
+
+// errorBody is the wire shape of every error response:
+//
+//	{"error": {"code": "topic_not_found", "message": "..."}}
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+}
+
+// snapshotErrorCode maps codec decode failures onto stable error codes.
+func snapshotErrorCode(err error) string {
+	switch {
+	case errors.Is(err, codec.ErrVersion):
+		return codeSnapshotVersion
+	default:
+		return codeInvalidSnapshot
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,35 +1,57 @@
 // Command triclustd serves dynamic tripartite sentiment co-clustering
-// over HTTP/JSON: a registry of named topic sessions, each a long-lived
-// engine.Session fed one tweet batch per timestamp. Independent topics
-// are served concurrently; batches within a topic serialize.
+// over a versioned HTTP/JSON API: a registry of named, durable topics,
+// each a long-lived triclust.Topic fed one tweet batch per timestamp.
+// Independent topics are served concurrently; batches within a topic
+// serialize.
 //
-//	triclustd -addr :8547
+//	triclustd -addr :8547 -data-dir /var/lib/triclustd
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
 //	GET    /healthz                          liveness
-//	POST   /v1/topics                        create a topic session
+//	POST   /v1/topics                        create a topic
 //	       {"name":"prop37","users":["a","b"],"options":{"k":3,"max_iter":40}}
 //	GET    /v1/topics                        list topic summaries
 //	GET    /v1/topics/{topic}                one topic's summary
-//	DELETE /v1/topics/{topic}                drop a topic session
+//	PUT    /v1/topics/{topic}                restore a topic from a binary snapshot body
+//	DELETE /v1/topics/{topic}                drop a topic (and its stored snapshot)
 //	POST   /v1/topics/{topic}/batches        process one timestamped batch
 //	       {"time":3,"tweets":[{"text":"love this","user":0}]}
+//	POST   /v1/topics/{topic}/vocab          vocabulary warm-up before the freeze
+//	       {"texts":["seed doc", ...],"freeze":false}
 //	GET    /v1/topics/{topic}/users/{user}   latest sentiment estimate
-//	GET    /v1/topics/{topic}/snapshot       vocabulary + learned feature sentiments
+//	GET    /v1/topics/{topic}/snapshot       durable binary snapshot (octet-stream)
+//	GET    /v1/topics/{topic}/features       vocabulary + learned feature sentiments
+//
+// Errors carry structured bodies with stable codes:
+//
+//	{"error":{"code":"stale_timestamp","message":"time 3 not after last processed 4"}}
+//
+// With -data-dir set the daemon is durable: every accepted batch (and
+// create/restore/warm-up) atomically writes the topic's snapshot to
+// <dir>/<topic>.snap before the response is sent, the files are reloaded
+// on startup, and SIGINT/SIGTERM triggers a graceful shutdown — in-flight
+// batches drain, then every topic is snapshotted one final time. A
+// restarted daemon serves the same user estimates it did before the
+// restart.
 //
 // The first non-empty batch of a topic freezes its vocabulary (the online
-// algorithm requires comparable feature spaces across snapshots); batch
-// times must strictly increase per topic; an empty batch is a recorded
-// no-op. Batch results are independent of tweet ordering within a batch.
+// algorithm requires comparable feature spaces across snapshots) unless a
+// vocab warm-up with "freeze":true fixed it earlier; batch times must
+// strictly increase per topic; an empty batch is a recorded no-op. Batch
+// results are independent of tweet ordering within a batch.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"triclust/internal/par"
@@ -38,12 +60,23 @@ import (
 func main() {
 	addr := flag.String("addr", ":8547", "listen address")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "parallelism width of the compute kernels")
+	dataDir := flag.String("data-dir", "", "directory for durable topic snapshots (empty: in-memory only)")
+	drain := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	par.SetProcs(*procs)
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "triclustd: "+format+"\n", args...)
+	}
+	handler, err := newServer(*dataDir, logf)
+	if err != nil {
+		logf("startup: %v", err)
+		os.Exit(1)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(),
+		Handler: handler,
 		// Bound header/body reads so idle or slow-drip clients cannot
 		// pin connections forever; batch *processing* time is not under
 		// these timeouts (they cover the request read only).
@@ -51,9 +84,34 @@ func main() {
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       5 * time.Minute,
 	}
-	fmt.Printf("triclustd listening on %s (kernel procs=%d)\n", *addr, par.Procs())
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintf(os.Stderr, "triclustd: %v\n", err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("triclustd listening on %s (kernel procs=%d, data-dir=%q)\n",
+		*addr, par.Procs(), *dataDir)
+
+	select {
+	case err := <-errCh:
+		logf("%v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight batches (each
+	// of which persists its own snapshot before responding), then write
+	// a final snapshot of every topic.
+	logf("signal received, draining (timeout %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("shutdown: %v", err)
+	}
+	if err := handler.snapshotAll(); err != nil {
+		logf("final snapshot: %v", err)
 		os.Exit(1)
 	}
+	logf("shutdown complete")
 }

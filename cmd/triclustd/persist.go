@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"triclust"
+)
+
+// topicNameRe bounds topic names to a filesystem- and URL-safe alphabet,
+// so a topic's snapshot file under -data-dir is always <name>.snap with
+// no escaping (and no path traversal).
+var topicNameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)
+
+func validTopicName(name string) error {
+	if !topicNameRe.MatchString(name) {
+		return fmt.Errorf("topic name %q must match %s", name, topicNameRe)
+	}
+	return nil
+}
+
+// store persists topic snapshots under a data directory, one
+// <topic>.snap file per topic, written atomically (temp file + rename).
+// A nil *store disables persistence; its methods are no-ops.
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create data dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) path(name string) string {
+	return filepath.Join(st.dir, name+".snap")
+}
+
+// save writes one topic's snapshot atomically: a crash mid-write leaves
+// the previous snapshot intact, never a torn file (and Restore would
+// reject a torn file by checksum anyway).
+func (st *store) save(name string, tp *triclust.Topic) error {
+	if st == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(st.dir, name+".snap.tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := tp.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(name)); err != nil {
+		return err
+	}
+	// The rename itself must be durable too: fsync the directory so the
+	// new entry survives a power failure, not just a process crash.
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// remove deletes a topic's snapshot (if any).
+func (st *store) remove(name string) {
+	if st != nil {
+		_ = os.Remove(st.path(name))
+	}
+}
+
+// loadAll restores every *.snap file in the data directory. Undecodable
+// snapshots (and stray files) are reported but skipped: one corrupt file
+// must not keep the daemon from serving the healthy topics.
+func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*triclust.Topic, error) {
+	if st == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*triclust.Topic)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".snap")
+		if err := validTopicName(name); err != nil {
+			warn("skipping %s: %v", e.Name(), err)
+			continue
+		}
+		f, err := os.Open(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			warn("skipping %s: %v", e.Name(), err)
+			continue
+		}
+		tp, err := triclust.Restore(f)
+		f.Close()
+		if err != nil {
+			warn("skipping %s: %v", e.Name(), err)
+			continue
+		}
+		out[name] = tp
+	}
+	return out, nil
+}

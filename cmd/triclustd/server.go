@@ -9,33 +9,53 @@ import (
 	"sync"
 	"time"
 
-	"triclust/internal/core"
-	"triclust/internal/engine"
-	"triclust/internal/tgraph"
+	"triclust"
 )
 
-// server is the HTTP façade over a registry of named topic sessions.
-// Registry lookups take the read lock; create/delete take the write lock.
-// Each topic serializes its own batch processing with a per-topic mutex,
-// so batches for independent topics are solved concurrently.
+// server is the HTTP façade over a registry of named, durable topics.
+// Registry lookups take the read lock; create/restore/delete take the
+// write lock. Each topic serializes its own batch processing with a
+// per-topic mutex, so batches for independent topics are solved
+// concurrently. With a data directory configured, every state-changing
+// operation is followed by an atomic snapshot write, so a restarted
+// daemon resumes exactly where it stopped.
 type server struct {
 	mu     sync.RWMutex
 	topics map[string]*topic
+	store  *store // nil: in-memory only
+	logf   func(format string, args ...any)
+	mux    *http.ServeMux
 }
 
 type topic struct {
 	name    string
 	created time.Time
 
-	mu       sync.Mutex // serializes Process + metadata updates
-	sess     *engine.Session
-	lastT    int
-	hasLast  bool
-	features []engine.Sentiment // learned feature sentiments of the last batch
+	mu      sync.Mutex // serializes Process + persistence + deletion
+	tp      *triclust.Topic
+	deleted bool // set under mu by deleteTopic; no save may follow
 }
 
-func newServer() http.Handler {
-	s := &server{topics: make(map[string]*topic)}
+// newServer builds the registry, restoring every snapshot found under
+// dataDir (empty dataDir disables persistence).
+func newServer(dataDir string, logf func(format string, args ...any)) (*server, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	st, err := newStore(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{topics: make(map[string]*topic), store: st, logf: logf}
+	restored, err := st.loadAll(logf)
+	if err != nil {
+		return nil, err
+	}
+	for name, tp := range restored {
+		s.topics[name] = &topic{name: name, created: time.Now().UTC(), tp: tp}
+		s.logf("restored topic %q (%d batches, %d users)", name, tp.Batches(), tp.Users())
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -43,11 +63,27 @@ func newServer() http.Handler {
 	mux.HandleFunc("POST /v1/topics", s.createTopic)
 	mux.HandleFunc("GET /v1/topics", s.listTopics)
 	mux.HandleFunc("GET /v1/topics/{topic}", s.topicInfo)
+	mux.HandleFunc("PUT /v1/topics/{topic}", s.restoreTopic)
 	mux.HandleFunc("DELETE /v1/topics/{topic}", s.deleteTopic)
 	mux.HandleFunc("POST /v1/topics/{topic}/batches", s.processBatch)
+	mux.HandleFunc("POST /v1/topics/{topic}/vocab", s.warmupVocab)
 	mux.HandleFunc("GET /v1/topics/{topic}/users/{user}", s.userEstimate)
 	mux.HandleFunc("GET /v1/topics/{topic}/snapshot", s.exportSnapshot)
-	return mux
+	mux.HandleFunc("GET /v1/topics/{topic}/features", s.featureSentiments)
+	s.mux = mux
+	return s, nil
+}
+
+// maxRequestBody bounds every request body (JSON and snapshot uploads)
+// so a hostile client cannot make the daemon buffer gigabytes.
+const maxRequestBody = 256 << 20
+
+// ServeHTTP routes the versioned API.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	}
+	s.mux.ServeHTTP(w, r)
 }
 
 // ——— wire types ———
@@ -65,8 +101,8 @@ type topicOptions struct {
 	LexiconHit float64  `json:"lexicon_hit,omitempty"`
 }
 
-func (o topicOptions) onlineConfig() core.OnlineConfig {
-	cfg := core.DefaultOnlineConfig()
+func (o topicOptions) onlineConfig() triclust.OnlineConfig {
+	cfg := triclust.DefaultStreamOptions().Config
 	if o.K != 0 {
 		cfg.K = o.K
 	}
@@ -109,6 +145,7 @@ type topicSummary struct {
 	Skipped    int       `json:"skipped"`
 	KnownUsers int       `json:"known_users"`
 	VocabSize  int       `json:"vocab_size"`
+	Frozen     bool      `json:"frozen"`
 	LastTime   *int      `json:"last_time,omitempty"`
 }
 
@@ -145,8 +182,21 @@ type batchResponse struct {
 	Users      []userSentimentJSON `json:"users"`
 }
 
-type snapshotResponse struct {
-	topicSummary
+type vocabRequest struct {
+	// Texts are warmed up through the topic's tokenizer; Docs are
+	// pre-tokenized documents. Both may be given.
+	Texts []string   `json:"texts,omitempty"`
+	Docs  [][]string `json:"docs,omitempty"`
+	// Freeze fixes the vocabulary right after folding the documents in.
+	Freeze bool `json:"freeze,omitempty"`
+}
+
+type vocabResponse struct {
+	Frozen    bool `json:"frozen"`
+	VocabSize int  `json:"vocab_size"`
+}
+
+type featuresResponse struct {
 	Vocabulary []string        `json:"vocabulary"`
 	Features   []sentimentJSON `json:"features"`
 }
@@ -156,37 +206,91 @@ type snapshotResponse struct {
 func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 	var req createTopicRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	if req.Name == "" {
-		httpError(w, http.StatusBadRequest, errors.New("missing topic name"))
+	if err := validTopicName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidName, err)
 		return
 	}
 	if len(req.Users) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("missing user universe"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("missing user universe"))
 		return
 	}
-	users := make([]tgraph.User, len(req.Users))
+	users := make([]triclust.User, len(req.Users))
 	for i, name := range req.Users {
-		users[i] = tgraph.User{Name: name, Label: tgraph.NoLabel}
+		users[i] = triclust.User{Name: name, Label: triclust.NoLabel}
 	}
-	model := engine.NewModel(engine.Config{
-		Online:     req.Options.onlineConfig(),
-		LexiconHit: req.Options.LexiconHit,
-		MinDF:      req.Options.MinDF,
-	})
-	tp := &topic{name: req.Name, created: time.Now().UTC(), sess: model.NewSession(users)}
-
-	s.mu.Lock()
-	if _, exists := s.topics[req.Name]; exists {
-		s.mu.Unlock()
-		httpError(w, http.StatusConflict, fmt.Errorf("topic %q already exists", req.Name))
+	tr, err := triclust.NewTopic(users,
+		triclust.WithSolverConfig(req.Options.onlineConfig()),
+		triclust.WithMinDF(req.Options.MinDF),
+		triclust.WithLexiconHit(req.Options.LexiconHit))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidConfig, err)
 		return
 	}
-	s.topics[req.Name] = tp
-	s.mu.Unlock()
+	tp := &topic{name: req.Name, created: time.Now().UTC(), tp: tr}
+	if !s.register(w, tp) {
+		return
+	}
+	if !s.persistNew(w, tp) {
+		return
+	}
 	writeJSON(w, http.StatusCreated, tp.summary())
+}
+
+// restoreTopic implements PUT /v1/topics/{topic}: the request body is a
+// binary snapshot (from GET …/snapshot or triclust.Topic.Snapshot); the
+// topic resumes exactly where the snapshot was taken.
+func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("topic")
+	if err := validTopicName(name); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidName, err)
+		return
+	}
+	tr, err := triclust.Restore(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, snapshotErrorCode(err), err)
+		return
+	}
+	tp := &topic{name: name, created: time.Now().UTC(), tp: tr}
+	if !s.register(w, tp) {
+		return
+	}
+	if !s.persistNew(w, tp) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, tp.summary())
+}
+
+// persistNew writes a freshly registered topic's first snapshot. A 201
+// must imply durability when -data-dir is set, so on failure the topic
+// is unregistered again and the request fails with storage_error.
+func (s *server) persistNew(w http.ResponseWriter, tp *topic) bool {
+	if err := s.store.save(tp.name, tp.tp); err != nil {
+		s.mu.Lock()
+		delete(s.topics, tp.name)
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, codeStorage,
+			fmt.Errorf("topic not persisted: %w", err))
+		return false
+	}
+	return true
+}
+
+// register installs a topic in the registry, failing with 409 if the
+// name is taken.
+func (s *server) register(w http.ResponseWriter, tp *topic) bool {
+	s.mu.Lock()
+	if _, exists := s.topics[tp.name]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, codeTopicExists,
+			fmt.Errorf("topic %q already exists", tp.name))
+		return false
+	}
+	s.topics[tp.name] = tp
+	s.mu.Unlock()
+	return true
 }
 
 func (s *server) lookup(w http.ResponseWriter, r *http.Request) *topic {
@@ -195,7 +299,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *topic {
 	tp := s.topics[name]
 	s.mu.RUnlock()
 	if tp == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown topic %q", name))
+		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("unknown topic %q", name))
 	}
 	return tp
 }
@@ -223,13 +327,20 @@ func (s *server) topicInfo(w http.ResponseWriter, r *http.Request) {
 func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("topic")
 	s.mu.Lock()
-	_, ok := s.topics[name]
+	tp, ok := s.topics[name]
 	delete(s.topics, name)
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown topic %q", name))
+		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("unknown topic %q", name))
 		return
 	}
+	// Mark the topic deleted under its own lock before removing the
+	// snapshot file, so an in-flight batch that already passed lookup
+	// cannot re-persist (resurrect) the topic afterwards.
+	tp.mu.Lock()
+	tp.deleted = true
+	s.store.remove(name)
+	tp.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -240,18 +351,18 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	tweets := make([]tgraph.Tweet, len(req.Tweets))
+	tweets := make([]triclust.Tweet, len(req.Tweets))
 	for i, ts := range req.Tweets {
-		tw := tgraph.Tweet{
+		tw := triclust.Tweet{
 			Text:      ts.Text,
 			Tokens:    ts.Tokens,
 			User:      ts.User,
 			Time:      req.Time,
 			RetweetOf: -1,
-			Label:     tgraph.NoLabel,
+			Label:     triclust.NoLabel,
 		}
 		if ts.Time != nil {
 			tw.Time = *ts.Time
@@ -263,21 +374,33 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tp.mu.Lock()
-	if tp.hasLast && len(tweets) > 0 && req.Time <= tp.lastT {
+	if tp.deleted {
 		tp.mu.Unlock()
-		httpError(w, http.StatusConflict,
-			fmt.Errorf("time %d not after last processed %d", req.Time, tp.lastT))
+		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
 		return
 	}
-	out, err := tp.sess.Process(req.Time, tweets)
+	if last, ok := tp.tp.LastTime(); ok && len(tweets) > 0 && req.Time <= last {
+		tp.mu.Unlock()
+		writeError(w, http.StatusConflict, codeStaleTimestamp,
+			fmt.Errorf("time %d not after last processed %d", req.Time, last))
+		return
+	}
+	out, err := tp.tp.Process(req.Time, tweets)
 	if err != nil {
 		tp.mu.Unlock()
-		httpError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, codeInvalidBatch, err)
 		return
 	}
 	if !out.Skipped {
-		tp.lastT, tp.hasLast = req.Time, true
-		tp.features = out.FeatureSentiments
+		// Snapshot-on-batch durability: the new state is persisted before
+		// the response is sent, so an acknowledged batch survives a
+		// restart.
+		if err := s.store.save(tp.name, tp.tp); err != nil {
+			tp.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, codeStorage,
+				fmt.Errorf("batch applied in memory but snapshot not persisted: %w", err))
+			return
+		}
 	}
 	tp.mu.Unlock()
 
@@ -287,14 +410,66 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		Tweets:  toJSON(out.TweetSentiments),
 		Users:   make([]userSentimentJSON, len(out.UserSentiments)),
 	}
-	if out.Res != nil {
-		resp.Iterations = out.Res.Iterations
-		resp.Converged = out.Res.Converged
-	}
+	resp.Iterations = out.Iterations
+	resp.Converged = out.Converged
 	for i, sen := range out.UserSentiments {
-		resp.Users[i] = userSentimentJSON{User: out.Active[i], sentimentJSON: oneJSON(sen)}
+		resp.Users[i] = userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// warmupVocab implements POST /v1/topics/{topic}/vocab: fold warm-up
+// documents into the vocabulary before the first batch freezes it, and
+// optionally freeze it explicitly.
+func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
+	tp := s.lookup(w, r)
+	if tp == nil {
+		return
+	}
+	var req vocabRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.deleted {
+		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
+		return
+	}
+	if len(req.Texts) > 0 {
+		if err := tp.tp.WarmupVocabulary(req.Texts...); err != nil {
+			writeError(w, http.StatusConflict, codeVocabFrozen, err)
+			return
+		}
+	}
+	if len(req.Docs) > 0 {
+		if err := tp.tp.WarmupTokenized(req.Docs); err != nil {
+			writeError(w, http.StatusConflict, codeVocabFrozen, err)
+			return
+		}
+	}
+	if req.Freeze {
+		if err := tp.tp.Freeze(); err != nil {
+			// Freeze fails for two distinct reasons: the vocabulary is
+			// already frozen (a conflict) or the warm-up counts yield no
+			// words at MinDF (a bad request, fixed by sending more docs).
+			if tp.tp.Frozen() {
+				writeError(w, http.StatusConflict, codeVocabFrozen, err)
+			} else {
+				writeError(w, http.StatusUnprocessableEntity, codeInvalidRequest, err)
+			}
+			return
+		}
+	}
+	if err := s.store.save(tp.name, tp.tp); err != nil {
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vocabResponse{
+		Frozen:    tp.tp.Frozen(),
+		VocabSize: tp.tp.VocabSize(),
+	})
 }
 
 func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
@@ -304,30 +479,78 @@ func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	user, err := strconv.Atoi(r.PathValue("user"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("bad user id: %w", err))
 		return
 	}
-	est, ok := tp.sess.UserEstimate(user)
+	est, ok := tp.tp.UserEstimate(user)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("user %d has no history", user))
+		writeError(w, http.StatusNotFound, codeUserNotFound, fmt.Errorf("user %d has no history", user))
 		return
 	}
 	writeJSON(w, http.StatusOK, userSentimentJSON{User: user, sentimentJSON: oneJSON(est)})
 }
 
+// exportSnapshot implements GET /v1/topics/{topic}/snapshot: the durable
+// binary export. The body round-trips through PUT /v1/topics/{name} (on
+// this or another daemon) and through triclust.Restore.
 func (s *server) exportSnapshot(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
 	if tp == nil {
 		return
 	}
-	resp := snapshotResponse{topicSummary: tp.summary()}
-	if v := tp.sess.Model().Vocabulary(); v != nil {
-		resp.Vocabulary = v.Words()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", tp.name+".snap"))
+	if err := tp.tp.Snapshot(w); err != nil {
+		// Headers are committed; all we can do is drop the connection so
+		// the client sees a truncated (checksum-failing) body.
+		s.logf("snapshot %q: %v", tp.name, err)
+		panic(http.ErrAbortHandler)
 	}
-	tp.mu.Lock()
-	resp.Features = toJSON(tp.features)
-	tp.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+}
+
+// featureSentiments returns the vocabulary with the learned per-word
+// sentiments of the most recent solve (the JSON companion to the binary
+// snapshot). Because it labels the topic's own last factors — which the
+// snapshot carries — it serves the same data after a restart or restore.
+func (s *server) featureSentiments(w http.ResponseWriter, r *http.Request) {
+	tp := s.lookup(w, r)
+	if tp == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, featuresResponse{
+		Vocabulary: tp.tp.Vocabulary(),
+		Features:   toJSON(tp.tp.FeatureSentiments()),
+	})
+}
+
+// snapshotAll persists every topic (used for the final snapshot during
+// graceful shutdown). It reports the first error but keeps going.
+func (s *server) snapshotAll() error {
+	if s.store == nil {
+		return nil
+	}
+	s.mu.RLock()
+	topics := make([]*topic, 0, len(s.topics))
+	for _, tp := range s.topics {
+		topics = append(topics, tp)
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, tp := range topics {
+		tp.mu.Lock()
+		var err error
+		if !tp.deleted {
+			err = s.store.save(tp.name, tp.tp)
+		}
+		tp.mu.Unlock()
+		if err != nil {
+			s.logf("final snapshot %q: %v", tp.name, err)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // ——— helpers ———
@@ -336,54 +559,31 @@ func (tp *topic) summary() topicSummary {
 	sum := topicSummary{
 		Name:       tp.name,
 		Created:    tp.created,
-		Users:      tp.sess.NumUsers(),
-		Batches:    tp.sess.Batches(),
-		Skipped:    tp.sess.Skipped(),
-		KnownUsers: tp.sess.KnownUsers(),
+		Users:      tp.tp.Users(),
+		Batches:    tp.tp.Batches(),
+		Skipped:    tp.tp.SkippedBatches(),
+		KnownUsers: tp.tp.KnownUsers(),
 	}
-	if v := tp.sess.Model().Vocabulary(); v != nil {
-		sum.VocabSize = v.Len()
-	}
-	tp.mu.Lock()
-	if tp.hasLast {
-		last := tp.lastT
+	sum.VocabSize = tp.tp.VocabSize()
+	sum.Frozen = tp.tp.Frozen()
+	if last, ok := tp.tp.LastTime(); ok {
 		sum.LastTime = &last
 	}
-	tp.mu.Unlock()
 	return sum
 }
 
-func classNameOf(c int) string {
-	switch c {
-	case 0:
-		return "positive"
-	case 1:
-		return "negative"
-	case 2:
-		return "neutral"
-	default:
-		return fmt.Sprintf("class%d", c)
+func oneJSON(s triclust.Sentiment) sentimentJSON {
+	return sentimentJSON{
+		Class:      s.Class,
+		ClassName:  triclust.ClassName(s.Class),
+		Confidence: s.Confidence,
 	}
 }
 
-func oneJSON(s engine.Sentiment) sentimentJSON {
-	return sentimentJSON{Class: s.Class, ClassName: classNameOf(s.Class), Confidence: s.Confidence}
-}
-
-func toJSON(ss []engine.Sentiment) []sentimentJSON {
+func toJSON(ss []triclust.Sentiment) []sentimentJSON {
 	out := make([]sentimentJSON, len(ss))
 	for i, s := range ss {
 		out[i] = oneJSON(s)
 	}
 	return out
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -11,6 +13,17 @@ import (
 
 	"triclust/internal/synth"
 )
+
+func testServer(t *testing.T, dataDir string) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(dataDir, t.Logf)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	hs := httptest.NewServer(s)
+	t.Cleanup(hs.Close)
+	return s, hs
+}
 
 // doJSON issues one JSON request and decodes the response. It returns
 // errors instead of failing the test so worker goroutines can use it.
@@ -37,6 +50,17 @@ func doJSON(client *http.Client, method, url string, body, out any) (int, error)
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// errCode fetches the stable error code of a failed request.
+func errCode(t *testing.T, client *http.Client, method, url string, body any) (int, string) {
+	t.Helper()
+	var eb errorBody
+	code, err := doJSON(client, method, url, body, &eb)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	return code, eb.Error.Code
 }
 
 func synthTopic(t *testing.T, seed int64) (*synth.Dataset, createTopicRequest) {
@@ -77,8 +101,7 @@ func dayTweets(d *synth.Dataset, day int) []tweetSpec {
 // snapshot export). Under go test -race this exercises the registry and
 // the per-session locking.
 func TestTwoTopicsConcurrently(t *testing.T) {
-	srv := httptest.NewServer(newServer())
-	defer srv.Close()
+	_, srv := testServer(t, "")
 	client := srv.Client()
 
 	type topicRun struct {
@@ -157,7 +180,7 @@ func TestTwoTopicsConcurrently(t *testing.T) {
 		if err != nil || code != http.StatusOK {
 			t.Fatalf("info %s: status %d err %v", run.name, code, err)
 		}
-		if sum.Batches < 2 || sum.VocabSize == 0 || sum.KnownUsers == 0 {
+		if sum.Batches < 2 || sum.VocabSize == 0 || sum.KnownUsers == 0 || !sum.Frozen {
 			t.Fatalf("summary %s: %+v", run.name, sum)
 		}
 		user := run.d.Corpus.Tweets[0].User
@@ -170,14 +193,14 @@ func TestTwoTopicsConcurrently(t *testing.T) {
 		if est.User != user || est.Confidence < 0 || est.Confidence > 1 {
 			t.Fatalf("estimate %s: %+v", run.name, est)
 		}
-		var snap snapshotResponse
-		code, err = doJSON(client, "GET", srv.URL+"/v1/topics/"+run.name+"/snapshot", nil, &snap)
+		var feats featuresResponse
+		code, err = doJSON(client, "GET", srv.URL+"/v1/topics/"+run.name+"/features", nil, &feats)
 		if err != nil || code != http.StatusOK {
-			t.Fatalf("snapshot %s: status %d err %v", run.name, code, err)
+			t.Fatalf("features %s: status %d err %v", run.name, code, err)
 		}
-		if len(snap.Vocabulary) == 0 || len(snap.Features) != len(snap.Vocabulary) {
-			t.Fatalf("snapshot %s: %d words, %d features",
-				run.name, len(snap.Vocabulary), len(snap.Features))
+		if len(feats.Vocabulary) == 0 || len(feats.Features) != len(feats.Vocabulary) {
+			t.Fatalf("features %s: %d words, %d features",
+				run.name, len(feats.Vocabulary), len(feats.Features))
 		}
 	}
 
@@ -191,26 +214,35 @@ func TestTwoTopicsConcurrently(t *testing.T) {
 }
 
 func TestTopicLifecycleAndErrors(t *testing.T) {
-	srv := httptest.NewServer(newServer())
-	defer srv.Close()
+	_, srv := testServer(t, "")
 	client := srv.Client()
 
-	// Unknown topic → 404.
-	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/nope", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("unknown topic: status %d", code)
+	// Unknown topic → 404 with a stable code.
+	if code, ec := errCode(t, client, "GET", srv.URL+"/v1/topics/nope", nil); code != http.StatusNotFound || ec != codeTopicNotFound {
+		t.Fatalf("unknown topic: status %d code %q", code, ec)
 	}
 	// Create without users → 400.
-	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics",
-		createTopicRequest{Name: "x"}, nil); code != http.StatusBadRequest {
-		t.Fatalf("create without users: status %d", code)
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics",
+		createTopicRequest{Name: "x"}); code != http.StatusBadRequest || ec != codeInvalidRequest {
+		t.Fatalf("create without users: status %d code %q", code, ec)
+	}
+	// Bad topic name → 400 invalid_topic_name.
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics",
+		createTopicRequest{Name: "../escape", Users: []string{"a"}}); code != http.StatusBadRequest || ec != codeInvalidName {
+		t.Fatalf("bad name: status %d code %q", code, ec)
+	}
+	// Invalid configuration → 400 invalid_config.
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics",
+		createTopicRequest{Name: "bad-k", Users: []string{"a"}, Options: topicOptions{K: 9}}); code != http.StatusBadRequest || ec != codeInvalidConfig {
+		t.Fatalf("invalid config: status %d code %q", code, ec)
 	}
 	// Create, duplicate → 409.
 	req := createTopicRequest{Name: "x", Users: []string{"a", "b"}}
 	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
 		t.Fatalf("create: status %d err %v", code, err)
 	}
-	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); code != http.StatusConflict {
-		t.Fatalf("duplicate create: status %d", code)
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics", req); code != http.StatusConflict || ec != codeTopicExists {
+		t.Fatalf("duplicate create: status %d code %q", code, ec)
 	}
 
 	// Empty batch is a recorded no-op.
@@ -219,12 +251,12 @@ func TestTopicLifecycleAndErrors(t *testing.T) {
 		batchRequest{Time: 0}, &resp); err != nil || code != http.StatusOK || !resp.Skipped {
 		t.Fatalf("empty batch: status %d skipped %v err %v", code, resp.Skipped, err)
 	}
-	// Invalid user index → 422.
-	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
-		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "hi", User: 9}}}, nil); code != http.StatusUnprocessableEntity {
-		t.Fatalf("invalid batch: status %d", code)
+	// Invalid user index → 422 invalid_batch.
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "hi", User: 9}}}); code != http.StatusUnprocessableEntity || ec != codeInvalidBatch {
+		t.Fatalf("invalid batch: status %d code %q", code, ec)
 	}
-	// Valid batch; then a stale timestamp → 409.
+	// Valid batch; then a stale timestamp → 409 stale_timestamp.
 	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
 		batchRequest{Time: 1, Tweets: []tweetSpec{
 			{Text: "love love great win", User: 0},
@@ -232,16 +264,16 @@ func TestTopicLifecycleAndErrors(t *testing.T) {
 		}}, &resp); err != nil || code != http.StatusOK || resp.Skipped {
 		t.Fatalf("valid batch: status %d err %v", code, err)
 	}
-	if code, _ := doJSON(client, "POST", srv.URL+"/v1/topics/x/batches",
-		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "again", User: 0}}}, nil); code != http.StatusConflict {
-		t.Fatalf("stale timestamp: status %d", code)
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics/x/batches",
+		batchRequest{Time: 1, Tweets: []tweetSpec{{Text: "again", User: 0}}}); code != http.StatusConflict || ec != codeStaleTimestamp {
+		t.Fatalf("stale timestamp: status %d code %q", code, ec)
 	}
 	// User with no history → 404; delete → 204; gone → 404.
 	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x/users/1", nil, nil); code != http.StatusOK {
 		t.Fatalf("active user estimate: status %d", code)
 	}
-	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x/users/99", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("unknown user estimate: status %d", code)
+	if code, ec := errCode(t, client, "GET", srv.URL+"/v1/topics/x/users/99", nil); code != http.StatusNotFound || ec != codeUserNotFound {
+		t.Fatalf("unknown user estimate: status %d code %q", code, ec)
 	}
 	req2, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/topics/x", nil)
 	if err != nil {
@@ -257,5 +289,220 @@ func TestTopicLifecycleAndErrors(t *testing.T) {
 	}
 	if code, _ := doJSON(client, "GET", srv.URL+"/v1/topics/x", nil, nil); code != http.StatusNotFound {
 		t.Fatalf("deleted topic: status %d", code)
+	}
+}
+
+// TestVocabWarmupOverHTTP: POST /vocab seeds and freezes the vocabulary
+// before any batch, and warm-up after the freeze fails with a stable code.
+func TestVocabWarmupOverHTTP(t *testing.T) {
+	_, srv := testServer(t, "")
+	client := srv.Client()
+	req := createTopicRequest{Name: "warm", Users: []string{"a"}, Options: topicOptions{MinDF: 2, MaxIter: 5}}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, err)
+	}
+	var vr vocabResponse
+	code, err := doJSON(client, "POST", srv.URL+"/v1/topics/warm/vocab", vocabRequest{
+		Texts: []string{"label gmo ballot", "label gmo vote", "stray word"},
+	}, &vr)
+	if err != nil || code != http.StatusOK || vr.Frozen {
+		t.Fatalf("warm-up: %d %+v %v", code, vr, err)
+	}
+	code, err = doJSON(client, "POST", srv.URL+"/v1/topics/warm/vocab", vocabRequest{Freeze: true}, &vr)
+	if err != nil || code != http.StatusOK || !vr.Frozen || vr.VocabSize != 2 {
+		t.Fatalf("freeze: %d %+v %v", code, vr, err)
+	}
+	if code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics/warm/vocab",
+		vocabRequest{Texts: []string{"too late"}}); code != http.StatusConflict || ec != codeVocabFrozen {
+		t.Fatalf("post-freeze warm-up: status %d code %q", code, ec)
+	}
+	// Batches run against the pre-frozen vocabulary.
+	var resp batchResponse
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/warm/batches",
+		batchRequest{Time: 0, Tweets: []tweetSpec{{Text: "label gmo today", User: 0}}}, &resp); err != nil || code != http.StatusOK || resp.Skipped {
+		t.Fatalf("batch after freeze: %d %v", code, err)
+	}
+	var sum topicSummary
+	if _, err := doJSON(client, "GET", srv.URL+"/v1/topics/warm", nil, &sum); err != nil || sum.VocabSize != 2 {
+		t.Fatalf("summary after batch: %+v %v", sum, err)
+	}
+}
+
+// fetchSnapshot downloads a topic's binary snapshot.
+func fetchSnapshot(t *testing.T, client *http.Client, url string) []byte {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("snapshot content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSnapshotRestoreOverHTTP: GET …/snapshot → PUT /v1/topics/{new}
+// round-trips a topic; the restored topic serves identical estimates and
+// processes the next batch identically to the original.
+func TestSnapshotRestoreOverHTTP(t *testing.T) {
+	_, srv := testServer(t, "")
+	client := srv.Client()
+	d, req := synthTopic(t, 5)
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, err)
+	}
+	for day := 0; day < 3; day++ {
+		if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/"+req.Name+"/batches",
+			batchRequest{Time: day, Tweets: dayTweets(d, day)}, nil); err != nil || code != http.StatusOK {
+			t.Fatalf("day %d: %d %v", day, code, err)
+		}
+	}
+	snap := fetchSnapshot(t, client, srv.URL+"/v1/topics/"+req.Name+"/snapshot")
+
+	// Corrupt snapshot body → 400 invalid_snapshot, nothing registered.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)/2] ^= 0xff
+	putReq, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/topics/badcopy", bytes.NewReader(bad))
+	resp, err := client.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != codeInvalidSnapshot {
+		t.Fatalf("corrupt PUT: status %d code %q", resp.StatusCode, eb.Error.Code)
+	}
+
+	// Pristine snapshot restores under a new name.
+	putReq, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/topics/copy", bytes.NewReader(snap))
+	resp, err = client.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum topicSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sum.Batches != 3 || sum.Name != "copy" {
+		t.Fatalf("restore: status %d summary %+v", resp.StatusCode, sum)
+	}
+
+	// The next batch solves identically on the original and the copy.
+	batch := batchRequest{Time: 3, Tweets: dayTweets(d, 3)}
+	var orig, copied batchResponse
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/"+req.Name+"/batches", batch, &orig); err != nil || code != http.StatusOK {
+		t.Fatalf("original day 3: %d %v", code, err)
+	}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/copy/batches", batch, &copied); err != nil || code != http.StatusOK {
+		t.Fatalf("copy day 3: %d %v", code, err)
+	}
+	if len(orig.Tweets) != len(copied.Tweets) || orig.Iterations != copied.Iterations {
+		t.Fatalf("restored continuation diverged: %d/%d tweets, %d/%d iterations",
+			len(orig.Tweets), len(copied.Tweets), orig.Iterations, copied.Iterations)
+	}
+	for i := range orig.Tweets {
+		if orig.Tweets[i].Class != copied.Tweets[i].Class ||
+			math.Abs(orig.Tweets[i].Confidence-copied.Tweets[i].Confidence) > 1e-12 {
+			t.Fatalf("tweet %d diverged: %+v vs %+v", i, orig.Tweets[i], copied.Tweets[i])
+		}
+	}
+}
+
+// TestDataDirRestart is the durability acceptance test: a daemon with
+// -data-dir restarted mid-stream serves the same user estimates it did
+// before the restart, and the stream continues where it stopped.
+func TestDataDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, req := synthTopic(t, 7)
+
+	s1, srv1 := testServer(t, dir)
+	client := srv1.Client()
+	if code, err := doJSON(client, "POST", srv1.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, err)
+	}
+	for day := 0; day < 3; day++ {
+		if code, err := doJSON(client, "POST", srv1.URL+"/v1/topics/"+req.Name+"/batches",
+			batchRequest{Time: day, Tweets: dayTweets(d, day)}, nil); err != nil || code != http.StatusOK {
+			t.Fatalf("day %d: %d %v", day, code, err)
+		}
+	}
+	var beforeSum topicSummary
+	if _, err := doJSON(client, "GET", srv1.URL+"/v1/topics/"+req.Name, nil, &beforeSum); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int]userSentimentJSON)
+	for u := range req.Users {
+		var est userSentimentJSON
+		code, err := doJSON(client, "GET",
+			fmt.Sprintf("%s/v1/topics/%s/users/%d", srv1.URL, req.Name, u), nil, &est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusOK {
+			before[u] = est
+		}
+	}
+	if len(before) == 0 {
+		t.Fatal("no user estimates before restart")
+	}
+	if err := s1.snapshotAll(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	srv1.Close()
+
+	// "Restart": a fresh server over the same data dir.
+	_, srv2 := testServer(t, dir)
+	client2 := srv2.Client()
+	var afterSum topicSummary
+	if code, err := doJSON(client2, "GET", srv2.URL+"/v1/topics/"+req.Name, nil, &afterSum); err != nil || code != http.StatusOK {
+		t.Fatalf("summary after restart: %d %v", code, err)
+	}
+	if afterSum.Batches != beforeSum.Batches || afterSum.VocabSize != beforeSum.VocabSize {
+		t.Fatalf("summary changed across restart: %+v vs %+v", beforeSum, afterSum)
+	}
+	if beforeSum.LastTime == nil || afterSum.LastTime == nil || *afterSum.LastTime != *beforeSum.LastTime {
+		t.Fatalf("last_time lost across restart: %+v vs %+v", beforeSum.LastTime, afterSum.LastTime)
+	}
+	for u, want := range before {
+		var got userSentimentJSON
+		code, err := doJSON(client2, "GET",
+			fmt.Sprintf("%s/v1/topics/%s/users/%d", srv2.URL, req.Name, u), nil, &got)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("user %d after restart: %d %v", u, code, err)
+		}
+		if got.Class != want.Class || math.Abs(got.Confidence-want.Confidence) > 1e-12 {
+			t.Fatalf("user %d estimate changed across restart: %+v vs %+v", u, want, got)
+		}
+	}
+	// Feature sentiments are derived from the restored factors, so the
+	// endpoint serves full data after the restart too.
+	var feats featuresResponse
+	if code, err := doJSON(client2, "GET", srv2.URL+"/v1/topics/"+req.Name+"/features", nil, &feats); err != nil || code != http.StatusOK {
+		t.Fatalf("features after restart: %d %v", code, err)
+	}
+	if len(feats.Vocabulary) == 0 || len(feats.Features) != len(feats.Vocabulary) {
+		t.Fatalf("features after restart: %d words, %d features",
+			len(feats.Vocabulary), len(feats.Features))
+	}
+	// The stream picks up where it stopped: day 2 again conflicts, day 3
+	// processes.
+	if code, ec := errCode(t, client2, "POST", srv2.URL+"/v1/topics/"+req.Name+"/batches",
+		batchRequest{Time: 2, Tweets: dayTweets(d, 2)}); code != http.StatusConflict || ec != codeStaleTimestamp {
+		t.Fatalf("stale day after restart: status %d code %q", code, ec)
+	}
+	var resp batchResponse
+	if code, err := doJSON(client2, "POST", srv2.URL+"/v1/topics/"+req.Name+"/batches",
+		batchRequest{Time: 3, Tweets: dayTweets(d, 3)}, &resp); err != nil || code != http.StatusOK {
+		t.Fatalf("day 3 after restart: %d %v", code, err)
 	}
 }

@@ -2,16 +2,21 @@
 // election-style stream (the Figures 11/12 scenario).
 //
 // It generates a synthetic Proposition-37-like corpus with a volume burst
-// at "election day", processes it one day at a time through a Stream, and
+// at "election day", processes it one day at a time through a Topic, and
 // reports per-day volume, runtime and tweet-level accuracy, plus how the
 // estimate of an opinion-flipping user (the paper's "Adam") evolves.
+// Mid-stream the topic is snapshotted and restored into a second topic,
+// demonstrating that a durable snapshot continues the stream with
+// identical results (e.g. across a process restart).
 //
 //	go run ./examples/election
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"math"
 	"time"
 
 	"triclust"
@@ -41,10 +46,18 @@ func main() {
 		}
 	}
 
-	st, err := triclust.NewStream(d.Corpus.Users, triclust.DefaultStreamOptions())
+	topic, err := triclust.NewTopic(d.Corpus.Users)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Snapshot the topic just before the election burst; a restored copy
+	// replays the remaining days alongside the original.
+	snapDay := cfg.ElectionDay - 1
+	var snapshot bytes.Buffer
+	var replayDays []int
+	replayBatches := map[int][]triclust.Tweet{}
+	replayResults := map[int]*triclust.StreamResult{}
 
 	fmt.Println("day  n(t)  users  time      tweet-acc  tracked-user")
 	var total time.Duration
@@ -59,10 +72,22 @@ func main() {
 			batch = append(batch, tw)
 			truth = append(truth, d.TweetClass[i])
 		}
+		if day == snapDay {
+			// Durable checkpoint right before the burst: the snapshot
+			// captures vocabulary, prior, solver history and RNG position.
+			if err := topic.Snapshot(&snapshot); err != nil {
+				log.Fatal(err)
+			}
+		}
 		start := time.Now()
-		out, err := st.Process(day, batch)
+		out, err := topic.Process(day, batch)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if day >= snapDay {
+			replayDays = append(replayDays, day)
+			replayBatches[day] = batch
+			replayResults[day] = out
 		}
 		if out.Skipped {
 			// Quiet day: the stream records a well-defined no-op.
@@ -80,7 +105,7 @@ func main() {
 
 		tracked := "–"
 		if flipUser >= 0 {
-			if est, ok := st.UserEstimate(flipUser); ok {
+			if est, ok := topic.UserEstimate(flipUser); ok {
 				tracked = fmt.Sprintf("%s (%.2f)", triclust.ClassName(est.Class), est.Confidence)
 			}
 		}
@@ -102,4 +127,30 @@ func main() {
 			triclust.ClassName(d.StanceAt(flipUser, flipDay-1)), flipDay,
 			triclust.ClassName(d.StanceAt(flipUser, flipDay)))
 	}
+
+	// Restore the pre-burst checkpoint into a fresh topic (as a restarted
+	// process would) and replay the remaining days: the continuation is
+	// identical to the uninterrupted run.
+	restored, err := triclust.Restore(&snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for _, day := range replayDays {
+		out, err := restored.Process(day, replayBatches[day])
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := replayResults[day]
+		for i, s := range out.TweetSentiments {
+			if d := math.Abs(s.Confidence - want.TweetSentiments[i].Confidence); d > maxDiff {
+				maxDiff = d
+			}
+			if s.Class != want.TweetSentiments[i].Class {
+				log.Fatalf("day %d tweet %d: restored replay diverged", day, i)
+			}
+		}
+	}
+	fmt.Printf("snapshot at day %d restored and replayed %d days: max confidence drift %.1e\n",
+		snapDay, len(replayDays), maxDiff)
 }

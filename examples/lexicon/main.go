@@ -54,9 +54,15 @@ func main() {
 	show("No", neg)
 
 	run := func(name string, lex *triclust.Lexicon) {
-		opts := triclust.DefaultOptions()
-		opts.Lexicon = lex
-		res, err := triclust.Fit(d.Corpus, opts)
+		topic, err := triclust.NewTopic(nil,
+			triclust.WithLexicon(lex),
+			// The paper's *offline* defaults (the bare Topic default is
+			// the online configuration).
+			triclust.WithSolverConfig(triclust.OnlineConfig{Config: triclust.DefaultConfig()}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := topic.FitCorpus(d.Corpus)
 		if err != nil {
 			log.Fatal(err)
 		}

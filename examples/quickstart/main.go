@@ -37,12 +37,17 @@ func main() {
 		},
 	}
 
-	opts := triclust.DefaultOptions()
-	opts.MinDF = 1    // the corpus is tiny; keep every word
-	opts.Config.K = 2 // pos / neg only
-	opts.Config.Seed = 7
+	cfg := triclust.DefaultConfig()
+	cfg.K = 2 // pos / neg only
+	cfg.Seed = 7
+	topic, err := triclust.NewTopic(nil,
+		triclust.WithMinDF(1), // the corpus is tiny; keep every word
+		triclust.WithSolverConfig(triclust.OnlineConfig{Config: cfg}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	res, err := triclust.Fit(corpus, opts)
+	res, err := topic.FitCorpus(corpus)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,4 +65,14 @@ func main() {
 	for i, s := range res.UserSentiments {
 		fmt.Printf("  %-6s → %-8s (%.2f)\n", corpus.Users[i].Name, triclust.ClassName(s.Class), s.Confidence)
 	}
+
+	// The fitted topic classifies unseen tweets by NMF fold-in, without
+	// re-running the solver.
+	probe := "great science, safe food"
+	preds, err := topic.Predict([]string{probe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfold-in prediction for %q: %s (%.2f)\n",
+		probe, triclust.ClassName(preds[0].Class), preds[0].Confidence)
 }

@@ -1,0 +1,648 @@
+// Package codec serializes the full state of a topic — vocabulary, Sf0
+// prior, solver factors and history, user universe, timestamps and
+// configuration (an engine.State) — into a self-describing, versioned
+// binary snapshot, and restores it.
+//
+// # Format
+//
+// A snapshot is:
+//
+//	magic    [8]byte  "TRICSNAP"
+//	version  uint16   format version (currently 1)
+//	length   uint64   payload length in bytes
+//	payload  [length]byte
+//	crc      uint32   CRC-32C (Castagnoli) of the payload
+//
+// The payload is a sequence of tagged sections, each
+//
+//	tag      uint8    section identifier
+//	size     uint64   body length in bytes
+//	body     [size]byte
+//
+// terminated by tag 0. Decoders skip sections with unknown tags, so later
+// format versions can add sections without breaking version-1 readers;
+// removing or reshaping an existing section requires a version bump.
+// All integers are little-endian; floats are IEEE-754 bit patterns;
+// strings and slices are length-prefixed. Map sections are written in
+// sorted key order, so encoding is deterministic: equal states produce
+// byte-identical snapshots.
+//
+// Integrity is checked before any payload parsing: a snapshot whose CRC,
+// magic, version or framing does not match is rejected with ErrCorrupt /
+// ErrBadMagic / ErrVersion, never partially applied.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"triclust/internal/core"
+	"triclust/internal/engine"
+	"triclust/internal/mat"
+	"triclust/internal/text"
+	"triclust/internal/tgraph"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+var magic = [8]byte{'T', 'R', 'I', 'C', 'S', 'N', 'A', 'P'}
+
+// maxPayload bounds the payload length a decoder will accept, guarding
+// against absurd allocations from a corrupted or hostile length field.
+const maxPayload = 1 << 31
+
+var (
+	// ErrBadMagic marks input that is not a triclust snapshot at all.
+	ErrBadMagic = errors.New("codec: not a triclust snapshot (bad magic)")
+	// ErrVersion marks a snapshot written by an unknown format version.
+	ErrVersion = errors.New("codec: unsupported snapshot version")
+	// ErrCorrupt marks a snapshot that fails the checksum or framing.
+	ErrCorrupt = errors.New("codec: corrupt snapshot")
+)
+
+// Section tags of format version 1.
+const (
+	tagEnd     = 0
+	tagConfig  = 1
+	tagLexicon = 2
+	tagVocab   = 3
+	tagUsers   = 4
+	tagCounter = 5
+	tagOnline  = 6
+	tagFactors = 7
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes st as a versioned binary snapshot to w.
+func Encode(w io.Writer, st *engine.State) error {
+	if st == nil {
+		return errors.New("codec: nil state")
+	}
+	var payload bytes.Buffer
+	enc := &encoder{w: &payload}
+	enc.section(tagConfig, func(e *encoder) { e.config(st.Config, st) })
+	enc.section(tagLexicon, func(e *encoder) { e.stringIntMap(st.Lexicon) })
+	enc.section(tagVocab, func(e *encoder) {
+		e.bool(st.Frozen)
+		e.stringSlice(st.VocabWords)
+		e.dense(st.Sf0)
+		e.stringIntMap(st.VocabCounts)
+		e.uint(uint64(st.VocabDocs))
+	})
+	enc.section(tagUsers, func(e *encoder) {
+		e.uint(uint64(len(st.Users)))
+		for _, u := range st.Users {
+			e.string(u.Name)
+			e.int(int64(u.Label))
+		}
+	})
+	enc.section(tagCounter, func(e *encoder) {
+		e.uint(uint64(st.Batches))
+		e.uint(uint64(st.Skips))
+	})
+	enc.section(tagOnline, func(e *encoder) { e.online(st.Online) })
+	if st.LastFactors != nil {
+		enc.section(tagFactors, func(e *encoder) { e.factors(st.LastFactors) })
+	}
+	enc.byte(tagEnd)
+	if enc.err != nil {
+		return enc.err
+	}
+
+	var hdr [18]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], Version)
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), castagnoli))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// Decode reads one snapshot from r and reconstructs the engine state. The
+// payload checksum is verified before any field is parsed.
+func Decode(r io.Reader) (*engine.State, error) {
+	var hdr [18]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != Version {
+		return nil, fmt.Errorf("%w: snapshot is version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(hdr[10:18])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, n)
+	}
+	var payload bytes.Buffer
+	copied, err := io.Copy(&payload, io.LimitReader(r, int64(n)))
+	if err != nil || uint64(copied) != n {
+		return nil, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, copied, n)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.Checksum(payload.Bytes(), castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (payload %08x, trailer %08x)", ErrCorrupt, got, want)
+	}
+
+	dec := &decoder{buf: payload.Bytes()}
+	st := &engine.State{}
+	seen := map[byte]bool{}
+	for {
+		tag := dec.byte()
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if tag == tagEnd {
+			break
+		}
+		size := dec.uint()
+		body := dec.bytes(size)
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		if seen[tag] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, tag)
+		}
+		seen[tag] = true
+		sd := &decoder{buf: body}
+		switch tag {
+		case tagConfig:
+			sd.config(&st.Config, st)
+		case tagLexicon:
+			st.Lexicon = sd.stringIntMap()
+		case tagVocab:
+			st.Frozen = sd.bool()
+			st.VocabWords = sd.stringSlice()
+			st.Sf0 = sd.dense()
+			st.VocabCounts = sd.stringIntMap()
+			st.VocabDocs = int(sd.uint())
+		case tagUsers:
+			st.Users = sd.users()
+		case tagCounter:
+			st.Batches = int(sd.uint())
+			st.Skips = int(sd.uint())
+		case tagOnline:
+			st.Online = sd.online()
+		case tagFactors:
+			st.LastFactors = sd.factors()
+		default:
+			// Unknown section from a newer minor revision: skip.
+			continue
+		}
+		if sd.err != nil {
+			return nil, fmt.Errorf("section %d: %w", tag, sd.err)
+		}
+		if len(sd.buf) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in section %d", ErrCorrupt, len(sd.buf), tag)
+		}
+	}
+	for _, tag := range []byte{tagConfig, tagLexicon, tagVocab, tagUsers, tagCounter, tagOnline} {
+		if !seen[tag] {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, tag)
+		}
+	}
+	return st, nil
+}
+
+// ——— encoder ———
+
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) write(p []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(p)
+	}
+}
+
+func (e *encoder) byte(b byte) { e.write([]byte{b}) }
+
+func (e *encoder) bool(b bool) {
+	if b {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *encoder) uint(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	e.write(buf[:])
+}
+
+func (e *encoder) int(v int64) { e.uint(uint64(v)) }
+
+func (e *encoder) float(v float64) { e.uint(math.Float64bits(v)) }
+
+func (e *encoder) string(s string) {
+	e.uint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+func (e *encoder) stringSlice(ss []string) {
+	e.uint(uint64(len(ss)))
+	for _, s := range ss {
+		e.string(s)
+	}
+}
+
+func (e *encoder) floats(fs []float64) {
+	e.uint(uint64(len(fs)))
+	for _, f := range fs {
+		e.float(f)
+	}
+}
+
+func (e *encoder) ints(vs []int) {
+	e.uint(uint64(len(vs)))
+	for _, v := range vs {
+		e.int(int64(v))
+	}
+}
+
+func (e *encoder) bools(bs []bool) {
+	e.uint(uint64(len(bs)))
+	for _, b := range bs {
+		e.bool(b)
+	}
+}
+
+// stringIntMap writes entries in sorted key order for determinism.
+func (e *encoder) stringIntMap(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.string(k)
+		e.int(int64(m[k]))
+	}
+}
+
+func (e *encoder) dense(m *mat.Dense) {
+	if m == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.uint(uint64(m.Rows()))
+	e.uint(uint64(m.Cols()))
+	for _, v := range m.Data() {
+		e.float(v)
+	}
+}
+
+// section buffers a tagged body so its length prefix can be written first.
+func (e *encoder) section(tag byte, body func(*encoder)) {
+	if e.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	sub := &encoder{w: &buf}
+	body(sub)
+	if sub.err != nil {
+		e.err = sub.err
+		return
+	}
+	e.byte(tag)
+	e.uint(uint64(buf.Len()))
+	e.write(buf.Bytes())
+}
+
+func (e *encoder) config(c core.OnlineConfig, st *engine.State) {
+	e.uint(uint64(c.K))
+	e.float(c.Alpha)
+	e.float(c.Beta)
+	e.uint(uint64(c.MaxIter))
+	e.float(c.Tol)
+	e.int(c.Seed)
+	e.bool(c.LexiconInit)
+	e.float(c.SparsityLambda)
+	e.float(c.DiversityLambda)
+	e.float(c.GuidedLambda)
+	e.ints(c.GuidedTweetLabels)
+	e.ints(c.GuidedUserLabels)
+	e.float(c.Gamma)
+	e.float(c.Tau)
+	e.uint(uint64(c.Window))
+	e.uint(uint64(st.Weighting))
+	e.uint(uint64(st.MinDF))
+	e.float(st.LexiconHit)
+	tok := st.Tokenizer
+	e.bool(tok.KeepHashtags)
+	e.bool(tok.KeepMentions)
+	e.bool(tok.RemoveStopwords)
+	e.uint(uint64(tok.MinTokenLen))
+	e.bool(tok.Stem)
+}
+
+func (e *encoder) online(o *core.OnlineState) {
+	if o == nil {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.uint(o.RandDraws)
+	e.dense(o.LastHp)
+	e.dense(o.LastHu)
+	e.uint(uint64(len(o.SfHist)))
+	for _, s := range o.SfHist {
+		e.int(int64(s.Time))
+		e.dense(s.Sf)
+		e.bools(s.Seen)
+	}
+	gids := make([]int, 0, len(o.UserHist))
+	for g := range o.UserHist {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	e.uint(uint64(len(gids)))
+	for _, g := range gids {
+		e.int(int64(g))
+		hist := o.UserHist[g]
+		e.uint(uint64(len(hist)))
+		for _, h := range hist {
+			e.int(int64(h.Time))
+			e.floats(h.Row)
+		}
+	}
+}
+
+func (e *encoder) factors(f *core.Factors) {
+	e.dense(f.Sp)
+	e.dense(f.Su)
+	e.dense(f.Sf)
+	e.dense(f.Hp)
+	e.dense(f.Hu)
+}
+
+// ——— decoder ———
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("length past end of data")
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool {
+	switch d.byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid boolean")
+		return false
+	}
+}
+
+func (d *decoder) uint() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) int() int64 { return int64(d.uint()) }
+
+func (d *decoder) float() float64 { return math.Float64frombits(d.uint()) }
+
+// count reads a length prefix and sanity-checks it against the bytes that
+// remain, given a minimum encoded size per element. The comparison is by
+// division, so a hostile count near 2^64 cannot overflow the check and
+// reach a huge allocation.
+func (d *decoder) count(minElemSize uint64) uint64 {
+	n := d.uint()
+	if d.err == nil && minElemSize > 0 && n > uint64(len(d.buf))/minElemSize {
+		d.fail("element count past end of data")
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) string() string { return string(d.bytes(d.uint())) }
+
+func (d *decoder) stringSlice() []string {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.string()
+	}
+	return out
+}
+
+func (d *decoder) floats() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.float()
+	}
+	return out
+}
+
+func (d *decoder) intSlice() []int {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.int())
+	}
+	return out
+}
+
+func (d *decoder) bools() []bool {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.bool()
+	}
+	return out
+}
+
+// stringIntMap decodes a map section; like the slice decoders it returns
+// nil for an empty collection (encoders do not distinguish nil from
+// empty, so decoders canonicalize to nil).
+func (d *decoder) stringIntMap() map[string]int {
+	n := d.count(16)
+	if n == 0 {
+		return nil
+	}
+	out := make(map[string]int, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.string()
+		v := int(d.int())
+		out[k] = v
+	}
+	return out
+}
+
+func (d *decoder) dense() *mat.Dense {
+	if !d.bool() || d.err != nil {
+		return nil
+	}
+	rows, cols := d.uint(), d.uint()
+	if d.err != nil {
+		return nil
+	}
+	// Overflow-safe bound: each element takes 8 bytes, so both dimensions
+	// and their product must fit in the remaining payload.
+	remaining := uint64(len(d.buf)) / 8
+	if cols > remaining || rows > maxPayload || (cols != 0 && rows > remaining/cols) {
+		d.fail("matrix larger than remaining data")
+		return nil
+	}
+	out := mat.NewDense(int(rows), int(cols))
+	data := out.Data()
+	for i := range data {
+		data[i] = d.float()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (d *decoder) config(c *core.OnlineConfig, st *engine.State) {
+	c.K = int(d.uint())
+	c.Alpha = d.float()
+	c.Beta = d.float()
+	c.MaxIter = int(d.uint())
+	c.Tol = d.float()
+	c.Seed = d.int()
+	c.LexiconInit = d.bool()
+	c.SparsityLambda = d.float()
+	c.DiversityLambda = d.float()
+	c.GuidedLambda = d.float()
+	c.GuidedTweetLabels = d.intSlice()
+	c.GuidedUserLabels = d.intSlice()
+	c.Gamma = d.float()
+	c.Tau = d.float()
+	c.Window = int(d.uint())
+	st.Weighting = text.Weighting(d.uint())
+	st.MinDF = int(d.uint())
+	st.LexiconHit = d.float()
+	st.Tokenizer.KeepHashtags = d.bool()
+	st.Tokenizer.KeepMentions = d.bool()
+	st.Tokenizer.RemoveStopwords = d.bool()
+	st.Tokenizer.MinTokenLen = int(d.uint())
+	st.Tokenizer.Stem = d.bool()
+}
+
+func (d *decoder) users() []tgraph.User {
+	n := d.count(16)
+	if n == 0 {
+		return nil
+	}
+	out := make([]tgraph.User, n)
+	for i := range out {
+		out[i].Name = d.string()
+		out[i].Label = int(d.int())
+	}
+	return out
+}
+
+func (d *decoder) online() *core.OnlineState {
+	if !d.bool() || d.err != nil {
+		return nil
+	}
+	o := &core.OnlineState{RandDraws: d.uint()}
+	o.LastHp = d.dense()
+	o.LastHu = d.dense()
+	n := d.count(1)
+	if n > 0 {
+		o.SfHist = make([]core.SfSnapshotState, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		s := core.SfSnapshotState{Time: int(d.int())}
+		s.Sf = d.dense()
+		s.Seen = d.bools()
+		o.SfHist = append(o.SfHist, s)
+	}
+	m := d.count(16)
+	// UserHist stays non-nil even when empty: it is the one container the
+	// solver mutates in place after restore.
+	o.UserHist = make(map[int][]core.UserSnapshotState, m)
+	for i := uint64(0); i < m && d.err == nil; i++ {
+		g := int(d.int())
+		cnt := d.count(16)
+		var hist []core.UserSnapshotState
+		for j := uint64(0); j < cnt && d.err == nil; j++ {
+			hist = append(hist, core.UserSnapshotState{Time: int(d.int()), Row: d.floats()})
+		}
+		o.UserHist[g] = hist
+	}
+	return o
+}
+
+func (d *decoder) factors() *core.Factors {
+	f := &core.Factors{}
+	f.Sp = d.dense()
+	f.Su = d.dense()
+	f.Sf = d.dense()
+	f.Hp = d.dense()
+	f.Hu = d.dense()
+	return f
+}

@@ -1,0 +1,290 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"triclust/internal/core"
+	"triclust/internal/engine"
+	"triclust/internal/mat"
+	"triclust/internal/text"
+	"triclust/internal/tgraph"
+)
+
+func denseOf(rows, cols int, vals ...float64) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	copy(m.Data(), vals)
+	return m
+}
+
+// fullState builds a state exercising every section and nullable field.
+func fullState() *engine.State {
+	return &engine.State{
+		Config: core.OnlineConfig{
+			Config: core.Config{
+				K: 3, Alpha: 0.05, Beta: 0.8, MaxIter: 40, Tol: -1,
+				Seed: 17, LexiconInit: true, SparsityLambda: 0.1,
+				GuidedTweetLabels: []int{-1, 0, 2},
+			},
+			Gamma: 0.2, Tau: 0.9, Window: 2,
+		},
+		Weighting:  text.TFIDF,
+		MinDF:      2,
+		LexiconHit: 0.8,
+		Tokenizer:  text.TokenizerOptions{KeepHashtags: true, RemoveStopwords: true, MinTokenLen: 2},
+		Lexicon:    map[string]int{"good": 0, "bad": 1},
+		Frozen:     true,
+		VocabWords: []string{"bad", "good", "prop37"},
+		Sf0:        denseOf(3, 3, 0.1, 0.1, 0.8, 0.8, 0.1, 0.1, 1.0/3, 1.0/3, 1.0/3),
+		Users:      []tgraph.User{{Name: "ann", Label: 0}, {Name: "bo", Label: tgraph.NoLabel}},
+		Batches:    4,
+		Skips:      1,
+		Online: &core.OnlineState{
+			RandDraws: 12345,
+			LastHp:    denseOf(2, 2, 1, 0, 0, 1),
+			LastHu:    denseOf(2, 2, 0.9, 0.1, 0.2, 0.8),
+			SfHist: []core.SfSnapshotState{
+				{Time: 3, Sf: denseOf(3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9), Seen: []bool{true, false, true}},
+				{Time: 4, Sf: denseOf(3, 3, 9, 8, 7, 6, 5, 4, 3, 2, 1), Seen: []bool{false, true, true}},
+			},
+			UserHist: map[int][]core.UserSnapshotState{
+				0: {{Time: 3, Row: []float64{0.5, 0.25, 0.25}}},
+				7: {{Time: 3, Row: []float64{1, 0, 0}}, {Time: 4, Row: []float64{0, 1, 0}}},
+			},
+		},
+		LastFactors: &core.Factors{
+			Sp: denseOf(1, 3, 0.2, 0.3, 0.5),
+			Su: denseOf(2, 3, 1, 2, 3, 4, 5, 6),
+			Sf: denseOf(3, 3, 1, 1, 1, 2, 2, 2, 3, 3, 3),
+			Hp: denseOf(3, 3, 1, 0, 0, 0, 1, 0, 0, 0, 1),
+			Hu: denseOf(3, 3, 2, 0, 0, 0, 2, 0, 0, 0, 2),
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := fullState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", st, got)
+	}
+}
+
+func TestRoundTripMinimal(t *testing.T) {
+	// A freshly created, never-processed topic: no freeze, no factors,
+	// empty histories.
+	st := &engine.State{
+		Config:      core.OnlineConfig{Config: core.Config{K: 3, MaxIter: 100, Tol: 1e-4}, Tau: 0.9, Window: 2},
+		LexiconHit:  0.8,
+		MinDF:       2,
+		VocabCounts: map[string]int{"warm": 1},
+		VocabDocs:   1,
+		Online:      &core.OnlineState{UserHist: map[int][]core.UserSnapshotState{}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", st, got)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Encode(&a, fullState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, fullState()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding of equal states differs")
+	}
+}
+
+func TestSpecialFloatsSurvive(t *testing.T) {
+	st := fullState()
+	st.Sf0.Set(0, 0, math.Inf(1))
+	st.Sf0.Set(0, 1, math.Copysign(0, -1))
+	st.Sf0.Set(0, 2, 1e-308)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Sf0.At(0, 0), 1) {
+		t.Fatal("+Inf not preserved")
+	}
+	if math.Float64bits(got.Sf0.At(0, 1)) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatal("-0 not preserved bit-exactly")
+	}
+	if got.Sf0.At(0, 2) != 1e-308 {
+		t.Fatal("subnormal-range value not preserved")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, fullState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	wrongMagic := append([]byte(nil), data...)
+	wrongMagic[0] = 'X'
+	if _, err := Decode(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+
+	wrongVersion := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(wrongVersion[8:10], Version+1)
+	if _, err := Decode(bytes.NewReader(wrongVersion)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, fullState()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit at every offset past the version field; every mutation
+	// must be rejected (payload flips fail the CRC, header/trailer flips
+	// fail framing or the checksum comparison).
+	for pos := 10; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x01
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", pos)
+		}
+	}
+	for cut := 0; cut < len(data); cut += 11 {
+		if _, err := Decode(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: want ErrCorrupt", cut)
+		}
+	}
+}
+
+// TestHostileCountsRejected: a forged snapshot with a *valid* CRC but
+// absurd element counts must fail with ErrCorrupt, not panic or allocate
+// unboundedly (the length checks are overflow-safe).
+func TestHostileCountsRejected(t *testing.T) {
+	forge := func(mutate func(payload []byte)) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, fullState()); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		payload := append([]byte(nil), data[18:len(data)-4]...)
+		mutate(payload)
+		out := append([]byte(nil), data[:10]...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+		out = append(out, payload...)
+		return binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	}
+	// The vocab section (tag 3) starts with the frozen flag, then the
+	// word-count prefix of the word list; the lexicon section (tag 2)
+	// starts with its entry count. Overwrite each count with values whose
+	// naive size products overflow uint64.
+	for _, huge := range []uint64{1 << 61, 1<<64 - 1} {
+		for _, tag := range []byte{tagLexicon, tagVocab} {
+			data := forge(func(p []byte) {
+				for i := 0; i < len(p); {
+					secTag, size := p[i], binary.LittleEndian.Uint64(p[i+1:i+9])
+					if secTag == tag {
+						off := i + 9
+						if tag == tagVocab {
+							off++ // skip the frozen flag
+						}
+						binary.LittleEndian.PutUint64(p[off:], huge)
+						return
+					}
+					if secTag == tagEnd {
+						t.Fatal("section not found")
+					}
+					i += 9 + int(size)
+				}
+			})
+			if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("tag %d count %d: got %v, want ErrCorrupt", tag, huge, err)
+			}
+		}
+	}
+	// Dense-matrix header with dimensions whose byte size overflows.
+	data := forge(func(p []byte) {
+		for i := 0; i < len(p); {
+			secTag, size := p[i], binary.LittleEndian.Uint64(p[i+1:i+9])
+			if secTag == tagFactors {
+				// factors: Sp first → flag byte, rows, cols.
+				binary.LittleEndian.PutUint64(p[i+10:], 1<<61)
+				binary.LittleEndian.PutUint64(p[i+18:], 1<<61)
+				return
+			}
+			if secTag == tagEnd {
+				t.Fatal("factors section not found")
+			}
+			i += 9 + int(size)
+		}
+	})
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile matrix dims: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUnknownSectionSkipped: decoders must skip sections with unknown
+// tags, the forward-compatibility half of the self-describing format.
+func TestUnknownSectionSkipped(t *testing.T) {
+	st := fullState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	payload := data[18 : len(data)-4]
+	if payload[len(payload)-1] != tagEnd {
+		t.Fatal("payload does not end with the end tag")
+	}
+
+	// Splice an unknown section (tag 200) in front of the end tag.
+	extra := []byte{200}
+	extra = binary.LittleEndian.AppendUint64(extra, 3)
+	extra = append(extra, 'x', 'y', 'z')
+	newPayload := append(append([]byte(nil), payload[:len(payload)-1]...), extra...)
+	newPayload = append(newPayload, tagEnd)
+
+	var out bytes.Buffer
+	out.Write(data[:8])
+	out.Write(binary.LittleEndian.AppendUint16(nil, Version))
+	out.Write(binary.LittleEndian.AppendUint64(nil, uint64(len(newPayload))))
+	out.Write(newPayload)
+	out.Write(binary.LittleEndian.AppendUint32(nil, crc32.Checksum(newPayload, castagnoli)))
+
+	got, err := Decode(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("snapshot with unknown section rejected: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("unknown section altered the decoded state")
+	}
+}

@@ -42,6 +42,36 @@ func (c OnlineConfig) withDefaults() OnlineConfig {
 	return c
 }
 
+// Validate checks the configuration the solvers would actually run with
+// (zero-valued fields are replaced by their defaults before checking, so
+// an unset field never fails validation). It returns a descriptive error
+// for values the update rules cannot handle: a non-positive window, a
+// decay outside (0,1], negative regularizer weights, or a degenerate
+// iteration budget.
+func (c OnlineConfig) Validate() error {
+	d := c.withDefaults()
+	if d.K < 1 {
+		return fmt.Errorf("core: k must be at least 1 (got %d)", d.K)
+	}
+	if d.MaxIter < 1 {
+		return fmt.Errorf("core: MaxIter must be positive (got %d)", c.MaxIter)
+	}
+	if d.Alpha < 0 || d.Beta < 0 || d.Gamma < 0 {
+		return fmt.Errorf("core: regularizer weights must be non-negative (alpha=%g, beta=%g, gamma=%g)",
+			d.Alpha, d.Beta, d.Gamma)
+	}
+	if d.Tau <= 0 || d.Tau > 1 {
+		return fmt.Errorf("core: temporal decay tau must lie in (0,1] (got %g)", c.Tau)
+	}
+	if d.Window < 1 {
+		return fmt.Errorf("core: history window must be positive (got %d)", c.Window)
+	}
+	if d.SparsityLambda < 0 || d.DiversityLambda < 0 || d.GuidedLambda < 0 {
+		return fmt.Errorf("core: extension regularizer weights must be non-negative")
+	}
+	return nil
+}
+
 // temporalUser carries the per-snapshot user history terms consumed by
 // updateSu (Eq. 24 for rows without history, Eq. 26 for rows with one)
 // and by Loss.
@@ -104,16 +134,21 @@ type Online struct {
 	userHist map[int][]userSnapshot
 	lastHp   *mat.Dense
 	lastHu   *mat.Dense
+	src      *countingSource
 	rng      *rand.Rand
 }
 
-// NewOnline returns a solver with empty history.
+// NewOnline returns a solver with empty history. Its random stream is
+// drawn through a draw-counting source so the solver's exact position in
+// the stream can be exported and replayed (see OnlineState).
 func NewOnline(cfg OnlineConfig) *Online {
 	cfg = cfg.withDefaults()
+	src := newCountingSource(cfg.Seed)
 	return &Online{
 		cfg:      cfg,
 		userHist: make(map[int][]userSnapshot),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		src:      src,
+		rng:      rand.New(src),
 	}
 }
 
@@ -360,3 +395,13 @@ func (o *Online) LastUserEstimate(g int) []float64 {
 
 // KnownUsers returns the number of users with recorded history.
 func (o *Online) KnownUsers() int { return len(o.userHist) }
+
+// LastTime returns the timestamp of the most recent processed snapshot,
+// or ok = false before the first one. It survives snapshot/restore: the
+// retained feature history always includes the latest snapshot.
+func (o *Online) LastTime() (t int, ok bool) {
+	if n := len(o.sfHist); n > 0 {
+		return o.sfHist[n-1].time, true
+	}
+	return 0, false
+}

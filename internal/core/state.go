@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"triclust/internal/mat"
+)
+
+// countingSource wraps the standard library's seeded source and counts
+// raw draws, which makes the solver's random stream replayable: a restored
+// solver re-seeds from Config.Seed and discards the recorded number of
+// draws, after which it emits exactly the values the original would have.
+// Counting raw source draws (rather than high-level calls) is what makes
+// this exact: every Float64/Intn the solver performs bottoms out in one
+// Int63/Uint64 draw here, regardless of which convenience method drew it.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// skip fast-forwards the source by n draws without counting them twice.
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n = n
+}
+
+// SfSnapshotState is the serializable form of one retained feature
+// snapshot (Sf(t−i) with its evidence mask).
+type SfSnapshotState struct {
+	Time int
+	Sf   *mat.Dense
+	Seen []bool
+}
+
+// UserSnapshotState is the serializable form of one retained user row.
+type UserSnapshotState struct {
+	Time int
+	Row  []float64
+}
+
+// OnlineState is the complete mutable state of an Online solver: the
+// temporal history that feeds Sfw/Suw, the warm-start association cores,
+// and the position in the seeded random stream. Together with the
+// solver's OnlineConfig it determines every future Step bit-for-bit (at a
+// fixed kernel parallelism width), which is what makes durable
+// snapshot/restore of a stream possible.
+type OnlineState struct {
+	// RandDraws is the number of raw draws consumed from the seeded
+	// source so far; restore replays the stream to this position.
+	RandDraws uint64
+	// LastHp / LastHu warm-start the association cores (nil before the
+	// first step).
+	LastHp, LastHu *mat.Dense
+	// SfHist holds the retained feature snapshots, oldest first.
+	SfHist []SfSnapshotState
+	// UserHist holds the retained Su rows per global user id.
+	UserHist map[int][]UserSnapshotState
+}
+
+// ExportState deep-copies the solver's mutable state. The solver remains
+// usable; the returned state is independent of later Steps.
+func (o *Online) ExportState() *OnlineState {
+	st := &OnlineState{
+		RandDraws: o.src.n,
+		UserHist:  make(map[int][]UserSnapshotState, len(o.userHist)),
+	}
+	if o.lastHp != nil {
+		st.LastHp = o.lastHp.Clone()
+		st.LastHu = o.lastHu.Clone()
+	}
+	st.SfHist = make([]SfSnapshotState, len(o.sfHist))
+	for i, s := range o.sfHist {
+		st.SfHist[i] = SfSnapshotState{
+			Time: s.time,
+			Sf:   s.sf.Clone(),
+			Seen: append([]bool(nil), s.seen...),
+		}
+	}
+	for g, hist := range o.userHist {
+		rows := make([]UserSnapshotState, len(hist))
+		for i, h := range hist {
+			rows[i] = UserSnapshotState{Time: h.time, Row: append([]float64(nil), h.row...)}
+		}
+		st.UserHist[g] = rows
+	}
+	return st
+}
+
+// NewOnlineFromState rebuilds a solver that continues exactly where the
+// exported one stopped: same configuration, same history, and the seeded
+// random stream fast-forwarded to the recorded position. The state is
+// deep-copied.
+func NewOnlineFromState(cfg OnlineConfig, st *OnlineState) (*Online, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil online state")
+	}
+	if (st.LastHp == nil) != (st.LastHu == nil) {
+		return nil, fmt.Errorf("core: inconsistent warm-start cores in state")
+	}
+	o := NewOnline(cfg)
+	o.src.skip(st.RandDraws)
+	if st.LastHp != nil {
+		o.lastHp = st.LastHp.Clone()
+		o.lastHu = st.LastHu.Clone()
+	}
+	o.sfHist = make([]sfSnapshot, len(st.SfHist))
+	for i, s := range st.SfHist {
+		if s.Sf == nil {
+			return nil, fmt.Errorf("core: feature snapshot %d has no matrix", i)
+		}
+		if i > 0 && st.SfHist[i-1].Time >= s.Time {
+			return nil, fmt.Errorf("core: feature history times not increasing at %d", i)
+		}
+		o.sfHist[i] = sfSnapshot{
+			time: s.Time,
+			sf:   s.Sf.Clone(),
+			seen: append([]bool(nil), s.Seen...),
+		}
+	}
+	for g, hist := range st.UserHist {
+		rows := make([]userSnapshot, len(hist))
+		for i, h := range hist {
+			rows[i] = userSnapshot{time: h.Time, row: append([]float64(nil), h.Row...)}
+		}
+		o.userHist[g] = rows
+	}
+	return o, nil
+}

@@ -25,6 +25,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"triclust/internal/core"
@@ -77,6 +78,34 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// Validate reports configuration the pipeline cannot run with, after
+// filling defaults (so unset fields never fail). Beyond the solver checks
+// of core.OnlineConfig.Validate it enforces the pipeline-level contracts:
+// MinDF must not be negative, the class count must match what a polarity
+// lexicon prior can seed (k ∈ {2, 3}: positive/negative plus optional
+// neutral), and the lexicon hit mass must be a valid row maximum.
+func (c Config) Validate() error {
+	if c.MinDF < 0 {
+		return fmt.Errorf("engine: MinDF must not be negative (got %d)", c.MinDF)
+	}
+	d := c.withDefaults()
+	if err := d.Online.Validate(); err != nil {
+		return err
+	}
+	if k := d.Online.K; k < 2 || k > 3 {
+		return fmt.Errorf("engine: k = %d, but the lexicon prior defines the classes positive/negative(/neutral), so k must be 2 or 3", k)
+	}
+	if hit, k := d.LexiconHit, d.Online.K; hit < 1/float64(k) || hit > 1 {
+		return fmt.Errorf("engine: LexiconHit must lie in [1/k, 1] = [%.3g, 1] (got %g)", 1/float64(k), hit)
+	}
+	switch d.Weighting {
+	case text.TF, text.TFIDF, text.Binary:
+	default:
+		return fmt.Errorf("engine: unknown weighting scheme %d", d.Weighting)
+	}
+	return nil
 }
 
 // onlineUnset reports whether every distinguishing field of the online
@@ -164,6 +193,24 @@ func (m *Model) EnsureVocabulary(docs [][]string) *text.Vocabulary {
 		m.freezeLocked(m.vb.Build(m.minDF))
 	}
 	return m.vocab
+}
+
+// FreezeNow fixes the vocabulary from the document frequencies
+// accumulated so far (via AccumulateVocabulary), without waiting for a
+// first processed batch. It errors if the vocabulary is already frozen or
+// if the accumulated counts yield no words at MinDF.
+func (m *Model) FreezeNow() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vocab != nil {
+		return errors.New("engine: vocabulary already frozen")
+	}
+	v := m.vb.Build(m.minDF)
+	if v.Len() == 0 {
+		return fmt.Errorf("engine: warm-up documents yield an empty vocabulary at MinDF=%d", m.minDF)
+	}
+	m.freezeLocked(v)
+	return nil
 }
 
 // FreezeVocabulary fixes an externally built vocabulary (e.g. shared

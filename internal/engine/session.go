@@ -69,6 +69,15 @@ func (s *Session) Skipped() int {
 // NumUsers returns the size of the session's user universe.
 func (s *Session) NumUsers() int { return len(s.users) }
 
+// LastTime returns the timestamp of the most recent non-empty batch, or
+// ok = false before the first one. Unlike a caller-side high-water mark
+// it survives ExportState/RestoreSession.
+func (s *Session) LastTime() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.online.LastTime()
+}
+
 // KnownUsers returns the number of users with recorded history.
 func (s *Session) KnownUsers() int {
 	s.mu.Lock()

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+
+	"triclust/internal/core"
+	"triclust/internal/lexicon"
+	"triclust/internal/mat"
+	"triclust/internal/text"
+	"triclust/internal/tgraph"
+)
+
+// State is the complete serializable state of one topic: the Model's
+// frozen artifacts (configuration, lexicon, vocabulary, cached Sf0 prior),
+// the Session's counters and user universe, and the Online solver's
+// history and random-stream position. A Session restored from an exported
+// State continues the stream bit-identically (at a fixed kernel
+// parallelism width): every input to every future pipeline stage —
+// vocabulary, prior, solver history, RNG draws — is reproduced exactly.
+//
+// internal/codec serializes a State to the versioned binary snapshot
+// format; this type is the codec's in-memory schema.
+type State struct {
+	// Config is the fully defaulted solver configuration.
+	Config core.OnlineConfig
+	// Weighting / MinDF / LexiconHit / Tokenizer mirror engine.Config.
+	Weighting  text.Weighting
+	MinDF      int
+	LexiconHit float64
+	Tokenizer  text.TokenizerOptions
+	// Lexicon is the word→class map seeding Sf0 (needed again only if the
+	// vocabulary is not yet frozen).
+	Lexicon map[string]int
+
+	// Frozen reports whether the vocabulary is fixed. When true,
+	// VocabWords and Sf0 carry the frozen artifacts; when false,
+	// VocabCounts/VocabDocs carry the pre-freeze document frequencies
+	// (warm-up state).
+	Frozen      bool
+	VocabWords  []string
+	Sf0         *mat.Dense
+	VocabCounts map[string]int
+	VocabDocs   int
+
+	// Users is the session's fixed user universe.
+	Users []tgraph.User
+	// Batches / Skips are the session's step counters.
+	Batches, Skips int
+
+	// Online is the solver's mutable state.
+	Online *core.OnlineState
+
+	// LastFactors optionally carries the factor matrices of the most
+	// recent solve, so fold-in prediction works immediately after a
+	// restore. Nil when the topic never solved (or the exporter chose not
+	// to include them); Restore tolerates nil.
+	LastFactors *core.Factors
+}
+
+// ExportState deep-copies the session's full state (model + session +
+// solver). Safe to call concurrently with Process: it takes both the
+// session and model locks.
+func (s *Session) ExportState() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &State{
+		Config:    s.online.Config(),
+		Users:     append([]tgraph.User(nil), s.users...),
+		Batches:   s.batches,
+		Skips:     s.skips,
+		Online:    s.online.ExportState(),
+		MinDF:     s.model.minDF,
+		Weighting: s.model.weighting,
+		Tokenizer: s.model.tok.Options(),
+	}
+	st.LexiconHit = s.model.hit
+	st.Lexicon = s.model.lex.Entries()
+
+	s.model.mu.RLock()
+	defer s.model.mu.RUnlock()
+	if s.model.vocab != nil {
+		st.Frozen = true
+		st.VocabWords = s.model.vocab.Words()
+		st.Sf0 = s.model.sf0.Clone()
+	} else {
+		st.VocabCounts = s.model.vb.Counts()
+		st.VocabDocs = s.model.vb.Docs()
+	}
+	return st
+}
+
+// RestoreSession rebuilds a Model and Session from an exported State. The
+// state is deep-copied; mutating it afterwards does not affect the
+// session. The restored session continues exactly where the exported one
+// stopped.
+func RestoreSession(st *State) (*Session, error) {
+	if st == nil {
+		return nil, fmt.Errorf("engine: nil state")
+	}
+	if st.Config.K < 1 {
+		return nil, fmt.Errorf("engine: state has k = %d", st.Config.K)
+	}
+	lex, err := lexicon.FromEntries(st.Lexicon)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore lexicon: %w", err)
+	}
+	// A snapshot is framed and checksummed but not signed: hold its
+	// configuration to the same contract NewTopic enforces, so a crafted
+	// or hand-edited snapshot cannot smuggle in parameters the public
+	// API rejects (negative decay, k the prior cannot seed, …).
+	cfg := Config{
+		Online:     st.Config,
+		Lexicon:    lex,
+		LexiconHit: st.LexiconHit,
+		Weighting:  st.Weighting,
+		MinDF:      st.MinDF,
+		Tokenizer:  st.Tokenizer,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: snapshot configuration: %w", err)
+	}
+	m := &Model{
+		cfg:       st.Config,
+		lex:       lex,
+		hit:       st.LexiconHit,
+		weighting: st.Weighting,
+		minDF:     st.MinDF,
+		tok:       text.NewTokenizer(st.Tokenizer),
+		vb:        text.NewVocabBuilderFromCounts(st.VocabCounts, st.VocabDocs),
+	}
+	if st.Frozen {
+		if st.Sf0 == nil {
+			return nil, fmt.Errorf("engine: frozen state carries no Sf0 prior")
+		}
+		if !st.Sf0.Dims(len(st.VocabWords), st.Config.K) {
+			return nil, fmt.Errorf("engine: Sf0 is %dx%d for %d words, k=%d",
+				st.Sf0.Rows(), st.Sf0.Cols(), len(st.VocabWords), st.Config.K)
+		}
+		m.vocab = text.NewVocabularyFromWords(st.VocabWords)
+		if m.vocab.Len() != len(st.VocabWords) {
+			return nil, fmt.Errorf("engine: vocabulary words not distinct")
+		}
+		// The snapshot's Sf0 is authoritative (not recomputed from the
+		// lexicon) so a restored topic is bit-identical even if prior
+		// construction ever changes.
+		m.sf0 = st.Sf0.Clone()
+	}
+	online, err := core.NewOnlineFromState(st.Config, st.Online)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		model:   m,
+		users:   append([]tgraph.User(nil), st.Users...),
+		online:  online,
+		batches: st.Batches,
+		skips:   st.Skips,
+	}, nil
+}

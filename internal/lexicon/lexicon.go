@@ -11,6 +11,7 @@
 package lexicon
 
 import (
+	"fmt"
 	"sort"
 
 	"triclust/internal/mat"
@@ -87,6 +88,29 @@ func (l *Lexicon) Words(c int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Entries returns a copy of the word→class map, so a lexicon can be
+// serialized (e.g. into a topic snapshot).
+func (l *Lexicon) Entries() map[string]int {
+	out := make(map[string]int, len(l.class))
+	for w, c := range l.class {
+		out[w] = c
+	}
+	return out
+}
+
+// FromEntries rebuilds a lexicon from a serialized word→class map. It
+// rejects classes other than Pos and Neg (the only ones Set accepts).
+func FromEntries(entries map[string]int) (*Lexicon, error) {
+	l := New()
+	for w, c := range entries {
+		if c != Pos && c != Neg {
+			return nil, fmt.Errorf("lexicon: word %q has invalid class %d", w, c)
+		}
+		l.class[w] = c
+	}
+	return l, nil
 }
 
 // Merge adds every entry of other, overwriting duplicates.

@@ -52,6 +52,9 @@ type Tokenizer struct {
 // NewTokenizer returns a tokenizer with the given options.
 func NewTokenizer(opts TokenizerOptions) *Tokenizer { return &Tokenizer{opts: opts} }
 
+// Options returns the tokenizer's configuration.
+func (t *Tokenizer) Options() TokenizerOptions { return t.opts }
+
 // Tokenize splits, normalizes and filters a tweet.
 func (t *Tokenizer) Tokenize(s string) []string {
 	fields := strings.Fields(s)

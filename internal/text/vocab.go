@@ -58,6 +58,38 @@ func (b *VocabBuilder) Add(docs ...[]string) {
 // Docs returns the number of documents added so far.
 func (b *VocabBuilder) Docs() int { return b.docs }
 
+// Counts returns a copy of the accumulated document-frequency counts, so
+// a builder's pre-freeze state can be serialized.
+func (b *VocabBuilder) Counts() map[string]int {
+	out := make(map[string]int, len(b.df))
+	for tok, n := range b.df {
+		out[tok] = n
+	}
+	return out
+}
+
+// NewVocabBuilderFromCounts rebuilds a builder from serialized counts
+// (deep-copied). Builds from the restored builder equal builds from the
+// original: document frequencies fully determine the vocabulary.
+func NewVocabBuilderFromCounts(df map[string]int, docs int) *VocabBuilder {
+	b := NewVocabBuilder()
+	for tok, n := range df {
+		b.df[tok] = n
+	}
+	b.docs = docs
+	return b
+}
+
+// NewVocabularyFromWords rebuilds a frozen vocabulary from its word list
+// in index order (the inverse of Words).
+func NewVocabularyFromWords(words []string) *Vocabulary {
+	v := NewVocabulary()
+	for _, w := range words {
+		v.AddWord(w)
+	}
+	return v
+}
+
 // Distinct returns the number of distinct tokens observed so far.
 func (b *VocabBuilder) Distinct() int { return len(b.df) }
 

@@ -1,0 +1,343 @@
+package triclust
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"triclust/internal/codec"
+	"triclust/internal/core"
+	"triclust/internal/engine"
+	"triclust/internal/text"
+)
+
+// Feature weighting schemes, re-exported for option construction.
+type Weighting = text.Weighting
+
+const (
+	// TF uses raw term counts.
+	TF = text.TF
+	// TFIDF uses smoothed tf·idf weighting (the paper's §5.1 choice).
+	TFIDF = text.TFIDF
+	// Binary uses 0/1 presence indicators.
+	Binary = text.Binary
+)
+
+// TokenizerOptions control tweet normalization (re-exported from the text
+// pipeline).
+type TokenizerOptions = text.TokenizerOptions
+
+// DefaultTokenizerOptions matches the paper's preprocessing: hashtags are
+// first-class features, mentions dropped, stopwords removed.
+func DefaultTokenizerOptions() TokenizerOptions {
+	return text.DefaultTokenizerOptions()
+}
+
+// topicSettings is the option-assembly state behind NewTopic.
+type topicSettings struct {
+	cfg engine.Config
+}
+
+// Option configures a Topic at construction. Options are applied in
+// order; the assembled configuration is validated once, after all options
+// ran, so a later option may fix an earlier one.
+type Option func(*topicSettings) error
+
+// WithSolverConfig sets the full solver configuration (offline
+// hyper-parameters plus the temporal ones). Zero-valued fields keep the
+// paper's defaults. Offline-only callers can wrap a plain Config:
+// WithSolverConfig(OnlineConfig{Config: cfg}).
+func WithSolverConfig(cfg OnlineConfig) Option {
+	return func(s *topicSettings) error {
+		s.cfg.Online = cfg
+		return nil
+	}
+}
+
+// WithLexicon seeds the feature prior Sf0 from lex; nil selects the
+// built-in polarity lexicon.
+func WithLexicon(lex *Lexicon) Option {
+	return func(s *topicSettings) error {
+		s.cfg.Lexicon = lex
+		return nil
+	}
+}
+
+// WithLexiconHit sets the prior probability mass a listed word puts on
+// its class (default 0.8; must lie in [1/k, 1]).
+func WithLexiconHit(hit float64) Option {
+	return func(s *topicSettings) error {
+		s.cfg.LexiconHit = hit
+		return nil
+	}
+}
+
+// WithWeighting selects TF, TFIDF or Binary features (default TF-IDF).
+func WithWeighting(w Weighting) Option {
+	return func(s *topicSettings) error {
+		s.cfg.Weighting = w
+		return nil
+	}
+}
+
+// WithMinDF prunes vocabulary words occurring in fewer documents than
+// minDF when the vocabulary freezes (default 2).
+func WithMinDF(minDF int) Option {
+	return func(s *topicSettings) error {
+		s.cfg.MinDF = minDF
+		return nil
+	}
+}
+
+// WithTokenizer sets the text-normalization options used for tweets
+// whose Tokens field is nil.
+func WithTokenizer(opts TokenizerOptions) Option {
+	return func(s *topicSettings) error {
+		s.cfg.Tokenizer = opts
+		return nil
+	}
+}
+
+// defaultTopicSettings makes NewTopic default to the paper's TF-IDF
+// weighting and tokenizer setup (the zero Weighting value is TF, which
+// remains selectable explicitly via WithWeighting(TF); likewise a plain
+// tokenizer via WithTokenizer(TokenizerOptions{})).
+func defaultTopicSettings() topicSettings {
+	return topicSettings{cfg: engine.Config{
+		Weighting: text.TFIDF,
+		Tokenizer: text.DefaultTokenizerOptions(),
+	}}
+}
+
+// Topic is the first-class handle to one topic's sentiment analysis: a
+// durable, versioned value unifying the offline and online algorithms.
+//
+// Lifecycle:
+//
+//	t, err := triclust.NewTopic(users, triclust.WithMinDF(1), ...)
+//	t.WarmupVocabulary(texts...)   // optional: seed the vocabulary
+//	t.Freeze()                     // optional: fix it before any batch
+//	out, err := t.Process(day, batch)   // online steps (Algorithm 2), or
+//	res, err := t.FitCorpus(corpus)     // a one-shot offline fit (Algorithm 1)
+//	preds, err := t.Predict(texts)      // fold-in against the last factors
+//
+// The vocabulary freezes exactly once — explicitly via Freeze, or
+// implicitly at the first processed batch / offline fit — because the
+// online algorithm requires comparable Sf(t) matrices across snapshots.
+//
+// Topic.Snapshot serializes the complete state (vocabulary, prior, solver
+// history, user history, random-stream position, configuration) into a
+// versioned binary snapshot; Restore rebuilds a topic that continues the
+// stream bit-identically (at a fixed kernel parallelism width). A Topic
+// is safe for concurrent use; batch processing serializes internally.
+type Topic struct {
+	mu    sync.Mutex
+	model *engine.Model
+	sess  *engine.Session
+	last  *core.Result // factors of the most recent solve, for Predict
+}
+
+// NewTopic creates a topic over a fixed user universe (tweets in later
+// batches refer to users by index into users; pass nil for offline-only
+// use). The assembled configuration is validated: a negative MinDF, a
+// class count the lexicon prior cannot seed (k ∉ {2, 3}), a non-positive
+// temporal window, a decay outside (0,1] or an out-of-range lexicon hit
+// mass are rejected with descriptive errors.
+func NewTopic(users []User, opts ...Option) (*Topic, error) {
+	s := defaultTopicSettings()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("triclust: nil Option")
+		}
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("triclust: invalid topic configuration: %w", err)
+	}
+	m := engine.NewModel(s.cfg)
+	return &Topic{model: m, sess: m.NewSession(users)}, nil
+}
+
+// Users returns the size of the topic's user universe.
+func (t *Topic) Users() int { return t.sess.NumUsers() }
+
+// Batches returns the number of non-empty batches processed.
+func (t *Topic) Batches() int { return t.sess.Batches() }
+
+// SkippedBatches returns the number of empty batches skipped.
+func (t *Topic) SkippedBatches() int { return t.sess.Skipped() }
+
+// KnownUsers returns the number of users with recorded history.
+func (t *Topic) KnownUsers() int { return t.sess.KnownUsers() }
+
+// LastTime returns the timestamp of the most recent non-empty batch, or
+// ok = false before the first one. It survives Snapshot/Restore.
+func (t *Topic) LastTime() (int, bool) { return t.sess.LastTime() }
+
+// Vocabulary returns a copy of the frozen vocabulary in feature-index
+// order, or nil before the freeze.
+func (t *Topic) Vocabulary() []string {
+	if v := t.model.Vocabulary(); v != nil {
+		return v.Words()
+	}
+	return nil
+}
+
+// VocabSize returns the frozen vocabulary's size without copying it
+// (0 before the freeze).
+func (t *Topic) VocabSize() int {
+	if v := t.model.Vocabulary(); v != nil {
+		return v.Len()
+	}
+	return 0
+}
+
+// Frozen reports whether the vocabulary is fixed.
+func (t *Topic) Frozen() bool { return t.model.Vocabulary() != nil }
+
+// FeatureSentiments labels the per-word sentiment rows of the most
+// recent solve (nil before the first one). Rows follow the vocabulary's
+// feature-index order. Unlike a caller-side cache of the last batch
+// outcome, it survives Snapshot/Restore.
+func (t *Topic) FeatureSentiments() []Sentiment {
+	t.mu.Lock()
+	last := t.last
+	t.mu.Unlock()
+	if last == nil || last.Sf == nil {
+		return nil
+	}
+	return engine.Label(last.Sf)
+}
+
+// WarmupVocabulary folds raw texts into the pre-freeze document-frequency
+// counts, so the vocabulary can be seeded from historical or out-of-band
+// data before the first batch fixes it. It errors once the vocabulary is
+// frozen.
+func (t *Topic) WarmupVocabulary(texts ...string) error {
+	docs := make([][]string, len(texts))
+	for i, s := range texts {
+		docs[i] = t.model.Tokenizer().Tokenize(s)
+	}
+	return t.model.AccumulateVocabulary(docs)
+}
+
+// WarmupTokenized is WarmupVocabulary for pre-tokenized documents.
+func (t *Topic) WarmupTokenized(docs [][]string) error {
+	return t.model.AccumulateVocabulary(docs)
+}
+
+// Freeze fixes the vocabulary from the warm-up documents accumulated so
+// far, without waiting for the first batch. It errors if the vocabulary
+// is already frozen or the warm-up counts yield no words at MinDF.
+func (t *Topic) Freeze() error { return t.model.FreezeNow() }
+
+// Process runs one online step (Algorithm 2) on the batch of tweets with
+// timestamp ts. Timestamps must strictly increase across non-empty
+// batches. The first non-empty batch freezes the vocabulary unless Freeze
+// already did; an empty batch returns a result with Skipped set and
+// changes nothing.
+func (t *Topic) Process(ts int, tweets []Tweet) (*StreamResult, error) {
+	// t.mu is held across the solve (not just the t.last store) so a
+	// concurrent Snapshot can never pair batch-N solver history with
+	// batch-N−1 factors; lock order is always Topic.mu → Session.mu.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out, err := t.sess.Process(ts, tweets)
+	if err != nil {
+		return nil, err
+	}
+	if out.Res != nil {
+		t.last = out.Res
+	}
+	return &StreamResult{
+		Result:      *resultFrom(out, t.model),
+		ActiveUsers: out.Active,
+		Skipped:     out.Skipped,
+	}, nil
+}
+
+// FitCorpus runs the offline tri-clustering algorithm (Algorithm 1) over
+// a whole corpus in one shot, freezing the vocabulary from it when not
+// already frozen. Offline and online use share the topic's vocabulary and
+// prior, so a topic fitted offline can be warm-started for prediction.
+func (t *Topic) FitCorpus(c *Corpus) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("triclust: nil corpus")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out, err := t.model.FitCorpus(c)
+	if err != nil {
+		return nil, err
+	}
+	if out.Res != nil {
+		t.last = out.Res
+	}
+	return resultFrom(out, t.model), nil
+}
+
+// Predict classifies new tweets against the most recent solve (offline
+// fit or online step) by NMF fold-in, without running the solver.
+// Out-of-vocabulary words are ignored.
+func (t *Topic) Predict(texts []string) ([]Sentiment, error) {
+	docs := make([][]string, len(texts))
+	for i, s := range texts {
+		docs[i] = t.model.Tokenizer().Tokenize(s)
+	}
+	return t.PredictTokenized(docs)
+}
+
+// PredictTokenized is Predict for pre-tokenized input.
+func (t *Topic) PredictTokenized(docs [][]string) ([]Sentiment, error) {
+	t.mu.Lock()
+	last := t.last
+	t.mu.Unlock()
+	if last == nil {
+		return nil, errors.New("triclust: topic has no fitted factors yet (run Process or FitCorpus first)")
+	}
+	return t.model.Predict(&last.Factors, docs)
+}
+
+// UserEstimate returns the most recent sentiment estimate for a user, or
+// ok = false if the user has never appeared.
+func (t *Topic) UserEstimate(user int) (Sentiment, bool) {
+	return t.sess.UserEstimate(user)
+}
+
+// Snapshot serializes the topic's complete state — configuration,
+// lexicon, vocabulary, Sf0 prior, solver factors and history, user
+// history and random-stream position — as a self-describing, versioned
+// binary snapshot. A topic restored from it continues the stream
+// bit-identically (at a fixed kernel parallelism width). Equal states
+// produce byte-identical snapshots.
+func (t *Topic) Snapshot(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.sess.ExportState()
+	if t.last != nil {
+		st.LastFactors = &t.last.Factors
+	}
+	return codec.Encode(w, st)
+}
+
+// Restore rebuilds a Topic from a snapshot written by Topic.Snapshot. The
+// snapshot's checksum, magic and format version are verified before any
+// state is applied; a truncated or corrupted snapshot is rejected whole.
+func Restore(r io.Reader) (*Topic, error) {
+	st, err := codec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := engine.RestoreSession(st)
+	if err != nil {
+		return nil, err
+	}
+	t := &Topic{model: sess.Model(), sess: sess}
+	if st.LastFactors != nil {
+		t.last = &core.Result{Factors: *st.LastFactors}
+	}
+	return t, nil
+}

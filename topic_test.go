@@ -1,0 +1,450 @@
+package triclust_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"triclust"
+	"triclust/internal/synth"
+)
+
+// dayBatches splits a synthetic dataset into per-day tweet batches
+// (dropping retweet links, whose indices are corpus-global).
+func dayBatches(d *synth.Dataset, days int) [][]triclust.Tweet {
+	batches := make([][]triclust.Tweet, days)
+	for _, tw := range d.Corpus.Tweets {
+		tw.RetweetOf = -1
+		if tw.Time >= 0 && tw.Time < days {
+			batches[tw.Time] = append(batches[tw.Time], tw)
+		}
+	}
+	return batches
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// requireSameStep asserts two online step results are identical within
+// tol (the acceptance criterion for snapshot/restore continuation).
+func requireSameStep(t *testing.T, day int, a, b *triclust.StreamResult, tol float64) {
+	t.Helper()
+	if a.Skipped != b.Skipped {
+		t.Fatalf("day %d: skipped %v vs %v", day, a.Skipped, b.Skipped)
+	}
+	if a.Skipped {
+		return
+	}
+	if a.Iterations != b.Iterations || a.Converged != b.Converged {
+		t.Fatalf("day %d: iterations %d/%v vs %d/%v",
+			day, a.Iterations, a.Converged, b.Iterations, b.Converged)
+	}
+	if len(a.TweetSentiments) != len(b.TweetSentiments) {
+		t.Fatalf("day %d: tweet count %d vs %d", day, len(a.TweetSentiments), len(b.TweetSentiments))
+	}
+	for i := range a.TweetSentiments {
+		if a.TweetSentiments[i].Class != b.TweetSentiments[i].Class {
+			t.Fatalf("day %d tweet %d: class %d vs %d", day, i,
+				a.TweetSentiments[i].Class, b.TweetSentiments[i].Class)
+		}
+		if d := math.Abs(a.TweetSentiments[i].Confidence - b.TweetSentiments[i].Confidence); d > tol {
+			t.Fatalf("day %d tweet %d: confidence differs by %g", day, i, d)
+		}
+	}
+	if len(a.ActiveUsers) != len(b.ActiveUsers) {
+		t.Fatalf("day %d: active users %d vs %d", day, len(a.ActiveUsers), len(b.ActiveUsers))
+	}
+	for i := range a.ActiveUsers {
+		if a.ActiveUsers[i] != b.ActiveUsers[i] {
+			t.Fatalf("day %d: active user %d is %d vs %d", day, i, a.ActiveUsers[i], b.ActiveUsers[i])
+		}
+	}
+	for _, pair := range [][2][]float64{
+		{a.Raw.Sp.Data(), b.Raw.Sp.Data()},
+		{a.Raw.Su.Data(), b.Raw.Su.Data()},
+		{a.Raw.Sf.Data(), b.Raw.Sf.Data()},
+		{a.Raw.Hp.Data(), b.Raw.Hp.Data()},
+		{a.Raw.Hu.Data(), b.Raw.Hu.Data()},
+	} {
+		if d := maxAbsDiff(pair[0], pair[1]); d > tol {
+			t.Fatalf("day %d: factor matrices differ by %g (tol %g)", day, d, tol)
+		}
+	}
+}
+
+// TestTopicSnapshotRestoreMidStream is the acceptance test of the
+// snapshot subsystem: a topic snapshotted after batch t and restored in a
+// fresh "process" must produce identical results (within 1e-12; in fact
+// bit-identical) for batches t+1… as the uninterrupted session.
+func TestTopicSnapshotRestoreMidStream(t *testing.T) {
+	d := demoCorpus(t, 11)
+	const days, cut = 8, 4
+	batches := dayBatches(d, days)
+
+	newTopic := func() *triclust.Topic {
+		tp, err := triclust.NewTopic(d.Corpus.Users)
+		if err != nil {
+			t.Fatalf("NewTopic: %v", err)
+		}
+		return tp
+	}
+
+	// Run A: uninterrupted.
+	full := newTopic()
+	var want []*triclust.StreamResult
+	for day := 0; day < days; day++ {
+		out, err := full.Process(day, batches[day])
+		if err != nil {
+			t.Fatalf("full process day %d: %v", day, err)
+		}
+		if day >= cut {
+			want = append(want, out)
+		}
+	}
+
+	// Run B: same prefix, then snapshot, restore, and continue.
+	prefix := newTopic()
+	for day := 0; day < cut; day++ {
+		if _, err := prefix.Process(day, batches[day]); err != nil {
+			t.Fatalf("prefix process day %d: %v", day, err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := prefix.Snapshot(&snap); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := triclust.Restore(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Batches() != prefix.Batches() || restored.Users() != prefix.Users() {
+		t.Fatalf("restored counters: batches %d vs %d, users %d vs %d",
+			restored.Batches(), prefix.Batches(), restored.Users(), prefix.Users())
+	}
+	for day := cut; day < days; day++ {
+		out, err := restored.Process(day, batches[day])
+		if err != nil {
+			t.Fatalf("restored process day %d: %v", day, err)
+		}
+		requireSameStep(t, day, want[day-cut], out, 1e-12)
+	}
+
+	// User estimates after the full run agree too.
+	for u := 0; u < full.Users(); u++ {
+		ea, oka := full.UserEstimate(u)
+		eb, okb := restored.UserEstimate(u)
+		if oka != okb {
+			t.Fatalf("user %d: known %v vs %v", u, oka, okb)
+		}
+		if oka && (ea.Class != eb.Class || math.Abs(ea.Confidence-eb.Confidence) > 1e-12) {
+			t.Fatalf("user %d: estimate %+v vs %+v", u, ea, eb)
+		}
+	}
+}
+
+// TestTopicSnapshotDeterministic: equal states produce byte-identical
+// snapshots (maps are serialized in sorted order).
+func TestTopicSnapshotDeterministic(t *testing.T) {
+	d := demoCorpus(t, 3)
+	batches := dayBatches(d, 8)
+	tp, err := triclust.NewTopic(d.Corpus.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		if _, err := tp.Process(day, batches[day]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var s1, s2 bytes.Buffer
+	if err := tp.Snapshot(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Snapshot(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+}
+
+// TestTopicSnapshotPreFreeze: a topic snapshotted after vocabulary
+// warm-up but before the freeze restores its accumulated counts, so both
+// topics freeze the same vocabulary at the first batch.
+func TestTopicSnapshotPreFreeze(t *testing.T) {
+	d := demoCorpus(t, 5)
+	batches := dayBatches(d, 8)
+	mk := func() *triclust.Topic {
+		tp, err := triclust.NewTopic(d.Corpus.Users, triclust.WithMinDF(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.WarmupVocabulary("prop37 labeling ballot", "prop37 vote yes"); err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	orig := mk()
+	var snap bytes.Buffer
+	if err := orig.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := triclust.Restore(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Vocabulary() != nil {
+		t.Fatal("restored pre-freeze topic has a frozen vocabulary")
+	}
+	a, err := orig.Process(0, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Process(0, batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameStep(t, 0, a, b, 0)
+	va, vb := orig.Vocabulary(), restored.Vocabulary()
+	if len(va) == 0 || len(va) != len(vb) {
+		t.Fatalf("vocabulary sizes %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("vocab word %d: %q vs %q", i, va[i], vb[i])
+		}
+	}
+}
+
+// TestTopicPredictAfterRestore: the snapshot carries the last solved
+// factors, so fold-in prediction works immediately after a restore.
+func TestTopicPredictAfterRestore(t *testing.T) {
+	d := demoCorpus(t, 7)
+	batches := dayBatches(d, 8)
+	tp, err := triclust.NewTopic(d.Corpus.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 2; day++ {
+		if _, err := tp.Process(day, batches[day]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	texts := []string{"love this great win", "awful terrible scam"}
+	want, err := tp.Predict(texts)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := tp.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := triclust.Restore(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Predict(texts)
+	if err != nil {
+		t.Fatalf("Predict after restore: %v", err)
+	}
+	for i := range want {
+		if want[i].Class != got[i].Class || math.Abs(want[i].Confidence-got[i].Confidence) > 1e-12 {
+			t.Fatalf("prediction %d: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestRestoreRejectsCorruption flips every 7th byte of a valid snapshot
+// (and truncates it at several lengths) and requires Restore to reject
+// each mutation rather than restore silently-wrong state.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	d := demoCorpus(t, 9)
+	batches := dayBatches(d, 8)
+	tp, err := triclust.NewTopic(d.Corpus.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 2; day++ {
+		if _, err := tp.Process(day, batches[day]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := tp.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+	if _, err := triclust.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	for pos := 0; pos < len(good); pos += 7 {
+		mut := append([]byte(nil), good...)
+		mut[pos] ^= 0x40
+		if _, err := triclust.Restore(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d accepted", pos, len(good))
+		}
+	}
+	for _, cut := range []int{0, 5, 17, 18, len(good) / 2, len(good) - 1} {
+		if _, err := triclust.Restore(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := triclust.Restore(strings.NewReader("not a snapshot at all........")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestNewTopicValidation: the configuration surface rejects the
+// degenerate settings the solvers cannot run with — with descriptive
+// errors, not panics deep in the pipeline.
+func TestNewTopicValidation(t *testing.T) {
+	users := []triclust.User{{Name: "u"}}
+	cases := []struct {
+		name string
+		opts []triclust.Option
+		want string
+	}{
+		{"negative MinDF", []triclust.Option{triclust.WithMinDF(-3)}, "MinDF"},
+		{"k too large for lexicon", []triclust.Option{
+			triclust.WithSolverConfig(triclust.OnlineConfig{Config: triclust.Config{K: 5}})}, "k must be 2 or 3"},
+		{"k = 1", []triclust.Option{
+			triclust.WithSolverConfig(triclust.OnlineConfig{Config: triclust.Config{K: 1}})}, "k must be 2 or 3"},
+		{"negative window", []triclust.Option{
+			triclust.WithSolverConfig(triclust.OnlineConfig{Window: -1})}, "window"},
+		{"decay out of range", []triclust.Option{
+			triclust.WithSolverConfig(triclust.OnlineConfig{Tau: 1.5})}, "tau"},
+		{"negative regularizer", []triclust.Option{
+			triclust.WithSolverConfig(triclust.OnlineConfig{Gamma: -0.2})}, "non-negative"},
+		{"hit below uniform", []triclust.Option{triclust.WithLexiconHit(0.1)}, "LexiconHit"},
+		{"unknown weighting", []triclust.Option{triclust.WithWeighting(triclust.Weighting(42))}, "weighting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := triclust.NewTopic(users, tc.opts...)
+			if err == nil {
+				t.Fatalf("configuration accepted, want error mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Valid configurations still construct.
+	if _, err := triclust.NewTopic(users); err != nil {
+		t.Fatalf("default topic rejected: %v", err)
+	}
+	if _, err := triclust.NewTopic(nil, triclust.WithSolverConfig(
+		triclust.OnlineConfig{Config: triclust.Config{K: 2}})); err != nil {
+		t.Fatalf("k=2 topic rejected: %v", err)
+	}
+}
+
+// TestNewStreamValidation: the deprecated constructor performs the same
+// validation (it used to return an error that could never be non-nil).
+func TestNewStreamValidation(t *testing.T) {
+	opts := triclust.DefaultStreamOptions()
+	opts.MinDF = -1
+	if _, err := triclust.NewStream([]triclust.User{{}}, opts); err == nil {
+		t.Fatal("NewStream accepted negative MinDF")
+	}
+	opts = triclust.DefaultStreamOptions()
+	opts.Config.Window = -2
+	if _, err := triclust.NewStream([]triclust.User{{}}, opts); err == nil {
+		t.Fatal("NewStream accepted negative window")
+	}
+	opts = triclust.DefaultStreamOptions()
+	opts.Config.K = 7
+	if _, err := triclust.NewStream([]triclust.User{{}}, opts); err == nil {
+		t.Fatal("NewStream accepted k=7")
+	}
+}
+
+// TestTopicWarmupFreezeLifecycle exercises the explicit lifecycle:
+// warm-up feeds the vocabulary, Freeze fixes it, later warm-up errors.
+func TestTopicWarmupFreezeLifecycle(t *testing.T) {
+	tp, err := triclust.NewTopic([]triclust.User{{Name: "a"}}, triclust.WithMinDF(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Vocabulary() != nil {
+		t.Fatal("vocabulary frozen before any data")
+	}
+	if err := tp.Freeze(); err == nil {
+		t.Fatal("Freeze succeeded with no warm-up data")
+	}
+	err = tp.WarmupVocabulary(
+		"label gmo ballot prop37",
+		"label gmo vote",
+		"unrelated singleton")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	vocab := tp.Vocabulary()
+	if len(vocab) != 2 { // "gmo" and "label" reach MinDF=2
+		t.Fatalf("vocabulary %v, want [gmo label]", vocab)
+	}
+	if err := tp.WarmupVocabulary("more words"); err == nil {
+		t.Fatal("warm-up accepted after freeze")
+	}
+	if err := tp.Freeze(); err == nil {
+		t.Fatal("second Freeze accepted")
+	}
+	// Processing still works against the frozen vocabulary.
+	out, err := tp.Process(0, []triclust.Tweet{
+		{Text: "label gmo now", User: 0, RetweetOf: -1, Label: triclust.NoLabel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped || len(out.TweetSentiments) != 1 {
+		t.Fatalf("unexpected outcome %+v", out)
+	}
+	if got := tp.Vocabulary(); len(got) != 2 {
+		t.Fatalf("first batch changed the frozen vocabulary: %v", got)
+	}
+}
+
+// TestStreamTopicEquivalence: the deprecated Stream adapter and the Topic
+// it wraps produce identical step results.
+func TestStreamTopicEquivalence(t *testing.T) {
+	d := demoCorpus(t, 13)
+	batches := dayBatches(d, 8)
+	st, err := triclust.NewStream(d.Corpus.Users, triclust.DefaultStreamOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := triclust.NewTopic(d.Corpus.Users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 4; day++ {
+		a, err := st.Process(day, batches[day])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tp.Process(day, batches[day])
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameStep(t, day, a, b, 0)
+	}
+	if st.Topic() == nil {
+		t.Fatal("Stream.Topic returned nil")
+	}
+}

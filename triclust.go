@@ -6,31 +6,70 @@
 // user-graph regularization (offline) and temporal regularization over a
 // stream of snapshots (online).
 //
-// # Quick start
+// # The Topic lifecycle
 //
-//	corpus := &triclust.Corpus{ ... tweets, users ... }
-//	res, err := triclust.Fit(corpus, triclust.DefaultOptions())
-//	if err != nil { ... }
-//	for i, s := range res.TweetSentiments { ... s.Class, s.Confidence ... }
+// The unit of work is a Topic: a durable, versioned value holding one
+// topic's complete analysis state — configuration, vocabulary, lexicon
+// prior, solver factors and per-user history. Both the paper's algorithms
+// run against the same Topic:
 //
-// For streaming data, create a Stream and feed it one batch per timestamp:
+//	t, _ := triclust.NewTopic(users,
+//		triclust.WithMinDF(2),
+//		triclust.WithSolverConfig(triclust.OnlineConfig{}))
 //
-//	st, _ := triclust.NewStream(users, triclust.DefaultStreamOptions())
-//	out, err := st.Process(day, batchCorpus)
+//	t.WarmupVocabulary(historicalTexts...) // optional vocabulary seeding
+//	t.Freeze()                             // optional explicit freeze
+//
+//	out, _ := t.Process(day, batch) // online steps (Algorithm 2)
+//	res, _ := t.FitCorpus(corpus)   // or a one-shot offline fit (Algorithm 1)
+//	preds, _ := t.Predict(texts)    // fold-in against the last factors
+//
+// The vocabulary freezes exactly once — explicitly via Freeze, or
+// implicitly at the first processed batch or offline fit — because the
+// online algorithm requires comparable Sf(t) matrices across snapshots.
+//
+// # Durable snapshots
+//
+// Topic.Snapshot serializes the full state into a self-describing,
+// versioned binary snapshot; Restore rebuilds a topic that continues the
+// stream bit-identically (at a fixed kernel parallelism width):
+//
+//	var buf bytes.Buffer
+//	_ = t.Snapshot(&buf)
+//	t2, _ := triclust.Restore(&buf) // t2.Process(day+1, ...) ≡ t.Process(day+1, ...)
+//
+// Snapshots survive process restarts; cmd/triclustd uses them for its
+// -data-dir durability and its PUT /v1/topics/{topic} restore endpoint.
+//
+// # Migrating from Fit and Stream
+//
+// Fit and Stream predate Topic and remain as thin adapters:
+//
+//   - triclust.Fit(c, opts) ≡ NewTopic(nil, WithSolverConfig(...),
+//     WithLexicon(...), ...) followed by FitCorpus(c).
+//   - triclust.NewStream(users, opts) ≡ NewTopic(users, ...); then
+//     Stream.Process ≡ Topic.Process and Stream.UserEstimate ≡
+//     Topic.UserEstimate. Stream.Topic returns the underlying Topic, so
+//     an existing stream can be snapshotted without rewriting call sites.
+//
+// The parallel Options/StreamOptions structs map onto functional options:
+// Config/OnlineConfig → WithSolverConfig, Lexicon → WithLexicon,
+// LexiconHit → WithLexiconHit, Weighting → WithWeighting, MinDF →
+// WithMinDF, Tokenizer → WithTokenizer.
 //
 // # Architecture
 //
-// Fit and Stream are thin adapters over internal/engine, which decomposes
-// the pipeline into explicit stages — tokenize → vocabulary → graph build
-// → lexicon prior → solve → label — around two long-lived types:
+// Topic is a thin façade over internal/engine, which decomposes the
+// pipeline into explicit stages — tokenize → vocabulary → graph build →
+// lexicon prior → solve → label — around two long-lived types:
 // engine.Model holds the frozen per-topic artifacts (tokenizer,
 // vocabulary, cached Sf0 prior, configuration) and engine.Session the
 // per-topic mutable state (the Algorithm-2 solver with its user history
-// plus reusable problem scaffolding, so steady-state batches allocate
-// nothing for the prior or the problem skeleton). The numerical heavy
-// lifting lives in internal/core (the paper's Algorithms 1 and 2) on the
-// parallel kernels of internal/mat and internal/sparse. cmd/triclustd
-// serves many concurrent topic sessions over HTTP on the same engine.
+// plus reusable problem scaffolding). internal/codec serializes both into
+// the snapshot format. The numerical heavy lifting lives in internal/core
+// (the paper's Algorithms 1 and 2) on the parallel kernels of
+// internal/mat and internal/sparse. cmd/triclustd serves many concurrent
+// durable topics over a versioned HTTP API on the same engine.
 package triclust
 
 import (
@@ -77,6 +116,14 @@ const (
 	Neu = lexicon.Neu
 )
 
+// DefaultConfig returns the paper's offline solver configuration (§5.1:
+// k = 3, α = 0.05, β = 0.8).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultOnlineConfig returns the paper's online solver configuration
+// (§5.2: α = τ = 0.9, β = 0.8, γ = 0.2, w = 2).
+func DefaultOnlineConfig() OnlineConfig { return core.DefaultOnlineConfig() }
+
 // ClassName returns "positive" / "negative" / "neutral".
 func ClassName(c int) string {
 	switch c {
@@ -92,6 +139,9 @@ func ClassName(c int) string {
 }
 
 // Options configure Fit.
+//
+// Deprecated: construct a Topic with functional options instead (see the
+// package documentation's migration notes).
 type Options struct {
 	// Config is the solver configuration (DefaultConfig of the paper's
 	// §5.1 when zero-valued fields are left alone).
@@ -123,7 +173,7 @@ func DefaultOptions() Options {
 	}
 }
 
-// Result is the outcome of an offline Fit or one Stream step.
+// Result is the outcome of an offline fit or one online step.
 type Result struct {
 	// TweetSentiments and UserSentiments follow the input ordering.
 	TweetSentiments []Sentiment
@@ -181,43 +231,38 @@ func resultFrom(out *engine.Outcome, m *engine.Model) *Result {
 	return r
 }
 
-// engineConfig translates the public option sets to an engine.Config.
-func engineConfig(cfg core.OnlineConfig, lex *Lexicon, hit float64, w text.Weighting, minDF int, tok text.TokenizerOptions) engine.Config {
-	return engine.Config{
-		Online:     cfg,
-		Lexicon:    lex,
-		LexiconHit: hit,
-		Weighting:  w,
-		MinDF:      minDF,
-		Tokenizer:  tok,
-	}
-}
-
 // Fit runs the offline tri-clustering algorithm (Algorithm 1) on a corpus
-// and returns tweet-, user- and feature-level sentiments. It is a one-shot
-// adapter over the engine pipeline: a fresh engine.Model is built, its
-// vocabulary frozen from this corpus, and every stage runs once.
+// and returns tweet-, user- and feature-level sentiments.
+//
+// Deprecated: Fit is a thin adapter kept for compatibility; it is
+// equivalent to NewTopic(nil, ...) followed by Topic.FitCorpus, which
+// additionally gives access to warm-up, prediction and durable snapshots.
 func Fit(c *Corpus, o Options) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("triclust: nil corpus")
 	}
 	// An unconfigured solver selects the paper's *offline* setup (the
-	// engine's own fallback is the online one); every other default
-	// lives in engine.NewModel.
+	// engine's own fallback is the online one).
 	if o.Config.K == 0 {
 		o.Config = core.DefaultConfig()
 	}
-	m := engine.NewModel(engineConfig(
-		core.OnlineConfig{Config: o.Config}, o.Lexicon, o.LexiconHit,
-		o.Weighting, o.MinDF, o.Tokenizer))
-	out, err := m.FitCorpus(c)
+	t, err := NewTopic(nil,
+		WithSolverConfig(core.OnlineConfig{Config: o.Config}),
+		WithLexicon(o.Lexicon),
+		WithLexiconHit(o.LexiconHit),
+		WithWeighting(o.Weighting),
+		WithMinDF(o.MinDF),
+		WithTokenizer(o.Tokenizer))
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(out, m), nil
+	return t.FitCorpus(c)
 }
 
 // StreamOptions configure a Stream.
+//
+// Deprecated: construct a Topic with functional options instead (see the
+// package documentation's migration notes).
 type StreamOptions struct {
 	// Config is the online solver configuration (paper defaults: α=τ=0.9,
 	// β=0.8, γ=0.2, w=2).
@@ -257,47 +302,49 @@ type StreamResult struct {
 	Skipped bool
 }
 
-// Stream is the stateful online analyzer (Algorithm 2). It tracks user
-// history across batches; users are identified by their index in the
-// universe passed to NewStream. Stream is an adapter over one
-// engine.Session; batch results are independent of tweet ordering within
-// the batch (tweets are canonicalized before the solver runs).
+// Stream is the stateful online analyzer (Algorithm 2).
+//
+// Deprecated: Stream is a thin adapter over Topic kept for compatibility;
+// Topic adds vocabulary warm-up, fold-in prediction and durable
+// snapshot/restore. Stream.Topic exposes the underlying Topic so existing
+// streams can use those without rewriting call sites.
 type Stream struct {
-	model *engine.Model
-	sess  *engine.Session
+	topic *Topic
 }
 
 // NewStream creates a stream over a fixed user universe (tweets in later
-// batches refer to users by index into users).
+// batches refer to users by index into users). The options are validated
+// like NewTopic's: a negative MinDF, a class count the lexicon prior
+// cannot seed, or a non-positive temporal window are rejected.
 func NewStream(users []User, opts StreamOptions) (*Stream, error) {
-	// All defaulting (lexicon, hit mass, MinDF, solver config) happens
-	// in engine.NewModel.
-	m := engine.NewModel(engineConfig(
-		opts.Config, opts.Lexicon, opts.LexiconHit,
-		opts.Weighting, opts.MinDF, opts.Tokenizer))
-	return &Stream{model: m, sess: m.NewSession(users)}, nil
+	t, err := NewTopic(users,
+		WithSolverConfig(opts.Config),
+		WithLexicon(opts.Lexicon),
+		WithLexiconHit(opts.LexiconHit),
+		WithWeighting(opts.Weighting),
+		WithMinDF(opts.MinDF),
+		WithTokenizer(opts.Tokenizer))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{topic: t}, nil
 }
+
+// Topic returns the underlying Topic, e.g. for Snapshot.
+func (s *Stream) Topic() *Topic { return s.topic }
 
 // Process runs one online step on the batch of tweets with timestamp t.
 // Timestamps must strictly increase across non-empty batches. The first
 // non-empty batch fixes the vocabulary; an empty batch returns a result
 // with Skipped set and changes nothing.
 func (s *Stream) Process(t int, tweets []Tweet) (*StreamResult, error) {
-	out, err := s.sess.Process(t, tweets)
-	if err != nil {
-		return nil, err
-	}
-	return &StreamResult{
-		Result:      *resultFrom(out, s.model),
-		ActiveUsers: out.Active,
-		Skipped:     out.Skipped,
-	}, nil
+	return s.topic.Process(t, tweets)
 }
 
 // UserEstimate returns the most recent sentiment estimate for a user, or
 // ok=false if the user has never appeared.
 func (s *Stream) UserEstimate(user int) (Sentiment, bool) {
-	return s.sess.UserEstimate(user)
+	return s.topic.UserEstimate(user)
 }
 
 // BuiltinLexicon returns the general-purpose polarity lexicon.
