@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"triclust"
+	"triclust/internal/codec"
 )
 
 // topicNameRe bounds topic names to a filesystem- and URL-safe alphabet,
@@ -79,6 +81,22 @@ func (st *store) save(name string, tp *triclust.Topic) error {
 	return d.Sync()
 }
 
+// quarantineName returns the first unoccupied quarantine filename for
+// base (base.unsupported-version, then .1, .2, …), or "" if none of the
+// bounded candidates is free.
+func quarantineName(dir, base string) string {
+	for i := 0; i < 1000; i++ {
+		cand := base + ".unsupported-version"
+		if i > 0 {
+			cand = fmt.Sprintf("%s.%d", cand, i)
+		}
+		if _, err := os.Stat(filepath.Join(dir, cand)); os.IsNotExist(err) {
+			return cand
+		}
+	}
+	return ""
+}
+
 // remove deletes a topic's snapshot (if any).
 func (st *store) remove(name string) {
 	if st != nil {
@@ -115,6 +133,28 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*tri
 		tp, err := triclust.Restore(f)
 		f.Close()
 		if err != nil {
+			if errors.Is(err, codec.ErrVersion) {
+				// An old-format snapshot is not corrupt — it is intact
+				// data this build cannot replay (e.g. a version-1 file
+				// whose random-stream position belongs to the old
+				// generator). Quarantine it under a suffix the loader
+				// ignores, so re-creating the topic cannot atomically
+				// overwrite the only copy of the old state. The
+				// quarantine name itself must not clobber an earlier
+				// quarantined copy (possible after an upgrade → rollback
+				// → upgrade cycle), so pick the first free slot.
+				q := quarantineName(st.dir, e.Name())
+				if q == "" {
+					warn("skipping %s: %v (no free quarantine name)", e.Name(), err)
+					continue
+				}
+				if rerr := os.Rename(filepath.Join(st.dir, e.Name()), filepath.Join(st.dir, q)); rerr != nil {
+					warn("skipping %s: %v (quarantine failed: %v)", e.Name(), err, rerr)
+				} else {
+					warn("quarantined %s as %s: %v", e.Name(), q, err)
+				}
+				continue
+			}
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}

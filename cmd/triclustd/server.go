@@ -25,6 +25,20 @@ type server struct {
 	store  *store // nil: in-memory only
 	logf   func(format string, args ...any)
 	mux    *http.ServeMux
+
+	// nameLocks serializes snapshot-file saves and removes per topic
+	// name. Neither the registry lock nor a per-topic mutex can play this
+	// role: a name can be deleted and re-created while an older
+	// instance's save is still in flight, and the two instances' saves
+	// hold different topic mutexes. Entries are refcounted and dropped on
+	// last release, so name churn does not grow the map without bound.
+	nameMu    sync.Mutex
+	nameLocks map[string]*nameLock
+}
+
+type nameLock struct {
+	mu   sync.Mutex
+	refs int
 }
 
 type topic struct {
@@ -34,6 +48,11 @@ type topic struct {
 	mu      sync.Mutex // serializes Process + persistence + deletion
 	tp      *triclust.Topic
 	deleted bool // set under mu by deleteTopic; no save may follow
+	// saved reports that a snapshot of this topic instance is on disk.
+	// It is read and written only under the instance's name lock, where
+	// it tells removeStale whether <name>.snap belongs to the currently
+	// registered topic or to a deleted earlier incarnation of the name.
+	saved bool
 }
 
 // newServer builds the registry, restoring every snapshot found under
@@ -46,13 +65,18 @@ func newServer(dataDir string, logf func(format string, args ...any)) (*server, 
 	if err != nil {
 		return nil, err
 	}
-	s := &server{topics: make(map[string]*topic), store: st, logf: logf}
+	s := &server{
+		topics:    make(map[string]*topic),
+		store:     st,
+		logf:      logf,
+		nameLocks: make(map[string]*nameLock),
+	}
 	restored, err := st.loadAll(logf)
 	if err != nil {
 		return nil, err
 	}
 	for name, tp := range restored {
-		s.topics[name] = &topic{name: name, created: time.Now().UTC(), tp: tp}
+		s.topics[name] = &topic{name: name, created: time.Now().UTC(), tp: tp, saved: true}
 		s.logf("restored topic %q (%d batches, %d users)", name, tp.Batches(), tp.Users())
 	}
 
@@ -263,16 +287,107 @@ func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, tp.summary())
 }
 
+// lockName acquires the per-name snapshot-file lock, creating it on
+// first use. Pair with unlockName, which drops the map entry when the
+// last holder or waiter releases it.
+func (s *server) lockName(name string) *nameLock {
+	s.nameMu.Lock()
+	l := s.nameLocks[name]
+	if l == nil {
+		l = new(nameLock)
+		s.nameLocks[name] = l
+	}
+	l.refs++
+	s.nameMu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+func (s *server) unlockName(name string, l *nameLock) {
+	l.mu.Unlock()
+	s.nameMu.Lock()
+	if l.refs--; l.refs == 0 {
+		delete(s.nameLocks, name)
+	}
+	s.nameMu.Unlock()
+}
+
+// saveIfCurrent persists tp's snapshot if tp is still the topic the
+// registry serves under its name, reporting whether it was. Holding the
+// per-name lock across the registry re-check and the write orders the
+// save against concurrent removes and against saves of other same-named
+// instances, so <name>.snap always holds the state of the topic a
+// restarted daemon would be expected to serve under that name. Lock
+// order here and in every other path is tp.mu → name lock → s.mu.
+func (s *server) saveIfCurrent(tp *topic) (bool, error) {
+	if s.store == nil {
+		return true, nil
+	}
+	l := s.lockName(tp.name)
+	defer s.unlockName(tp.name, l)
+	s.mu.RLock()
+	current := s.topics[tp.name] == tp
+	s.mu.RUnlock()
+	if !current {
+		return false, nil
+	}
+	if err := s.store.save(tp.name, tp.tp); err != nil {
+		return true, err
+	}
+	tp.saved = true
+	return true, nil
+}
+
+// removeStale deletes <name>.snap unless the file belongs to the
+// currently registered topic, i.e. unless that topic has completed a
+// save under the per-name lock. This covers both the deleted-name case
+// (no registered topic) and the re-created-but-not-yet-persisted case:
+// there the file still holds a previous, deleted incarnation's state,
+// and keeping it would resurrect that topic if the daemon crashed
+// before the new topic's first save.
+func (s *server) removeStale(name string) {
+	if s.store == nil {
+		return
+	}
+	l := s.lockName(name)
+	defer s.unlockName(name, l)
+	s.mu.RLock()
+	cur := s.topics[name]
+	s.mu.RUnlock()
+	if cur == nil || !cur.saved {
+		s.store.remove(name)
+	}
+}
+
 // persistNew writes a freshly registered topic's first snapshot. A 201
 // must imply durability when -data-dir is set, so on failure the topic
-// is unregistered again and the request fails with storage_error.
+// is unregistered again and the request fails with storage_error; a
+// DELETE racing in between register and this save must not leave an
+// orphan snapshot that resurrects the topic on the next restart.
 func (s *server) persistNew(w http.ResponseWriter, tp *topic) bool {
-	if err := s.store.save(tp.name, tp.tp); err != nil {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	ok, err := s.saveIfCurrent(tp)
+	if err != nil {
 		s.mu.Lock()
-		delete(s.topics, tp.name)
+		// Unregister only if the entry is still this topic; the name may
+		// have been deleted and re-created concurrently.
+		if s.topics[tp.name] == tp {
+			delete(s.topics, tp.name)
+		}
 		s.mu.Unlock()
+		// With this topic unregistered, any snapshot file left on disk
+		// belongs to an earlier, deleted incarnation of the name (the
+		// name was free when this topic registered): drop it so the
+		// failed create cannot resurrect that topic on restart.
+		s.removeStale(tp.name)
 		writeError(w, http.StatusInternalServerError, codeStorage,
 			fmt.Errorf("topic not persisted: %w", err))
+		return false
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, codeTopicNotFound,
+			fmt.Errorf("topic %q was deleted while being created", tp.name))
 		return false
 	}
 	return true
@@ -334,13 +449,16 @@ func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("unknown topic %q", name))
 		return
 	}
-	// Mark the topic deleted under its own lock before removing the
-	// snapshot file, so an in-flight batch that already passed lookup
-	// cannot re-persist (resurrect) the topic afterwards.
+	// Mark the topic deleted under its own lock so an in-flight batch
+	// that already passed lookup cannot re-apply in memory afterwards.
 	tp.mu.Lock()
 	tp.deleted = true
-	s.store.remove(name)
 	tp.mu.Unlock()
+	// Remove the deleted topic's snapshot file. A save racing this
+	// delete re-checks the registry under the same per-name lock, so it
+	// either belongs to this (now unregistered) topic and is skipped, or
+	// to a re-created topic whose own save marks its file current.
+	s.removeStale(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -373,36 +491,11 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		tweets[i] = tw
 	}
 
-	tp.mu.Lock()
-	if tp.deleted {
-		tp.mu.Unlock()
-		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
-		return
-	}
-	if last, ok := tp.tp.LastTime(); ok && len(tweets) > 0 && req.Time <= last {
-		tp.mu.Unlock()
-		writeError(w, http.StatusConflict, codeStaleTimestamp,
-			fmt.Errorf("time %d not after last processed %d", req.Time, last))
-		return
-	}
-	out, err := tp.tp.Process(req.Time, tweets)
+	out, status, code, err := s.runBatch(tp, req.Time, tweets)
 	if err != nil {
-		tp.mu.Unlock()
-		writeError(w, http.StatusUnprocessableEntity, codeInvalidBatch, err)
+		writeError(w, status, code, err)
 		return
 	}
-	if !out.Skipped {
-		// Snapshot-on-batch durability: the new state is persisted before
-		// the response is sent, so an acknowledged batch survives a
-		// restart.
-		if err := s.store.save(tp.name, tp.tp); err != nil {
-			tp.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, codeStorage,
-				fmt.Errorf("batch applied in memory but snapshot not persisted: %w", err))
-			return
-		}
-	}
-	tp.mu.Unlock()
 
 	resp := batchResponse{
 		Time:    req.Time,
@@ -416,6 +509,43 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Users[i] = userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatch solves one batch under the topic lock. On failure it returns
+// the HTTP status and stable error code to respond with. The lock is
+// released by defer so that a panic anywhere below — the solver, the
+// store — unwinds instead of wedging the topic (and every later request
+// on it) forever; response writing happens in the caller, off the lock,
+// so a slow client cannot stall the topic either.
+func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust.StreamResult, int, string, error) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.deleted {
+		return nil, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name)
+	}
+	if last, ok := tp.tp.LastTime(); ok && len(tweets) > 0 && ts <= last {
+		return nil, http.StatusConflict, codeStaleTimestamp,
+			fmt.Errorf("time %d not after last processed %d", ts, last)
+	}
+	out, err := tp.tp.Process(ts, tweets)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, codeInvalidBatch, err
+	}
+	if !out.Skipped {
+		// Snapshot-on-batch durability: the new state is persisted before
+		// the response is sent, so an acknowledged batch survives a
+		// restart.
+		ok, err := s.saveIfCurrent(tp)
+		if err != nil {
+			return nil, http.StatusInternalServerError, codeStorage,
+				fmt.Errorf("batch applied in memory but snapshot not persisted: %w", err)
+		}
+		if !ok {
+			return nil, http.StatusNotFound, codeTopicNotFound,
+				fmt.Errorf("topic %q was deleted", tp.name)
+		}
+	}
+	return out, 0, "", nil
 }
 
 // warmupVocab implements POST /v1/topics/{topic}/vocab: fold warm-up
@@ -437,17 +567,20 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
 		return
 	}
+	changed := false
 	if len(req.Texts) > 0 {
 		if err := tp.tp.WarmupVocabulary(req.Texts...); err != nil {
 			writeError(w, http.StatusConflict, codeVocabFrozen, err)
 			return
 		}
+		changed = true
 	}
 	if len(req.Docs) > 0 {
 		if err := tp.tp.WarmupTokenized(req.Docs); err != nil {
 			writeError(w, http.StatusConflict, codeVocabFrozen, err)
 			return
 		}
+		changed = true
 	}
 	if req.Freeze {
 		if err := tp.tp.Freeze(); err != nil {
@@ -461,10 +594,21 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		changed = true
 	}
-	if err := s.store.save(tp.name, tp.tp); err != nil {
-		writeError(w, http.StatusInternalServerError, codeStorage, err)
-		return
+	// A no-op request (nothing folded in, no freeze) changed no state, so
+	// there is nothing to persist: skipping the save keeps repeated empty
+	// POSTs from re-writing a potentially large snapshot on every call.
+	if changed {
+		ok, err := s.saveIfCurrent(tp)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeStorage, err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, vocabResponse{
 		Frozen:    tp.tp.Frozen(),
@@ -540,7 +684,7 @@ func (s *server) snapshotAll() error {
 		tp.mu.Lock()
 		var err error
 		if !tp.deleted {
-			err = s.store.save(tp.name, tp.tp)
+			_, err = s.saveIfCurrent(tp)
 		}
 		tp.mu.Unlock()
 		if err != nil {

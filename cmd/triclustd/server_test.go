@@ -8,9 +8,12 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"triclust"
 	"triclust/internal/synth"
 )
 
@@ -504,5 +507,128 @@ func TestDataDirRestart(t *testing.T) {
 	if code, err := doJSON(client2, "POST", srv2.URL+"/v1/topics/"+req.Name+"/batches",
 		batchRequest{Time: 3, Tweets: dayTweets(d, 3)}, &resp); err != nil || code != http.StatusOK {
 		t.Fatalf("day 3 after restart: %d %v", code, err)
+	}
+}
+
+// TestDeleteRecreateFileConsistency hammers one topic name with
+// concurrent creates (distinguishable by user count) and deletes, and
+// after each round checks the durability invariant the per-name save
+// lock exists for: the snapshot file on disk belongs to exactly the
+// topic the registry serves — never to a deleted or superseded
+// incarnation — and a deleted name leaves no file behind.
+func TestDeleteRecreateFileConsistency(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := testServer(t, dir)
+	client := srv.Client()
+	const name = "contested"
+	topics := srv.URL + "/v1/topics"
+	snap := filepath.Join(dir, name+".snap")
+
+	for round := 0; round < 25; round++ {
+		var wg sync.WaitGroup
+		for _, users := range [][]string{{"a"}, {"a", "b"}, nil} {
+			wg.Add(1)
+			go func(users []string) {
+				defer wg.Done()
+				if users == nil {
+					_, _ = doJSON(client, http.MethodDelete, topics+"/"+name, nil, nil)
+					return
+				}
+				_, _ = doJSON(client, http.MethodPost, topics,
+					createTopicRequest{Name: name, Users: users}, nil)
+			}(users)
+		}
+		wg.Wait()
+
+		var sum topicSummary
+		code, err := doJSON(client, http.MethodGet, topics+"/"+name, nil, &sum)
+		if err != nil {
+			t.Fatalf("round %d: info: %v", round, err)
+		}
+		data, readErr := os.ReadFile(snap)
+		switch code {
+		case http.StatusOK:
+			if readErr != nil {
+				t.Fatalf("round %d: topic registered but snapshot missing: %v", round, readErr)
+			}
+			tp, rerr := triclust.Restore(bytes.NewReader(data))
+			if rerr != nil {
+				t.Fatalf("round %d: snapshot does not restore: %v", round, rerr)
+			}
+			if tp.Users() != sum.Users {
+				t.Fatalf("round %d: snapshot holds a topic with %d users, registry serves %d",
+					round, tp.Users(), sum.Users)
+			}
+		case http.StatusNotFound:
+			if readErr == nil {
+				t.Fatalf("round %d: topic deleted but snapshot file remains", round)
+			}
+		default:
+			t.Fatalf("round %d: unexpected status %d", round, code)
+		}
+		_, _ = doJSON(client, http.MethodDelete, topics+"/"+name, nil, nil)
+	}
+}
+
+// TestLoadAllQuarantinesUnsupportedVersion: a daemon upgrade must not
+// silently discard old-format snapshots. Startup renames them out of the
+// *.snap namespace so a same-name create cannot overwrite the only copy
+// of the old state, and serves an empty (not wrong) topic.
+func TestLoadAllQuarantinesUnsupportedVersion(t *testing.T) {
+	legacy, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_v1.snap"))
+	if err != nil {
+		t.Fatalf("read legacy fixture: %v", err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "prop37.snap"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, srv := testServer(t, dir)
+	code, _ := doJSON(srv.Client(), http.MethodGet, srv.URL+"/v1/topics/prop37", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("legacy topic served with status %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "prop37.snap")); !os.IsNotExist(err) {
+		t.Fatalf("legacy file still occupies the snapshot name: %v", err)
+	}
+	kept, err := os.ReadFile(filepath.Join(dir, "prop37.snap.unsupported-version"))
+	if err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	if !bytes.Equal(kept, legacy) {
+		t.Fatal("quarantined copy does not match the original bytes")
+	}
+	// The freed name is usable again without touching the quarantined file.
+	if code, err := doJSON(srv.Client(), http.MethodPost, srv.URL+"/v1/topics",
+		createTopicRequest{Name: "prop37", Users: []string{"a", "b"}}, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("re-create over quarantined name: %d %v", code, err)
+	}
+	if kept2, err := os.ReadFile(filepath.Join(dir, "prop37.snap.unsupported-version")); err != nil || !bytes.Equal(kept2, legacy) {
+		t.Fatalf("re-create disturbed the quarantined copy: %v", err)
+	}
+}
+
+// TestQuarantineDoesNotClobberEarlierCopy: an upgrade → rollback →
+// upgrade cycle quarantines twice under the same topic name; the second
+// quarantine must pick a fresh slot, not overwrite the first copy.
+func TestQuarantineDoesNotClobberEarlierCopy(t *testing.T) {
+	legacy, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_v1.snap"))
+	if err != nil {
+		t.Fatalf("read legacy fixture: %v", err)
+	}
+	dir := t.TempDir()
+	first := append([]byte("first"), legacy...)
+	if err := os.WriteFile(filepath.Join(dir, "prop37.snap.unsupported-version"), first, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "prop37.snap"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testServer(t, dir)
+	if kept, err := os.ReadFile(filepath.Join(dir, "prop37.snap.unsupported-version")); err != nil || !bytes.Equal(kept, first) {
+		t.Fatalf("earlier quarantined copy clobbered: %v", err)
+	}
+	if kept, err := os.ReadFile(filepath.Join(dir, "prop37.snap.unsupported-version.1")); err != nil || !bytes.Equal(kept, legacy) {
+		t.Fatalf("second quarantine copy wrong: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package triclust_test
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,12 +10,19 @@ import (
 	"testing"
 
 	"triclust"
+	"triclust/internal/codec"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
-	"regenerate testdata/golden_v1.snap (only when deliberately changing the snapshot format)")
+	"regenerate the current-version golden snapshot fixture (only when deliberately changing the snapshot format)")
 
-const goldenPath = "testdata/golden_v1.snap"
+const (
+	goldenPath = "testdata/golden_v2.snap"
+	// legacyGoldenPath is a version-1 snapshot (draw-counted stdlib RNG,
+	// no generator identifier). Version 2 cannot replay its random
+	// stream, so restoring it must fail with a clean version error.
+	legacyGoldenPath = "testdata/golden_v1.snap"
+)
 
 // goldenTopic builds the topic the golden fixture was generated from:
 // a tiny fully deterministic stream (pre-tokenized tweets, fixed seed).
@@ -109,5 +117,21 @@ func TestGoldenSnapshotCompat(t *testing.T) {
 	}
 	if _, err := tp.Predict([]string{"love this win"}); err != nil {
 		t.Fatalf("golden predict: %v", err)
+	}
+}
+
+// TestLegacySnapshotRejectedByVersion pins the compatibility story for
+// pre-SplitMix64 snapshots: their recorded random-stream position belongs
+// to a different generator, so they must be turned away with a
+// self-describing version error — never half-parsed or silently replayed
+// on the wrong stream.
+func TestLegacySnapshotRejectedByVersion(t *testing.T) {
+	data, err := os.ReadFile(legacyGoldenPath)
+	if err != nil {
+		t.Fatalf("read legacy fixture: %v", err)
+	}
+	_, err = triclust.Restore(bytes.NewReader(data))
+	if !errors.Is(err, codec.ErrVersion) {
+		t.Fatalf("legacy v1 snapshot: got %v, want ErrVersion", err)
 	}
 }

@@ -8,7 +8,7 @@
 // A snapshot is:
 //
 //	magic    [8]byte  "TRICSNAP"
-//	version  uint16   format version (currently 1)
+//	version  uint16   format version (currently 2)
 //	length   uint64   payload length in bytes
 //	payload  [length]byte
 //	crc      uint32   CRC-32C (Castagnoli) of the payload
@@ -26,6 +26,11 @@
 // strings and slices are length-prefixed. Map sections are written in
 // sorted key order, so encoding is deterministic: equal states produce
 // byte-identical snapshots.
+//
+// The online section names the solver's random generator alongside the
+// recorded stream position, because a draw position is only replayable on
+// the generator that produced it; decoders reject snapshots recorded
+// against a generator they do not implement.
 //
 // Integrity is checked before any payload parsing: a snapshot whose CRC,
 // magic, version or framing does not match is rejected with ErrCorrupt /
@@ -49,8 +54,12 @@ import (
 	"triclust/internal/tgraph"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 inserted the
+// random-generator identifier into the online section when the solver's
+// PRNG moved to SplitMix64; version-1 snapshots recorded stream positions
+// of a different generator and are rejected with ErrVersion rather than
+// replayed on the wrong stream.
+const Version = 2
 
 var magic = [8]byte{'T', 'R', 'I', 'C', 'S', 'N', 'A', 'P'}
 
@@ -67,7 +76,7 @@ var (
 	ErrCorrupt = errors.New("codec: corrupt snapshot")
 )
 
-// Section tags of format version 1.
+// Section tags of the snapshot format (unchanged since version 1).
 const (
 	tagEnd     = 0
 	tagConfig  = 1
@@ -80,6 +89,14 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// rngSplitMix64 identifies the solver's random generator in the online
+// section. The recorded stream position is only meaningful for the exact
+// generator that produced it, so the algorithm is part of the format
+// contract: replacing the solver's PRNG requires a new identifier here,
+// and decoders reject identifiers they do not implement instead of
+// silently continuing a stream with different random values.
+const rngSplitMix64 = 1
 
 // Encode writes st as a versioned binary snapshot to w.
 func Encode(w io.Writer, st *engine.State) error {
@@ -367,6 +384,7 @@ func (e *encoder) online(o *core.OnlineState) {
 		return
 	}
 	e.bool(true)
+	e.byte(rngSplitMix64)
 	e.uint(o.RandDraws)
 	e.dense(o.LastHp)
 	e.dense(o.LastHu)
@@ -606,6 +624,16 @@ func (d *decoder) users() []tgraph.User {
 
 func (d *decoder) online() *core.OnlineState {
 	if !d.bool() || d.err != nil {
+		return nil
+	}
+	// An unknown generator id is a version problem, not corruption: the
+	// snapshot is intact, this build just cannot replay its stream.
+	// ErrVersion keeps it on the same recoverable-skew paths as an
+	// unknown format version (quarantine at daemon startup, the
+	// unsupported_snapshot_version error code over HTTP).
+	if algo := d.byte(); d.err == nil && algo != rngSplitMix64 {
+		d.err = fmt.Errorf("%w: snapshot records random generator %d, this build replays generator %d",
+			ErrVersion, algo, rngSplitMix64)
 		return nil
 	}
 	o := &core.OnlineState{RandDraws: d.uint()}

@@ -288,3 +288,24 @@ func TestUnknownSectionSkipped(t *testing.T) {
 		t.Fatal("unknown section altered the decoded state")
 	}
 }
+
+// TestUnknownRNGAlgorithmRejected: a recorded draw position is only
+// replayable on the generator that produced it, so the online section's
+// generator identifier must be one this build implements. The failure is
+// version skew, not corruption — the intact file must ride the same
+// recoverable paths (startup quarantine, stable error code) as an
+// unknown format version.
+func TestUnknownRNGAlgorithmRejected(t *testing.T) {
+	var buf bytes.Buffer
+	e := &encoder{w: &buf}
+	e.bool(true)
+	e.byte(rngSplitMix64 + 1)
+	e.uint(5)
+	d := &decoder{buf: buf.Bytes()}
+	if _ = d.online(); d.err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if !errors.Is(d.err, ErrVersion) {
+		t.Fatalf("error %v, want ErrVersion", d.err)
+	}
+}

@@ -2,47 +2,68 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"triclust/internal/mat"
 )
 
-// countingSource wraps the standard library's seeded source and counts
-// raw draws, which makes the solver's random stream replayable: a restored
-// solver re-seeds from Config.Seed and discards the recorded number of
-// draws, after which it emits exactly the values the original would have.
-// Counting raw source draws (rather than high-level calls) is what makes
-// this exact: every Float64/Intn the solver performs bottoms out in one
-// Int63/Uint64 draw here, regardless of which convenience method drew it.
+// countingSource is a seekable, draw-counting random source (SplitMix64),
+// which makes the solver's random stream replayable: a restored solver
+// re-seeds from Config.Seed and seeks to the recorded draw position, after
+// which it emits exactly the values the original would have. Counting raw
+// source draws (rather than high-level calls) is what makes this exact:
+// every Float64/Intn the solver performs bottoms out in one Int63/Uint64
+// draw here, regardless of which convenience method drew it.
+//
+// SplitMix64 is used instead of the standard library's source because its
+// state after n draws is a closed form (init + n·γ), so seeking is O(1)
+// for any position. Replaying draw-by-draw would let a crafted snapshot
+// with RandDraws near 2⁶⁴ pin a CPU effectively forever during restore.
 type countingSource struct {
-	src rand.Source64
-	n   uint64
+	init  uint64 // state right after seeding (position zero)
+	state uint64
+	n     uint64
+}
+
+// splitmixGamma is SplitMix64's Weyl-sequence increment (the odd constant
+// ⌊2⁶⁴/φ⌋); state advances by it on every draw, wrapping mod 2⁶⁴.
+const splitmixGamma = 0x9E3779B97F4A7C15
+
+// splitmix64 is the SplitMix64 output function (Steele, Lea & Flood 2014):
+// a bijective scramble of the Weyl state.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 func newCountingSource(seed int64) *countingSource {
-	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	s := &countingSource{}
+	s.Seed(seed)
+	return s
 }
 
 func (s *countingSource) Int63() int64 {
-	s.n++
-	return s.src.Int63()
+	return int64(s.Uint64() >> 1)
 }
 
 func (s *countingSource) Uint64() uint64 {
+	s.state += splitmixGamma
 	s.n++
-	return s.src.Uint64()
+	return splitmix64(s.state)
 }
 
 func (s *countingSource) Seed(seed int64) {
-	s.src.Seed(seed)
+	// Scramble the raw seed so nearby seeds (0, 1, 2, …) do not start in
+	// states one Weyl step apart, which would make their streams overlap
+	// with an offset of one draw.
+	s.init = splitmix64(uint64(seed) * splitmixGamma)
+	s.state = s.init
 	s.n = 0
 }
 
-// skip fast-forwards the source by n draws without counting them twice.
+// skip seeks the source to absolute draw position n in constant time.
 func (s *countingSource) skip(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		s.src.Uint64()
-	}
+	s.state = s.init + n*splitmixGamma
 	s.n = n
 }
 
@@ -120,6 +141,17 @@ func NewOnlineFromState(cfg OnlineConfig, st *OnlineState) (*Online, error) {
 		return nil, fmt.Errorf("core: inconsistent warm-start cores in state")
 	}
 	o := NewOnline(cfg)
+	k := o.cfg.K
+	// A snapshot's checksum only proves the bytes arrived intact, not that
+	// the state is coherent; every shape the solver will later feed to a
+	// kernel is validated here so a crafted snapshot fails the restore, not
+	// a panic inside Step.
+	if st.LastHp != nil {
+		if !st.LastHp.Dims(k, k) || !st.LastHu.Dims(k, k) {
+			return nil, fmt.Errorf("core: warm-start cores are %dx%d / %dx%d, want %dx%d",
+				st.LastHp.Rows(), st.LastHp.Cols(), st.LastHu.Rows(), st.LastHu.Cols(), k, k)
+		}
+	}
 	o.src.skip(st.RandDraws)
 	if st.LastHp != nil {
 		o.lastHp = st.LastHp.Clone()
@@ -129,6 +161,17 @@ func NewOnlineFromState(cfg OnlineConfig, st *OnlineState) (*Online, error) {
 	for i, s := range st.SfHist {
 		if s.Sf == nil {
 			return nil, fmt.Errorf("core: feature snapshot %d has no matrix", i)
+		}
+		if s.Sf.Cols() != k {
+			return nil, fmt.Errorf("core: feature snapshot %d has %d columns, want k=%d", i, s.Sf.Cols(), k)
+		}
+		if i > 0 && st.SfHist[0].Sf.Rows() != s.Sf.Rows() {
+			return nil, fmt.Errorf("core: feature snapshot %d has %d rows, snapshot 0 has %d",
+				i, s.Sf.Rows(), st.SfHist[0].Sf.Rows())
+		}
+		if len(s.Seen) != s.Sf.Rows() {
+			return nil, fmt.Errorf("core: feature snapshot %d has %d seen flags for %d rows",
+				i, len(s.Seen), s.Sf.Rows())
 		}
 		if i > 0 && st.SfHist[i-1].Time >= s.Time {
 			return nil, fmt.Errorf("core: feature history times not increasing at %d", i)
@@ -142,6 +185,10 @@ func NewOnlineFromState(cfg OnlineConfig, st *OnlineState) (*Online, error) {
 	for g, hist := range st.UserHist {
 		rows := make([]userSnapshot, len(hist))
 		for i, h := range hist {
+			if len(h.Row) != k {
+				return nil, fmt.Errorf("core: user %d history row %d has %d entries, want k=%d",
+					g, i, len(h.Row), k)
+			}
 			rows[i] = userSnapshot{time: h.Time, row: append([]float64(nil), h.Row...)}
 		}
 		o.userHist[g] = rows

@@ -100,6 +100,13 @@ func RestoreSession(st *State) (*Session, error) {
 	if st.Config.K < 1 {
 		return nil, fmt.Errorf("engine: state has k = %d", st.Config.K)
 	}
+	// The codec decodes counters as uint64 and casts to int, so a crafted
+	// snapshot can smuggle in negative values the session arithmetic never
+	// produces.
+	if st.Batches < 0 || st.Skips < 0 || st.VocabDocs < 0 {
+		return nil, fmt.Errorf("engine: negative counters in state (batches=%d, skips=%d, docs=%d)",
+			st.Batches, st.Skips, st.VocabDocs)
+	}
 	lex, err := lexicon.FromEntries(st.Lexicon)
 	if err != nil {
 		return nil, fmt.Errorf("engine: restore lexicon: %w", err)
@@ -145,6 +152,9 @@ func RestoreSession(st *State) (*Session, error) {
 		// construction ever changes.
 		m.sf0 = st.Sf0.Clone()
 	}
+	if err := validateStateShapes(st); err != nil {
+		return nil, err
+	}
 	online, err := core.NewOnlineFromState(st.Config, st.Online)
 	if err != nil {
 		return nil, err
@@ -156,4 +166,56 @@ func RestoreSession(st *State) (*Session, error) {
 		batches: st.Batches,
 		skips:   st.Skips,
 	}, nil
+}
+
+// validateStateShapes cross-checks the state's components against each
+// other: solver history and last factors must agree with the vocabulary
+// and class count, and a never-frozen topic cannot carry solver results.
+// core.NewOnlineFromState separately checks the solver state's internal
+// shapes; together they ensure a valid-checksum but crafted snapshot is
+// rejected at restore instead of panicking inside a later Process or
+// Predict.
+func validateStateShapes(st *State) error {
+	k := st.Config.K
+	if !st.Frozen {
+		if st.Batches > 0 {
+			return fmt.Errorf("engine: state has %d batches but no frozen vocabulary", st.Batches)
+		}
+		if st.Online != nil && (len(st.Online.SfHist) > 0 || st.Online.LastHp != nil || st.Online.LastHu != nil) {
+			return fmt.Errorf("engine: state has solver history but no frozen vocabulary")
+		}
+		if st.LastFactors != nil {
+			return fmt.Errorf("engine: state has fitted factors but no frozen vocabulary")
+		}
+		return nil
+	}
+	words := len(st.VocabWords)
+	if st.Online != nil {
+		for i, s := range st.Online.SfHist {
+			if s.Sf != nil && s.Sf.Rows() != words {
+				return fmt.Errorf("engine: feature snapshot %d has %d rows for %d vocabulary words",
+					i, s.Sf.Rows(), words)
+			}
+		}
+	}
+	if f := st.LastFactors; f != nil {
+		if f.Sf == nil || f.Hp == nil || f.Hu == nil {
+			return fmt.Errorf("engine: last factors missing Sf/Hp/Hu")
+		}
+		if !f.Sf.Dims(words, k) {
+			return fmt.Errorf("engine: last Sf is %dx%d for %d words, k=%d",
+				f.Sf.Rows(), f.Sf.Cols(), words, k)
+		}
+		if !f.Hp.Dims(k, k) || !f.Hu.Dims(k, k) {
+			return fmt.Errorf("engine: last association cores are %dx%d / %dx%d, want %dx%d",
+				f.Hp.Rows(), f.Hp.Cols(), f.Hu.Rows(), f.Hu.Cols(), k, k)
+		}
+		if f.Sp != nil && f.Sp.Cols() != k {
+			return fmt.Errorf("engine: last Sp has %d columns, want k=%d", f.Sp.Cols(), k)
+		}
+		if f.Su != nil && f.Su.Cols() != k {
+			return fmt.Errorf("engine: last Su has %d columns, want k=%d", f.Su.Cols(), k)
+		}
+	}
+	return nil
 }

@@ -314,12 +314,19 @@ func (t *Topic) UserEstimate(user int) (Sentiment, bool) {
 // bit-identically (at a fixed kernel parallelism width). Equal states
 // produce byte-identical snapshots.
 func (t *Topic) Snapshot(w io.Writer) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	st := t.sess.ExportState()
-	if t.last != nil {
-		st.LastFactors = &t.last.Factors
-	}
+	st := func() *engine.State {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		st := t.sess.ExportState()
+		if t.last != nil {
+			st.LastFactors = &t.last.Factors
+		}
+		return st
+	}()
+	// Encoding streams to w outside the lock so a slow writer — e.g. a
+	// stalled snapshot download — cannot block Process or FitCorpus. This
+	// is safe: st is a deep copy, and t.last's factors are replaced, never
+	// mutated, once a solve publishes them.
 	return codec.Encode(w, st)
 }
 
