@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchUsers / benchVocab shape the benchmark topic: a large user
+// universe whose history the topic retains forever (the O(state) part a
+// snapshot rewrites every time) against a small constant per-batch load
+// (the O(batch) part a journal record captures). This is the regime long
+// streams converge to: state grows without bound, batches do not.
+const (
+	benchUsers = 20000
+	benchVocab = 400
+)
+
+// benchDaemon boots a persistent daemon and warms one topic: a frozen
+// vocabulary and one wide batch giving every user recorded history.
+func benchDaemon(b *testing.B, opts journalOptions) (*httptest.Server, *int) {
+	b.Helper()
+	s, err := newServer(b.TempDir(), opts, nil)
+	if err != nil {
+		b.Fatalf("newServer: %v", err)
+	}
+	srv := httptest.NewServer(s)
+	b.Cleanup(srv.Close)
+	client := srv.Client()
+
+	users := make([]string, benchUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%05d", i)
+	}
+	req := createTopicRequest{
+		Name:    "bench",
+		Users:   users,
+		Options: topicOptions{MaxIter: 1, Seed: 1, MinDF: 1},
+	}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		b.Fatalf("create: status %d err %v", code, err)
+	}
+	words := make([][]string, 1)
+	for i := 0; i < benchVocab; i++ {
+		words[0] = append(words[0], benchWord(i))
+	}
+	vr := vocabRequest{Docs: words, Freeze: true}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/bench/vocab", vr, nil); err != nil || code != http.StatusOK {
+		b.Fatalf("vocab: status %d err %v", code, err)
+	}
+	// One wide batch: every user tweets once, so every user carries
+	// history the snapshot must serialize from now on.
+	var wide []tweetSpec
+	for u := 0; u < benchUsers; u++ {
+		wide = append(wide, tweetSpec{Tokens: []string{benchWord(u % benchVocab)}, User: u})
+	}
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/bench/batches",
+		batchRequest{Time: 0, Tweets: wide}, nil); err != nil || code != http.StatusOK {
+		b.Fatalf("wide warm batch: status %d err %v", code, err)
+	}
+	day := 1
+	for ; day < 3; day++ {
+		if code, err := doJSON(client, "POST", srv.URL+"/v1/topics/bench/batches", benchBatch(day), nil); err != nil || code != http.StatusOK {
+			b.Fatalf("warm batch %d: status %d err %v", day, code, err)
+		}
+	}
+	return srv, &day
+}
+
+func benchWord(i int) string { return fmt.Sprintf("word%04d", i) }
+
+// benchBatch is a small constant-shape batch: the per-batch work a
+// steady stream pays, dwarfed by full-state snapshots.
+func benchBatch(day int) batchRequest {
+	var tweets []tweetSpec
+	for i := 0; i < 4; i++ {
+		tweets = append(tweets, tweetSpec{
+			Tokens: []string{
+				benchWord((day*17 + i*5) % benchVocab),
+				benchWord((day*13 + i*7 + 1) % benchVocab),
+				benchWord((day*11 + i*3 + 2) % benchVocab),
+			},
+			User: (i*19 + day) % benchUsers,
+		})
+	}
+	return batchRequest{Time: day, Tweets: tweets}
+}
+
+// BenchmarkDaemonBatchPersist measures the full POST /batches path of a
+// durable daemon — solve plus persistence — in the two durability modes.
+// snapshot-every-batch rewrites the O(state) snapshot per batch (the
+// pre-journal behaviour); journal appends one O(batch) record and
+// compacts every 64 batches. Run with -benchtime 500x for the
+// 500-batch-stream comparison recorded in ROADMAP.md.
+func BenchmarkDaemonBatchPersist(b *testing.B) {
+	run := func(b *testing.B, opts journalOptions) {
+		srv, day := benchDaemon(b, opts)
+		client := srv.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			code, err := doJSON(client, "POST", srv.URL+"/v1/topics/bench/batches", benchBatch(*day), nil)
+			if err != nil || code != http.StatusOK {
+				b.Fatalf("batch %d: status %d err %v", *day, code, err)
+			}
+			*day++
+		}
+	}
+	b.Run("snapshot-every-batch", func(b *testing.B) {
+		run(b, journalOptions{Every: 1})
+	})
+	// Note for bench-parsing tools: sub-benchmark names must not end in
+	// digits (the GOMAXPROCS suffix is only appended on multi-core
+	// runners, so a trailing number would be ambiguous).
+	b.Run("journal-amortized", func(b *testing.B) {
+		run(b, journalOptions{Every: 64, MaxBytes: 8 << 20})
+	})
+}

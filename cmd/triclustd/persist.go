@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"triclust"
 	"triclust/internal/codec"
+	"triclust/internal/journal"
 )
 
 // topicNameRe bounds topic names to a filesystem- and URL-safe alphabet,
@@ -24,55 +26,86 @@ func validTopicName(name string) error {
 	return nil
 }
 
-// store persists topic snapshots under a data directory, one
-// <topic>.snap file per topic, written atomically (temp file + rename).
-// A nil *store disables persistence; its methods are no-ops.
-type store struct {
-	dir string
+// journalOptions configure amortized durability: with Every > 1 the
+// daemon appends one O(batch) journal record per batch and rewrites the
+// O(state) snapshot only every Every batches — or sooner when the journal
+// outgrows MaxBytes. Every <= 1 restores snapshot-on-every-batch.
+type journalOptions struct {
+	Every    int
+	MaxBytes int64
 }
 
-func newStore(dir string) (*store, error) {
+// store persists topic state under a data directory: one <topic>.snap
+// full snapshot per topic, written atomically (temp file + rename), plus
+// an append-only <topic>.journal holding the batches processed since that
+// snapshot (see internal/journal). A nil *store disables persistence.
+type store struct {
+	dir  string
+	opts journalOptions
+}
+
+func newStore(dir string, opts journalOptions) (*store, error) {
 	if dir == "" {
 		return nil, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("create data dir: %w", err)
 	}
-	return &store{dir: dir}, nil
+	return &store{dir: dir, opts: opts}, nil
+}
+
+// journaling reports whether the amortized journal mode is on.
+func (st *store) journaling() bool {
+	return st != nil && st.opts.Every > 1
 }
 
 func (st *store) path(name string) string {
 	return filepath.Join(st.dir, name+".snap")
 }
 
+func (st *store) journalPath(name string) string {
+	return filepath.Join(st.dir, name+".journal")
+}
+
 // save writes one topic's snapshot atomically: a crash mid-write leaves
 // the previous snapshot intact, never a torn file (and Restore would
-// reject a torn file by checksum anyway).
-func (st *store) save(name string, tp *triclust.Topic) error {
+// reject a torn file by checksum anyway). It returns the CRC-32C of the
+// written file — the identity a journal extending this snapshot records.
+func (st *store) save(name string, tp *triclust.Topic) (uint32, error) {
 	if st == nil {
-		return nil
+		return 0, nil
 	}
 	tmp, err := os.CreateTemp(st.dir, name+".snap.tmp*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer os.Remove(tmp.Name())
-	if err := tp.Snapshot(tmp); err != nil {
+	cw := journal.NewCRCWriter(tmp)
+	if err := tp.Snapshot(cw); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp.Name(), st.path(name)); err != nil {
-		return err
+		return 0, err
 	}
 	// The rename itself must be durable too: fsync the directory so the
 	// new entry survives a power failure, not just a process crash.
+	if err := st.syncDir(); err != nil {
+		return 0, err
+	}
+	return cw.Sum(), nil
+}
+
+// syncDir fsyncs the data directory, making renames and newly created
+// journal files durable.
+func (st *store) syncDir() error {
 	d, err := os.Open(st.dir)
 	if err != nil {
 		return err
@@ -82,11 +115,11 @@ func (st *store) save(name string, tp *triclust.Topic) error {
 }
 
 // quarantineName returns the first unoccupied quarantine filename for
-// base (base.unsupported-version, then .1, .2, …), or "" if none of the
-// bounded candidates is free.
-func quarantineName(dir, base string) string {
+// base (base.<suffix>, then .1, .2, …), or "" if none of the bounded
+// candidates is free.
+func quarantineName(dir, base, suffix string) string {
 	for i := 0; i < 1000; i++ {
-		cand := base + ".unsupported-version"
+		cand := base + "." + suffix
 		if i > 0 {
 			cand = fmt.Sprintf("%s.%d", cand, i)
 		}
@@ -97,17 +130,46 @@ func quarantineName(dir, base string) string {
 	return ""
 }
 
-// remove deletes a topic's snapshot (if any).
+// quarantine renames a file aside under the first free base.<suffix>
+// name, reporting what happened through warn.
+func (st *store) quarantine(name, suffix string, warn func(format string, args ...any), cause error) {
+	q := quarantineName(st.dir, name, suffix)
+	if q == "" {
+		warn("skipping %s: %v (no free quarantine name)", name, cause)
+		return
+	}
+	if err := os.Rename(filepath.Join(st.dir, name), filepath.Join(st.dir, q)); err != nil {
+		warn("skipping %s: %v (quarantine failed: %v)", name, cause, err)
+		return
+	}
+	warn("quarantined %s as %s: %v", name, q, cause)
+}
+
+// remove deletes a topic's snapshot and journal (if any).
 func (st *store) remove(name string) {
 	if st != nil {
 		_ = os.Remove(st.path(name))
+		_ = os.Remove(st.journalPath(name))
 	}
 }
 
-// loadAll restores every *.snap file in the data directory. Undecodable
+// restoredTopic is one topic recovered at startup: the live topic plus
+// how many journal records were replayed on top of its snapshot (> 0
+// means the in-memory state is ahead of the on-disk snapshot and should
+// be compacted).
+type restoredTopic struct {
+	tp       *triclust.Topic
+	replayed int
+}
+
+// loadAll restores every *.snap file in the data directory, replaying
+// each topic's journal tail on top of its snapshot. Undecodable
 // snapshots (and stray files) are reported but skipped: one corrupt file
-// must not keep the daemon from serving the healthy topics.
-func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*triclust.Topic, error) {
+// must not keep the daemon from serving the healthy topics. Undecodable
+// or mismatched journals are quarantined/ignored — the snapshot alone is
+// served, which is exactly the state the journal's acked batches
+// extended, minus records that can no longer be trusted.
+func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*restoredTopic, error) {
 	if st == nil {
 		return nil, nil
 	}
@@ -115,7 +177,7 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*tri
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*triclust.Topic)
+	out := make(map[string]*restoredTopic)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
 			continue
@@ -125,13 +187,12 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*tri
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
-		f, err := os.Open(filepath.Join(st.dir, e.Name()))
+		data, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
 		if err != nil {
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
-		tp, err := triclust.Restore(f)
-		f.Close()
+		tp, err := triclust.Restore(bytes.NewReader(data))
 		if err != nil {
 			if errors.Is(err, codec.ErrVersion) {
 				// An old-format snapshot is not corrupt — it is intact
@@ -143,22 +204,73 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*tri
 				// quarantine name itself must not clobber an earlier
 				// quarantined copy (possible after an upgrade → rollback
 				// → upgrade cycle), so pick the first free slot.
-				q := quarantineName(st.dir, e.Name())
-				if q == "" {
-					warn("skipping %s: %v (no free quarantine name)", e.Name(), err)
-					continue
-				}
-				if rerr := os.Rename(filepath.Join(st.dir, e.Name()), filepath.Join(st.dir, q)); rerr != nil {
-					warn("skipping %s: %v (quarantine failed: %v)", e.Name(), err, rerr)
-				} else {
-					warn("quarantined %s as %s: %v", e.Name(), q, err)
-				}
+				st.quarantine(e.Name(), "unsupported-version", warn, err)
 				continue
 			}
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
-		out[name] = tp
+		rt := &restoredTopic{tp: tp}
+		rt.replayed = st.recoverJournal(name, rt, data, warn)
+		out[name] = rt
 	}
 	return out, nil
+}
+
+// recoverJournal replays <name>.journal on top of the freshly restored
+// topic, returning how many records were applied. Any problem — header
+// undecodable, journal naming a different snapshot, replay divergence —
+// resolves to "serve the snapshot alone": the journal is quarantined (or
+// ignored when merely stale) and the topic re-restored from the snapshot
+// bytes if replay had already touched it.
+func (st *store) recoverJournal(name string, rt *restoredTopic, snapData []byte, warn func(format string, args ...any)) int {
+	jp := st.journalPath(name)
+	j, err := journal.Load(jp)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		st.quarantine(name+".journal", "corrupt", warn, err)
+		return 0
+	}
+	if len(j.Records) == 0 {
+		return 0
+	}
+	if j.SnapCRC != codec.Checksum(snapData) {
+		// The journal extends a different (older or newer) snapshot —
+		// e.g. a crash fell between snapshot rename and journal rotation.
+		// Its records are already part of the snapshot or unverifiable;
+		// either way the snapshot is the trustworthy state.
+		warn("ignoring %s.journal: it extends a different snapshot than %s.snap", name, name)
+		return 0
+	}
+	if j.Torn {
+		warn("%s.journal has a torn final record (crash mid-append); replaying the %d intact records", name, len(j.Records))
+	}
+	for i, rec := range j.Records {
+		out, err := rt.tp.Process(rec.Time, rec.Tweets)
+		if err == nil && out.Skipped {
+			err = errors.New("recorded batch replayed as an empty-batch skip")
+		}
+		if err == nil {
+			if b, d := rt.tp.StreamPos(); b != rec.Batches || d != rec.RandDraws {
+				err = fmt.Errorf("fingerprint mismatch: replayed (batches=%d, draws=%d), recorded (batches=%d, draws=%d)",
+					b, d, rec.Batches, rec.RandDraws)
+			}
+		}
+		if err != nil {
+			st.quarantine(name+".journal", "corrupt", warn,
+				fmt.Errorf("replay of record %d/%d failed: %w", i+1, len(j.Records), err))
+			// Replay already advanced the topic; rebuild it from the
+			// snapshot alone.
+			fresh, rerr := triclust.Restore(bytes.NewReader(snapData))
+			if rerr != nil {
+				warn("re-restore %s.snap after failed replay: %v", name, rerr)
+				return 0
+			}
+			rt.tp = fresh
+			return 0
+		}
+	}
+	return len(j.Records)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"triclust"
+	"triclust/internal/journal"
 )
 
 // server is the HTTP façade over a registry of named, durable topics.
@@ -48,6 +50,11 @@ type topic struct {
 	mu      sync.Mutex // serializes Process + persistence + deletion
 	tp      *triclust.Topic
 	deleted bool // set under mu by deleteTopic; no save may follow
+	// jw appends this topic's batch journal (nil before the first
+	// snapshot save, or when journaling is off); jRecords counts the
+	// records appended since the last snapshot. Both are guarded by mu.
+	jw       *journal.Writer
+	jRecords int
 	// saved reports that a snapshot of this topic instance is on disk.
 	// It is read and written only under the instance's name lock, where
 	// it tells removeStale whether <name>.snap belongs to the currently
@@ -56,12 +63,15 @@ type topic struct {
 }
 
 // newServer builds the registry, restoring every snapshot found under
-// dataDir (empty dataDir disables persistence).
-func newServer(dataDir string, logf func(format string, args ...any)) (*server, error) {
+// dataDir (empty dataDir disables persistence) and replaying each
+// topic's journal tail. Topics whose in-memory state ran ahead of their
+// snapshot (replayed records) are compacted immediately, so a restart
+// never begins with a growing recovery debt.
+func newServer(dataDir string, opts journalOptions, logf func(format string, args ...any)) (*server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	st, err := newStore(dataDir)
+	st, err := newStore(dataDir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +85,23 @@ func newServer(dataDir string, logf func(format string, args ...any)) (*server, 
 	if err != nil {
 		return nil, err
 	}
-	for name, tp := range restored {
-		s.topics[name] = &topic{name: name, created: time.Now().UTC(), tp: tp, saved: true}
-		s.logf("restored topic %q (%d batches, %d users)", name, tp.Batches(), tp.Users())
+	for name, rt := range restored {
+		tp := &topic{name: name, created: time.Now().UTC(), tp: rt.tp, saved: true}
+		s.topics[name] = tp
+		if rt.replayed > 0 {
+			s.logf("restored topic %q (%d batches, %d users; %d journal records replayed)",
+				name, rt.tp.Batches(), rt.tp.Users(), rt.replayed)
+			tp.mu.Lock()
+			if _, err := s.saveIfCurrent(tp); err != nil {
+				// Not fatal: the journal still holds the replayed
+				// records, so durability is intact; the next successful
+				// save compacts.
+				s.logf("startup compaction of %q: %v", name, err)
+			}
+			tp.mu.Unlock()
+		} else {
+			s.logf("restored topic %q (%d batches, %d users)", name, rt.tp.Batches(), rt.tp.Users())
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -318,7 +342,12 @@ func (s *server) unlockName(name string, l *nameLock) {
 // save against concurrent removes and against saves of other same-named
 // instances, so <name>.snap always holds the state of the topic a
 // restarted daemon would be expected to serve under that name. Lock
-// order here and in every other path is tp.mu → name lock → s.mu.
+// order here and in every other path is tp.mu → name lock → s.mu; every
+// caller holds tp.mu, which also guards the journal rotation.
+//
+// A successful snapshot save is a compaction point: the journal is
+// truncated and re-headed with the new snapshot's identity, so recovery
+// cost is bounded by the records since the last snapshot.
 func (s *server) saveIfCurrent(tp *topic) (bool, error) {
 	if s.store == nil {
 		return true, nil
@@ -331,11 +360,41 @@ func (s *server) saveIfCurrent(tp *topic) (bool, error) {
 	if !current {
 		return false, nil
 	}
-	if err := s.store.save(tp.name, tp.tp); err != nil {
+	crc, err := s.store.save(tp.name, tp.tp)
+	if err != nil {
 		return true, err
 	}
 	tp.saved = true
+	s.rotateJournal(tp, crc)
 	return true, nil
+}
+
+// rotateJournal starts a fresh journal extending the snapshot just
+// written. On failure the daemon degrades to snapshot-on-every-batch for
+// this topic (jw stays nil) instead of serving without durability.
+// Called with tp.mu and the per-name lock held.
+func (s *server) rotateJournal(tp *topic, snapCRC uint32) {
+	if !s.store.journaling() {
+		return
+	}
+	if tp.jw != nil {
+		if err := tp.jw.Close(); err != nil {
+			s.logf("journal close %q: %v", tp.name, err)
+		}
+		tp.jw = nil
+	}
+	tp.jRecords = 0
+	jw, err := journal.Create(s.store.journalPath(tp.name), snapCRC)
+	if err != nil {
+		s.logf("journal create %q: %v (falling back to snapshot-per-batch)", tp.name, err)
+		return
+	}
+	if err := s.store.syncDir(); err != nil {
+		s.logf("journal dir sync %q: %v (falling back to snapshot-per-batch)", tp.name, err)
+		jw.Close()
+		return
+	}
+	tp.jw = jw
 }
 
 // removeStale deletes <name>.snap unless the file belongs to the
@@ -450,9 +509,14 @@ func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Mark the topic deleted under its own lock so an in-flight batch
-	// that already passed lookup cannot re-apply in memory afterwards.
+	// that already passed lookup cannot re-apply in memory afterwards,
+	// and release its journal handle.
 	tp.mu.Lock()
 	tp.deleted = true
+	if tp.jw != nil {
+		tp.jw.Close()
+		tp.jw = nil
+	}
 	tp.mu.Unlock()
 	// Remove the deleted topic's snapshot file. A save racing this
 	// delete re-checks the registry under the same per-name lock, so it
@@ -462,18 +526,61 @@ func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// batchScratch is the pooled per-request decode/encode state of the
+// batch endpoint: the request struct (whose tweet slice encoding/json
+// refills in place), the assembled solver batch and the response
+// skeleton. Pooling it makes the daemon's own bookkeeping on the hot
+// POST path allocation-free in steady state; what remains is the JSON
+// string data itself and the solver's escaping results.
+type batchScratch struct {
+	body   bytes.Buffer
+	req    batchRequest
+	tweets []triclust.Tweet
+	resp   batchResponse
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// reset clears every field a previous request may have left behind.
+// encoding/json merges into existing slice elements, so stale tweetSpec
+// fields (pointers especially) must be zeroed up to capacity.
+func (sc *batchScratch) reset() {
+	sc.body.Reset()
+	full := sc.req.Tweets[:cap(sc.req.Tweets)]
+	clear(full)
+	sc.req = batchRequest{Tweets: full[:0]}
+	sc.tweets = sc.tweets[:0]
+	// The response slices must start non-nil so an empty batch still
+	// marshals as "tweets":[] — exactly what the pre-pooling make()
+	// calls produced — instead of null on a fresh pool object.
+	tweets, users := sc.resp.Tweets, sc.resp.Users
+	if tweets == nil {
+		tweets = []sentimentJSON{}
+	}
+	if users == nil {
+		users = []userSentimentJSON{}
+	}
+	sc.resp = batchResponse{Tweets: tweets[:0], Users: users[:0]}
+}
+
 func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
 	if tp == nil {
 		return
 	}
-	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	sc.reset()
+	if _, err := sc.body.ReadFrom(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if err := json.Unmarshal(sc.body.Bytes(), &sc.req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	tweets := make([]triclust.Tweet, len(req.Tweets))
-	for i, ts := range req.Tweets {
+	req := &sc.req
+	for _, ts := range req.Tweets {
 		tw := triclust.Tweet{
 			Text:      ts.Text,
 			Tokens:    ts.Tokens,
@@ -488,27 +595,24 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		if ts.RetweetOf != nil {
 			tw.RetweetOf = *ts.RetweetOf
 		}
-		tweets[i] = tw
+		sc.tweets = append(sc.tweets, tw)
 	}
 
-	out, status, code, err := s.runBatch(tp, req.Time, tweets)
+	out, status, code, err := s.runBatch(tp, req.Time, sc.tweets)
 	if err != nil {
 		writeError(w, status, code, err)
 		return
 	}
 
-	resp := batchResponse{
-		Time:    req.Time,
-		Skipped: out.Skipped,
-		Tweets:  toJSON(out.TweetSentiments),
-		Users:   make([]userSentimentJSON, len(out.UserSentiments)),
-	}
-	resp.Iterations = out.Iterations
-	resp.Converged = out.Converged
+	sc.resp.Time = req.Time
+	sc.resp.Skipped = out.Skipped
+	sc.resp.Iterations = out.Iterations
+	sc.resp.Converged = out.Converged
+	sc.resp.Tweets = appendJSON(sc.resp.Tweets, out.TweetSentiments)
 	for i, sen := range out.UserSentiments {
-		resp.Users[i] = userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)}
+		sc.resp.Users = append(sc.resp.Users, userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, &sc.resp)
 }
 
 // runBatch solves one batch under the topic lock. On failure it returns
@@ -517,6 +621,12 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 // store — unwinds instead of wedging the topic (and every later request
 // on it) forever; response writing happens in the caller, off the lock,
 // so a slow client cannot stall the topic either.
+//
+// Durability before acknowledgement, two ways: with journaling on, the
+// batch delta is fsync-appended to the topic's journal — O(batch) bytes —
+// and the O(state) snapshot is rewritten only at compaction points
+// (every -journal-every batches, or when the journal exceeds
+// -journal-max-bytes); otherwise every batch rewrites the snapshot.
 func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust.StreamResult, int, string, error) {
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
@@ -531,10 +641,26 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, codeInvalidBatch, err
 	}
-	if !out.Skipped {
-		// Snapshot-on-batch durability: the new state is persisted before
-		// the response is sent, so an acknowledged batch survives a
-		// restart.
+	if !out.Skipped && s.store != nil {
+		if tp.jw != nil {
+			batches, draws := tp.tp.StreamPos()
+			rec := journal.Record{Time: ts, Tweets: tweets, Batches: batches, RandDraws: draws}
+			if err := tp.jw.Append(&rec); err != nil {
+				// Fall back to a full snapshot; the journal is rotated on
+				// success, so the failed append leaves no gap.
+				s.logf("journal append %q: %v (falling back to snapshot)", tp.name, err)
+				tp.jw.Close()
+				tp.jw = nil
+			} else {
+				tp.jRecords++
+				if tp.jRecords < s.store.opts.Every && tp.jw.Size() < s.store.opts.MaxBytes {
+					return out, 0, "", nil
+				}
+				// Compaction point: fold the journal into a fresh snapshot.
+			}
+		}
+		// Snapshot durability: the new state is persisted before the
+		// response is sent, so an acknowledged batch survives a restart.
 		ok, err := s.saveIfCurrent(tp)
 		if err != nil {
 			return nil, http.StatusInternalServerError, codeStorage,
@@ -725,9 +851,12 @@ func oneJSON(s triclust.Sentiment) sentimentJSON {
 }
 
 func toJSON(ss []triclust.Sentiment) []sentimentJSON {
-	out := make([]sentimentJSON, len(ss))
-	for i, s := range ss {
-		out[i] = oneJSON(s)
+	return appendJSON(make([]sentimentJSON, 0, len(ss)), ss)
+}
+
+func appendJSON(dst []sentimentJSON, ss []triclust.Sentiment) []sentimentJSON {
+	for _, s := range ss {
+		dst = append(dst, oneJSON(s))
 	}
-	return out
+	return dst
 }

@@ -17,9 +17,15 @@ import (
 	"triclust/internal/synth"
 )
 
+// testServer runs a daemon in the legacy snapshot-every-batch mode; the
+// journal-mode tests in journal_daemon_test.go use testServerOpts.
 func testServer(t *testing.T, dataDir string) (*server, *httptest.Server) {
+	return testServerOpts(t, dataDir, journalOptions{Every: 1})
+}
+
+func testServerOpts(t *testing.T, dataDir string, opts journalOptions) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(dataDir, t.Logf)
+	s, err := newServer(dataDir, opts, t.Logf)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}

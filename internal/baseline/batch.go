@@ -5,6 +5,7 @@ import (
 
 	"triclust/internal/core"
 	"triclust/internal/lexicon"
+	"triclust/internal/mat"
 	"triclust/internal/text"
 	"triclust/internal/tgraph"
 )
@@ -43,15 +44,29 @@ func DefaultShortOnlineConfig() core.OnlineConfig {
 	return cfg
 }
 
-// problemFromSnapshot assembles a core.Problem for a snapshot graph.
-func problemFromSnapshot(s *tgraph.Snapshot, lex *lexicon.Lexicon, k int) *core.Problem {
+// problemFromSnapshot assembles a core.Problem for a snapshot graph with
+// a prior already built for the series' shared vocabulary.
+func problemFromSnapshot(s *tgraph.Snapshot, sf0 *mat.Dense) *core.Problem {
 	return &core.Problem{
 		Xp:  s.Graph.Xp,
 		Xu:  s.Graph.Xu,
 		Xr:  s.Graph.Xr,
 		Gu:  s.Graph.Gu,
-		Sf0: lex.Sf0(s.Graph.Vocab, k, 0.8),
+		Sf0: sf0,
 	}
+}
+
+// seriesPrior builds the lexicon prior once for a snapshot series: every
+// snapshot shares one vocabulary (SnapshotSeries fixes it globally), so
+// rebuilding the l×k Sf0 per timestamp — as the drivers used to — was
+// pure per-step allocation.
+func seriesPrior(snaps []*tgraph.Snapshot, lex *lexicon.Lexicon, k int) *mat.Dense {
+	for _, s := range snaps {
+		if s.Graph.Vocab != nil {
+			return lex.Sf0(s.Graph.Vocab, k, 0.8)
+		}
+	}
+	return nil
 }
 
 // MiniBatch applies the offline tri-clustering algorithm independently to
@@ -60,6 +75,7 @@ func problemFromSnapshot(s *tgraph.Snapshot, lex *lexicon.Lexicon, k int) *core.
 // interval"). Empty snapshots are skipped.
 func MiniBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int) ([]BatchStep, error) {
 	snaps := tgraph.SnapshotSeries(c, step, 2, text.TFIDF)
+	sf0 := seriesPrior(snaps, lex, cfg.K)
 	var out []BatchStep
 	lo, _, _ := c.TimeRange()
 	for i, s := range snaps {
@@ -67,7 +83,7 @@ func MiniBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int
 			continue
 		}
 		start := time.Now()
-		res, err := core.FitOffline(problemFromSnapshot(s, lex, cfg.K), cfg)
+		res, err := core.FitOffline(problemFromSnapshot(s, sf0), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +106,7 @@ func MiniBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int
 // evaluate on the same tweets across drivers, via CumulativeEval.
 func FullBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int) ([]BatchStep, error) {
 	snaps := tgraph.SnapshotSeries(c, step, 2, text.TFIDF)
+	sf0 := seriesPrior(snaps, lex, cfg.K)
 	var out []BatchStep
 	lo, _, _ := c.TimeRange()
 	for i, s := range snaps {
@@ -99,7 +116,7 @@ func FullBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int
 		t := lo + i*step
 		cum := tgraph.BuildSnapshot(c, lo, t+step, s.Graph.Vocab, text.TFIDF)
 		start := time.Now()
-		res, err := core.FitOffline(problemFromSnapshot(cum, lex, cfg.K), cfg)
+		res, err := core.FitOffline(problemFromSnapshot(cum, sf0), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +135,16 @@ func FullBatch(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.Config, step int
 // series, so the three drivers are directly comparable (Figures 11–12).
 func OnlineDriver(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.OnlineConfig, step int) ([]BatchStep, error) {
 	snaps := tgraph.SnapshotSeries(c, step, 2, text.TFIDF)
+	return OnlineDriverSeries(snaps, c, lex, cfg, step)
+}
+
+// OnlineDriverSeries is OnlineDriver over a prebuilt snapshot series, so
+// harnesses that run several comparisons over one corpus (Tables 4 and 5,
+// the figure sweeps) can build the series once instead of re-slicing and
+// re-weighting the corpus per comparison.
+func OnlineDriverSeries(snaps []*tgraph.Snapshot, c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.OnlineConfig, step int) ([]BatchStep, error) {
 	o := core.NewOnline(cfg)
+	sf0 := seriesPrior(snaps, lex, cfg.K)
 	var out []BatchStep
 	lo, _, _ := c.TimeRange()
 	for i, s := range snaps {
@@ -127,7 +153,7 @@ func OnlineDriver(c *tgraph.Corpus, lex *lexicon.Lexicon, cfg core.OnlineConfig,
 		}
 		t := lo + i*step
 		start := time.Now()
-		res, err := o.Step(t, problemFromSnapshot(s, lex, cfg.K), s.Active)
+		res, err := o.Step(t, problemFromSnapshot(s, sf0), s.Active)
 		if err != nil {
 			return nil, err
 		}

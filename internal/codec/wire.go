@@ -1,0 +1,118 @@
+// wire.go exposes the snapshot format's primitive layer — little-endian
+// integers, IEEE-754 floats, length-prefixed strings and slices, and the
+// CRC-32C (Castagnoli) checksum — so sibling on-disk formats (the batch
+// journal) share one wire idiom instead of reinventing framing.
+package codec
+
+import (
+	"hash/crc32"
+	"io"
+
+	"triclust/internal/tgraph"
+)
+
+// Checksum returns the CRC-32C (Castagnoli) checksum every triclust
+// on-disk format frames its payloads with.
+func Checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
+// ChecksumUpdate extends a running CRC-32C with more bytes (the
+// incremental form of Checksum).
+func ChecksumUpdate(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, castagnoli, p)
+}
+
+// WireEncoder writes the snapshot format's primitives to a stream. Errors
+// are sticky: the first write failure is retained and later calls are
+// no-ops, so callers check Err once after encoding.
+type WireEncoder struct {
+	enc encoder
+}
+
+// NewWireEncoder returns an encoder writing to w.
+func NewWireEncoder(w io.Writer) *WireEncoder {
+	return &WireEncoder{enc: encoder{w: w}}
+}
+
+// Err returns the first write error, if any.
+func (e *WireEncoder) Err() error { return e.enc.err }
+
+// Uint writes a little-endian uint64.
+func (e *WireEncoder) Uint(v uint64) { e.enc.uint(v) }
+
+// Int writes a two's-complement int64.
+func (e *WireEncoder) Int(v int64) { e.enc.int(v) }
+
+// Bool writes a single 0/1 byte.
+func (e *WireEncoder) Bool(v bool) { e.enc.bool(v) }
+
+// String writes a length-prefixed string.
+func (e *WireEncoder) String(s string) { e.enc.string(s) }
+
+// StringSlice writes a length-prefixed string slice.
+func (e *WireEncoder) StringSlice(ss []string) { e.enc.stringSlice(ss) }
+
+// Tweet writes one tweet, preserving the nil-vs-empty distinction of its
+// Tokens (nil means "tokenize the text", so replay must reproduce it).
+func (e *WireEncoder) Tweet(tw *tgraph.Tweet) {
+	e.enc.string(tw.Text)
+	e.enc.bool(tw.Tokens != nil)
+	e.enc.stringSlice(tw.Tokens)
+	e.enc.int(int64(tw.User))
+	e.enc.int(int64(tw.Time))
+	e.enc.int(int64(tw.RetweetOf))
+	e.enc.int(int64(tw.Label))
+}
+
+// WireDecoder reads the snapshot format's primitives from a byte slice.
+// Errors are sticky and out-of-bounds reads fail with ErrCorrupt.
+type WireDecoder struct {
+	dec decoder
+}
+
+// NewWireDecoder returns a decoder over buf.
+func NewWireDecoder(buf []byte) *WireDecoder {
+	return &WireDecoder{dec: decoder{buf: buf}}
+}
+
+// Err returns the first decode error, if any.
+func (d *WireDecoder) Err() error { return d.dec.err }
+
+// Remaining returns the number of unread bytes.
+func (d *WireDecoder) Remaining() int { return len(d.dec.buf) }
+
+// Uint reads a little-endian uint64.
+func (d *WireDecoder) Uint() uint64 { return d.dec.uint() }
+
+// Int reads a two's-complement int64.
+func (d *WireDecoder) Int() int64 { return d.dec.int() }
+
+// Bool reads a 0/1 byte.
+func (d *WireDecoder) Bool() bool { return d.dec.bool() }
+
+// String reads a length-prefixed string.
+func (d *WireDecoder) String() string { return d.dec.string() }
+
+// StringSlice reads a length-prefixed string slice.
+func (d *WireDecoder) StringSlice() []string { return d.dec.stringSlice() }
+
+// Tweet reads one tweet written by WireEncoder.Tweet.
+func (d *WireDecoder) Tweet() tgraph.Tweet {
+	var tw tgraph.Tweet
+	tw.Text = d.dec.string()
+	hasTokens := d.dec.bool()
+	tw.Tokens = d.dec.stringSlice()
+	if hasTokens && tw.Tokens == nil {
+		// The slice decoders canonicalize empty to nil; restore the
+		// explicit empty slice ("already tokenized, no features").
+		tw.Tokens = []string{}
+	} else if !hasTokens {
+		tw.Tokens = nil
+	}
+	tw.User = int(d.dec.int())
+	tw.Time = int(d.dec.int())
+	tw.RetweetOf = int(d.dec.int())
+	tw.Label = int(d.dec.int())
+	return tw
+}

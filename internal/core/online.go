@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"triclust/internal/mat"
+	"triclust/internal/sparse"
 )
 
 // OnlineConfig extends Config with the temporal parameters of Eq. 19.
@@ -128,6 +129,11 @@ type userSnapshot struct {
 // Online is the stateful dynamic tri-clustering solver (Algorithm 2).
 // Feed it one snapshot per timestamp via Step; it carries the decayed
 // history Sfw / Suw across calls.
+//
+// Beyond the algorithmic state the solver owns the per-step scratch — a
+// persistent kernel workspace, the temporal-aggregate buffers and free
+// lists recycling pruned history storage — so a long stream of Steps
+// allocates only the result factors that escape to the caller.
 type Online struct {
 	cfg      OnlineConfig
 	sfHist   []sfSnapshot
@@ -136,6 +142,19 @@ type Online struct {
 	lastHu   *mat.Dense
 	src      *countingSource
 	rng      *rand.Rand
+
+	// Reused per-step scratch (never escapes a Step call).
+	ws      *mat.Workspace
+	tr      temporalUser
+	suw     *mat.Dense
+	acc     *mat.Dense
+	seenAny []bool
+	// Free lists recycling the storage of history entries pruned by
+	// record, so the bounded-window history reaches a steady state with
+	// no per-step allocation.
+	sfFree   []*mat.Dense
+	seenFree [][]bool
+	rowFree  [][]float64
 }
 
 // NewOnline returns a solver with empty history. Its random stream is
@@ -149,11 +168,17 @@ func NewOnline(cfg OnlineConfig) *Online {
 		userHist: make(map[int][]userSnapshot),
 		src:      src,
 		rng:      rand.New(src),
+		ws:       mat.NewWorkspace(),
 	}
 }
 
 // Config returns the solver's configuration.
 func (o *Online) Config() OnlineConfig { return o.cfg }
+
+// RandDraws returns the number of raw draws consumed from the seeded
+// random source so far — the solver's exact position in its replayable
+// random stream. Journal records store it as a replay fingerprint.
+func (o *Online) RandDraws() uint64 { return o.src.n }
 
 // HistoryLen returns the number of feature snapshots currently retained.
 func (o *Online) HistoryLen() int { return len(o.sfHist) }
@@ -189,23 +214,7 @@ func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
 	// sentiments into the Sp/Su seeding (Observation 1: previous feature
 	// results improve the clustering of new tweets) and warm-start the
 	// association cores from the previous snapshot.
-	f := initFactors(p, cfg.Config, o.rng)
-	if tr.sfPrior != nil {
-		f.Sf = tr.sfPrior.Clone()
-		mat.PerturbPositive(o.rng, f.Sf, 0.01)
-		if cfg.LexiconInit {
-			f.Sp = p.Xp.MulDense(tr.sfPrior)
-			f.Sp.NormalizeRowsL1()
-			mat.PerturbPositive(o.rng, f.Sp, 0.05)
-			f.Su = p.Xu.MulDense(tr.sfPrior)
-			f.Su.NormalizeRowsL1()
-			mat.PerturbPositive(o.rng, f.Su, 0.05)
-		}
-	}
-	if o.lastHp != nil {
-		f.Hp = o.lastHp.Clone()
-		f.Hu = o.lastHu.Clone()
-	}
+	f := o.initStepFactors(p, cfg.Config, tr)
 	for i, ok := range tr.hasHist {
 		if ok {
 			copy(f.Su.Row(i), tr.suw.Row(i))
@@ -219,7 +228,7 @@ func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
 	}
 
 	res := &Result{Factors: f, History: make([]LossBreakdown, 0, cfg.MaxIter)}
-	ws := mat.NewWorkspace()
+	ws := o.ws
 	prev := math.Inf(1)
 	for it := 0; it < cfg.MaxIter; it++ {
 		// Lines 4–8 of Algorithm 2.
@@ -240,9 +249,92 @@ func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
 	}
 	res.Factors = f
 
-	o.lastHp, o.lastHu = f.Hp.Clone(), f.Hu.Clone()
+	if o.lastHp != nil && o.lastHp.Dims(f.Hp.Rows(), f.Hp.Cols()) {
+		o.lastHp.CopyFrom(f.Hp)
+		o.lastHu.CopyFrom(f.Hu)
+	} else {
+		o.lastHp, o.lastHu = f.Hp.Clone(), f.Hu.Clone()
+	}
 	o.record(t, p, &f, active)
 	return res, nil
+}
+
+// initStepFactors builds the starting factors of one Step. It computes
+// exactly what initFactors plus the Sfw/warm-start overrides used to, but
+// skips materializing intermediates that the overrides immediately
+// replace. The random stream advances through the skipped initializers
+// draw-for-draw (every initializer consumes one uniform draw per matrix
+// element regardless of branch), so results are bit-identical to the
+// straightforward construction.
+func (o *Online) initStepFactors(p *Problem, cfg Config, tr *temporalUser) Factors {
+	n, l := p.Xp.Rows(), p.Xp.Cols()
+	m := p.Xu.Rows()
+	k := cfg.K
+	var f Factors
+
+	// Sf: initFactors' version is replaced whenever a temporal prior
+	// exists (it almost always does: the lexicon prior is its fallback).
+	switch {
+	case tr.sfPrior != nil:
+		o.skipDraws(l * k)
+	case p.Sf0 != nil:
+		f.Sf = p.Sf0.Clone()
+		mat.PerturbPositive(o.rng, f.Sf, 0.01)
+	default:
+		f.Sf = mat.RandomNonNegative(o.rng, l, k, 0.1, 1)
+	}
+	// Sp / Su: the lexicon-vote seeding is recomputed against the
+	// temporal prior below; skip the vote against Sf0 it would discard.
+	lexVote := cfg.LexiconInit && p.Sf0 != nil
+	replaceVotes := tr.sfPrior != nil && cfg.LexiconInit
+	switch {
+	case replaceVotes:
+		o.skipDraws(n*k + m*k)
+	case lexVote:
+		f.Sp = p.Xp.MulDense(p.Sf0)
+		f.Sp.NormalizeRowsL1()
+		mat.PerturbPositive(o.rng, f.Sp, 0.05)
+		f.Su = p.Xu.MulDense(p.Sf0)
+		f.Su.NormalizeRowsL1()
+		mat.PerturbPositive(o.rng, f.Su, 0.05)
+	default:
+		f.Sp = mat.RandomNonNegative(o.rng, n, k, 0.1, 1)
+		f.Su = mat.RandomNonNegative(o.rng, m, k, 0.1, 1)
+	}
+	// Hp / Hu: warm-started from the previous snapshot when one exists.
+	if o.lastHp != nil {
+		o.skipDraws(2 * k * k)
+		f.Hp = o.lastHp.Clone()
+		f.Hu = o.lastHu.Clone()
+	} else {
+		f.Hp = mat.Identity(k)
+		mat.PerturbPositive(o.rng, f.Hp, 0.05)
+		f.Hu = mat.Identity(k)
+		mat.PerturbPositive(o.rng, f.Hu, 0.05)
+	}
+	// The temporal-prior overrides (the draws initFactors never made).
+	if tr.sfPrior != nil {
+		f.Sf = tr.sfPrior.Clone()
+		mat.PerturbPositive(o.rng, f.Sf, 0.01)
+		if cfg.LexiconInit {
+			f.Sp = p.Xp.MulDense(tr.sfPrior)
+			f.Sp.NormalizeRowsL1()
+			mat.PerturbPositive(o.rng, f.Sp, 0.05)
+			f.Su = p.Xu.MulDense(tr.sfPrior)
+			f.Su.NormalizeRowsL1()
+			mat.PerturbPositive(o.rng, f.Su, 0.05)
+		}
+	}
+	return f
+}
+
+// skipDraws consumes n uniform draws exactly as the skipped initializer
+// would have (one Float64 per matrix element), keeping the replayable
+// stream position identical to the unskipped construction.
+func (o *Online) skipDraws(n int) {
+	for i := 0; i < n; i++ {
+		o.rng.Float64()
+	}
 }
 
 // buildTemporal assembles Sfw(t), Suw(t) and the history mask from the
@@ -261,8 +353,10 @@ func (o *Online) Step(t int, p *Problem, active []int) (*Result, error) {
 // offline framework's behaviour on the first snapshot.
 func (o *Online) buildTemporal(t int, p *Problem, active []int) *temporalUser {
 	cfg := o.cfg
-	tr := &temporalUser{gamma: cfg.Gamma, hasHist: make([]bool, len(active))}
-	tr.suw = mat.NewDense(len(active), cfg.K)
+	tr := &o.tr
+	*tr = temporalUser{gamma: cfg.Gamma, hasHist: reuseBools(tr.hasHist, len(active))}
+	o.suw = mat.ReuseDense(o.suw, len(active), cfg.K)
+	tr.suw = o.suw
 
 	var totalW float64
 	var acc *mat.Dense
@@ -274,8 +368,10 @@ func (o *Online) buildTemporal(t int, p *Problem, active []int) *temporalUser {
 		}
 		w := math.Pow(cfg.Tau, float64(age-1))
 		if acc == nil {
-			acc = mat.NewDense(s.sf.Rows(), s.sf.Cols())
-			seenAny = make([]bool, s.sf.Rows())
+			o.acc = mat.ReuseDense(o.acc, s.sf.Rows(), s.sf.Cols())
+			acc = o.acc
+			seenAny = reuseBools(o.seenAny, s.sf.Rows())
+			o.seenAny = seenAny
 		}
 		acc.AddScaled(acc, w, s.sf)
 		for j, sj := range s.seen {
@@ -342,43 +438,124 @@ func (o *Online) buildTemporal(t int, p *Problem, active []int) *temporalUser {
 // feature memory across snapshots; the row's class *distribution* is the
 // information Observation 1 says persists.
 func (o *Online) record(t int, p *Problem, f *Factors, active []int) {
-	sf := f.Sf.Clone()
+	sf := o.getHistSf(f.Sf.Rows(), f.Sf.Cols())
+	sf.CopyFrom(f.Sf)
 	sf.NormalizeRowsL1()
-	seen := make([]bool, p.Xp.Cols())
-	for _, cs := range [][]float64{p.Xp.ColSums(), p.Xu.ColSums()} {
-		for j, v := range cs {
-			if v != 0 {
-				seen[j] = true
-			}
-		}
-	}
+	seen := o.getHistSeen(p.Xp.Cols())
+	markNonzeroCols(seen, p.Xp)
+	markNonzeroCols(seen, p.Xu)
 	o.sfHist = append(o.sfHist, sfSnapshot{time: t, sf: sf, seen: seen})
 	minTime := t - o.cfg.Window + 1
 	pruned := o.sfHist[:0]
 	for _, s := range o.sfHist {
 		if s.time >= minTime {
 			pruned = append(pruned, s)
+		} else {
+			o.putHist(s)
 		}
 	}
 	o.sfHist = pruned
 
 	for i, g := range active {
-		row := append([]float64(nil), f.Su.Row(i)...)
+		row := o.getHistRow(f.Su.Cols())
+		copy(row, f.Su.Row(i))
 		hist := append(o.userHist[g], userSnapshot{time: t, row: row})
+		// The just-appended time-t row always satisfies t >= minTime
+		// (Window >= 1), so kept is never empty and LastUserEstimate can
+		// still report long-disappeared users from their newest row.
 		kept := hist[:0]
 		for _, h := range hist {
 			if h.time >= minTime {
 				kept = append(kept, h)
+			} else {
+				o.putHistRow(h.row)
 			}
-		}
-		if len(kept) == 0 {
-			// Keep the newest row regardless so LastUserEstimate can
-			// still report long-disappeared users (it carries no weight
-			// in Suw once outside the window).
-			kept = append(kept, hist[len(hist)-1])
 		}
 		o.userHist[g] = kept
 	}
+}
+
+// getHistSf / getHistSeen / getHistRow draw history storage from the
+// free lists fed by pruning, so the bounded-window history stops
+// allocating once warm; putHist returns a pruned snapshot's storage.
+func (o *Online) getHistSf(rows, cols int) *mat.Dense {
+	for i := len(o.sfFree) - 1; i >= 0; i-- {
+		m := o.sfFree[i]
+		o.sfFree = o.sfFree[:i]
+		if m.Dims(rows, cols) {
+			return m
+		}
+	}
+	return mat.NewDense(rows, cols)
+}
+
+func (o *Online) getHistSeen(n int) []bool {
+	if last := len(o.seenFree) - 1; last >= 0 {
+		s := o.seenFree[last]
+		o.seenFree = o.seenFree[:last]
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = false
+			}
+			return s
+		}
+	}
+	return make([]bool, n)
+}
+
+func (o *Online) getHistRow(k int) []float64 {
+	if last := len(o.rowFree) - 1; last >= 0 {
+		r := o.rowFree[last]
+		o.rowFree = o.rowFree[:last]
+		if cap(r) >= k {
+			return r[:k]
+		}
+	}
+	return make([]float64, k)
+}
+
+const maxFreeRows = 4096
+
+func (o *Online) putHist(s sfSnapshot) {
+	if len(o.sfFree) < 8 {
+		o.sfFree = append(o.sfFree, s.sf)
+	}
+	if len(o.seenFree) < 8 {
+		o.seenFree = append(o.seenFree, s.seen)
+	}
+}
+
+func (o *Online) putHistRow(r []float64) {
+	if len(o.rowFree) < maxFreeRows {
+		o.rowFree = append(o.rowFree, r)
+	}
+}
+
+// markNonzeroCols sets seen[j] for every column j holding a non-zero
+// entry of m (the allocation-free form of the two ColSums scans).
+func markNonzeroCols(seen []bool, m *sparse.CSR) {
+	for i := 0; i < m.Rows(); i++ {
+		cols, vals := m.Row(i)
+		for p, j := range cols {
+			if vals[p] != 0 && j < len(seen) {
+				seen[j] = true
+			}
+		}
+	}
+}
+
+// reuseBools returns a false-filled slice of length n, reusing s's
+// backing array when possible.
+func reuseBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // LastUserEstimate returns the most recent Su row recorded for global user

@@ -42,25 +42,43 @@ type Problem struct {
 	xpT, xuT *sparse.CSR
 	xrT      *sparse.CSR
 	guDeg    []float64
+	// scratch survives Reset so a Problem reused across a session's
+	// batches retransposes into the same backing arrays instead of
+	// reallocating them.
+	scratch *problemScratch
+}
+
+// problemScratch holds the reusable backing of the derived caches.
+type problemScratch struct {
+	xpT, xuT, xrT sparse.CSR
+	cursor        []int
+	guDeg         []float64
 }
 
 func (p *Problem) derive() {
 	p.derived.Do(func() {
-		p.xpT = p.Xp.T()
-		p.xuT = p.Xu.T()
-		p.xrT = p.Xr.T()
+		if p.scratch == nil {
+			p.scratch = &problemScratch{}
+		}
+		s := p.scratch
+		p.xpT = p.Xp.TransposeInto(&s.xpT, &s.cursor)
+		p.xuT = p.Xu.TransposeInto(&s.xuT, &s.cursor)
+		p.xrT = p.Xr.TransposeInto(&s.xrT, &s.cursor)
 		if p.Gu != nil {
-			p.guDeg = sparse.Degrees(p.Gu)
+			p.guDeg = p.Gu.RowSumsInto(s.guDeg)
+			s.guDeg = p.guDeg
 		}
 	})
 }
 
 // Reset repoints the problem at a new set of input matrices and clears
-// every lazily derived cache, so one Problem value can be reused across
-// the snapshots of a long-lived session without per-batch allocation of
-// the scaffolding. The previous inputs are released.
+// every lazily derived cache (keeping its backing storage for reuse), so
+// one Problem value can be reused across the snapshots of a long-lived
+// session without per-batch allocation of the scaffolding. The previous
+// inputs are released.
 func (p *Problem) Reset(xp, xu, xr, gu *sparse.CSR, sf0 *mat.Dense) {
-	*p = Problem{Xp: xp, Xu: xu, Xr: xr, Gu: gu, Sf0: sf0}
+	scratch := p.scratch
+	*p = Problem{Xp: xp, Xu: xu, Xr: xr, Gu: gu, Sf0: sf0, scratch: scratch}
 }
 
 // XpT returns the cached transpose of Xp (l×n).

@@ -7,6 +7,7 @@ import (
 
 	"triclust/internal/core"
 	"triclust/internal/mat"
+	"triclust/internal/text"
 	"triclust/internal/tgraph"
 )
 
@@ -16,9 +17,11 @@ import (
 // own Process calls with an internal mutex, so it is safe to share;
 // independent sessions (even of the same Model) run concurrently.
 //
-// In steady state the per-batch prior and problem scaffolding allocate
-// nothing: the lexicon prior is the Model's cached Sf0 and the Problem
-// value is Reset in place.
+// In steady state a batch allocates only its escaping results: tokens are
+// interned byte-slices resolved into reused per-tweet buffers, the
+// snapshot graph is built into the SnapshotBuilder's arena, the lexicon
+// prior is the Model's cached Sf0, the Problem value is Reset in place
+// and the solver draws its temporaries from a persistent workspace.
 type Session struct {
 	mu    sync.Mutex
 	model *Model
@@ -29,11 +32,15 @@ type Session struct {
 	sb     tgraph.SnapshotBuilder
 
 	// Reusable per-batch buffers.
-	order  []int // order[r] = caller index of canonical row r
-	pos    []int // pos[callerIdx] = canonical row
-	sorted []tgraph.Tweet
-	docs   [][]string
-	batch  tgraph.Corpus
+	order   []int // order[r] = caller index of canonical row r
+	pos     []int // pos[callerIdx] = canonical row
+	sorted  []tgraph.Tweet
+	docs    [][]string
+	batch   tgraph.Corpus
+	in      *text.Interner
+	toks    [][]string // toks[callerIdx] = tokens (caller's or session-owned)
+	tokBufs [][]string // per-index reusable token buffers backing toks
+	sorter  canonSorter
 
 	batches int
 	skips   int
@@ -46,6 +53,7 @@ func (m *Model) NewSession(users []tgraph.User) *Session {
 		model:  m,
 		users:  append([]tgraph.User(nil), users...),
 		online: core.NewOnline(m.cfg),
+		in:     text.NewInterner(),
 	}
 }
 
@@ -78,6 +86,16 @@ func (s *Session) LastTime() (int, bool) {
 	return s.online.LastTime()
 }
 
+// Progress returns the session's replay fingerprint: the non-empty batch
+// count and the solver's position in its replayable random stream. A
+// journal records it after each batch so recovery can verify that replay
+// reproduced the original run exactly.
+func (s *Session) Progress() (batches int, randDraws uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches, s.online.RandDraws()
+}
+
 // KnownUsers returns the number of users with recorded history.
 func (s *Session) KnownUsers() int {
 	s.mu.Lock()
@@ -107,6 +125,8 @@ func (s *Session) UserEstimate(user int) (Sentiment, bool) {
 // canonicalized (by time, user, tokens, retweet-target content) before
 // the solver runs and the outcome is scattered back to the caller's
 // ordering. Tweets identical under that whole key are interchangeable.
+// The caller's tweets are never mutated; tweets without Tokens are
+// tokenized into session-owned buffers.
 func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -121,7 +141,7 @@ func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
 		s.skips++
 		return skippedOutcome(), nil
 	}
-	s.model.Tokenize(&s.batch)
+	s.tokenize(tweets)
 
 	// Canonical ordering for order-independent batch semantics.
 	s.canonicalize(tweets)
@@ -154,6 +174,61 @@ func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
 	return newOutcome(res, snap.Active), nil
 }
 
+// tokenize fills s.toks[i] with tweet i's feature tokens: the tweet's own
+// Tokens when pre-tokenized, otherwise the text run through the model's
+// tokenizer into a session-owned reused buffer with interned strings.
+func (s *Session) tokenize(tweets []tgraph.Tweet) {
+	n := len(tweets)
+	if cap(s.toks) < n {
+		s.toks = make([][]string, n)
+	}
+	s.toks = s.toks[:n]
+	for len(s.tokBufs) < n {
+		s.tokBufs = append(s.tokBufs, nil)
+	}
+	tok := s.model.tok
+	for i := range tweets {
+		if tweets[i].Tokens != nil {
+			s.toks[i] = tweets[i].Tokens
+			continue
+		}
+		buf := tok.AppendTokens(s.tokBufs[i][:0], tweets[i].Text, s.in)
+		s.tokBufs[i] = buf
+		s.toks[i] = buf
+	}
+}
+
+// canonSorter stable-sorts the order permutation without the reflection
+// scaffolding of sort.SliceStable (which allocates per call).
+type canonSorter struct {
+	s      *Session
+	tweets []tgraph.Tweet
+}
+
+func (c *canonSorter) Len() int      { return len(c.s.order) }
+func (c *canonSorter) Swap(a, b int) { o := c.s.order; o[a], o[b] = o[b], o[a] }
+func (c *canonSorter) Less(a, b int) bool {
+	s, tweets := c.s, c.tweets
+	ai, bi := s.order[a], s.order[b]
+	if cmp := s.compareTweet(tweets, ai, bi); cmp != 0 {
+		return cmp < 0
+	}
+	// Tie-break by retweet-target *content* (not its batch-local index,
+	// which depends on the input ordering): tweets that agree on
+	// (Time, User, Tokens) but retweet different targets carry different
+	// Xr edges and must not be treated as interchangeable.
+	n := len(tweets)
+	at, bt := tweets[ai].RetweetOf, tweets[bi].RetweetOf
+	aHas, bHas := at >= 0 && at < n, bt >= 0 && bt < n
+	if aHas != bHas {
+		return !aHas // plain tweets sort before retweets
+	}
+	if aHas {
+		return s.compareTweet(tweets, at, bt) < 0
+	}
+	return false
+}
+
 // canonicalize fills s.order with a permutation of [0,n) sorted by
 // (Time, User, Tokens) and s.sorted with the correspondingly reordered
 // tweets, remapping batch-local RetweetOf indices through the permutation.
@@ -163,25 +238,9 @@ func (s *Session) canonicalize(tweets []tgraph.Tweet) {
 	for i := 0; i < n; i++ {
 		s.order = append(s.order, i)
 	}
-	sort.SliceStable(s.order, func(a, b int) bool {
-		ai, bi := s.order[a], s.order[b]
-		if c := compareTweet(&tweets[ai], &tweets[bi]); c != 0 {
-			return c < 0
-		}
-		// Tie-break by retweet-target *content* (not its batch-local
-		// index, which depends on the input ordering): tweets that agree
-		// on (Time, User, Tokens) but retweet different targets carry
-		// different Xr edges and must not be treated as interchangeable.
-		at, bt := tweets[ai].RetweetOf, tweets[bi].RetweetOf
-		aHas, bHas := at >= 0 && at < n, bt >= 0 && bt < n
-		if aHas != bHas {
-			return !aHas // plain tweets sort before retweets
-		}
-		if aHas {
-			return compareTweet(&tweets[at], &tweets[bt]) < 0
-		}
-		return false
-	})
+	s.sorter = canonSorter{s: s, tweets: tweets}
+	sort.Stable(&s.sorter)
+	s.sorter = canonSorter{}
 	s.pos = s.pos[:0]
 	for range tweets {
 		s.pos = append(s.pos, 0)
@@ -192,6 +251,7 @@ func (s *Session) canonicalize(tweets []tgraph.Tweet) {
 	s.sorted = s.sorted[:0]
 	for _, ci := range s.order {
 		tw := tweets[ci]
+		tw.Tokens = s.toks[ci]
 		if tw.RetweetOf >= 0 && tw.RetweetOf < n {
 			tw.RetweetOf = s.pos[tw.RetweetOf]
 		}
@@ -199,22 +259,24 @@ func (s *Session) canonicalize(tweets []tgraph.Tweet) {
 	}
 }
 
-// compareTweet orders tweets by (Time, User, Tokens), the
-// content-derived part of the canonical key.
-func compareTweet(a, b *tgraph.Tweet) int {
-	if a.Time != b.Time {
-		if a.Time < b.Time {
+// compareTweet orders tweets by (Time, User, Tokens), the content-derived
+// part of the canonical key. Tokens come from s.toks, so untokenized
+// callers sort by the same features the graph will see.
+func (s *Session) compareTweet(tweets []tgraph.Tweet, a, b int) int {
+	ta, tb := &tweets[a], &tweets[b]
+	if ta.Time != tb.Time {
+		if ta.Time < tb.Time {
 			return -1
 		}
 		return 1
 	}
-	if a.User != b.User {
-		if a.User < b.User {
+	if ta.User != tb.User {
+		if ta.User < tb.User {
 			return -1
 		}
 		return 1
 	}
-	return slices.Compare(a.Tokens, b.Tokens)
+	return slices.Compare(s.toks[a], s.toks[b])
 }
 
 // permuteRows returns a matrix whose row callerIdx[r] is src's row r.

@@ -163,6 +163,7 @@ func RestoreSession(st *State) (*Session, error) {
 		model:   m,
 		users:   append([]tgraph.User(nil), st.Users...),
 		online:  online,
+		in:      text.NewInterner(),
 		batches: st.Batches,
 		skips:   st.Skips,
 	}, nil

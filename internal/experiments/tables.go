@@ -206,7 +206,7 @@ func Table4TweetLevel(s *Setup, quick bool) (*ComparisonResult, error) {
 	}
 	add("ESSA", "Unsupervised", essaPred, true)
 
-	tri, err := core.FitOffline(s.Problem(k), cfg)
+	tri, err := s.OfflineFit(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +281,7 @@ func Table5UserLevel(s *Setup, quick bool) (*ComparisonResult, error) {
 	}
 	add("BACG", "Unsupervised", bacgPred, true)
 
-	tri, err := core.FitOffline(s.Problem(k), cfg)
+	tri, err := s.OfflineFit(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -297,9 +297,34 @@ func Table5UserLevel(s *Setup, quick bool) (*ComparisonResult, error) {
 
 // onlineTweetPredictions runs the online driver over the corpus and
 // stitches per-snapshot predictions back to global tweet indices and
-// final per-user classes (last estimate per user).
+// final per-user classes (last estimate per user). The run is memoized
+// on the Setup (keyed by configuration) and fed from the Setup's cached
+// snapshot series: Tables 4 and 5 consume the tweet- and user-level
+// views of one identical stream, so the second table reuses the first's
+// drive instead of rebuilding corpus, series, prior and solver state.
 func onlineTweetPredictions(s *Setup, cfg core.OnlineConfig) (tweetPred, userPred []int, err error) {
-	steps, err := baseline.OnlineDriver(s.Dataset.Corpus, s.Lexicon, cfg, 1)
+	key := fmt.Sprintf("%+v", cfg)
+	s.mu.Lock()
+	if p, ok := s.online[key]; ok {
+		s.mu.Unlock()
+		return p.tweetPred, p.userPred, nil
+	}
+	s.mu.Unlock()
+	tweetPred, userPred, err = onlineTweetPredictionsUncached(s, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	if s.online == nil {
+		s.online = make(map[string]*onlinePredictions)
+	}
+	s.online[key] = &onlinePredictions{tweetPred: tweetPred, userPred: userPred}
+	s.mu.Unlock()
+	return tweetPred, userPred, nil
+}
+
+func onlineTweetPredictionsUncached(s *Setup, cfg core.OnlineConfig) (tweetPred, userPred []int, err error) {
+	steps, err := baseline.OnlineDriverSeries(s.Series(1), s.Dataset.Corpus, s.Lexicon, cfg, 1)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,293 @@
+// Package journal implements the append-only batch journal that gives the
+// daemon O(batch) durability between snapshots. Where a snapshot is a full
+// copy of a topic's state (O(state) to write), a journal record is the
+// *delta* of one processed batch: the batch inputs plus a post-batch
+// fingerprint (batch counter and the solver's random-stream position).
+// Because a topic's pipeline is deterministic — canonicalized batches, a
+// draw-counted random stream — replaying the journal tail through
+// Topic.Process after loading the snapshot it extends reproduces the live
+// topic bit-for-bit, and the fingerprints verify that it did.
+//
+// # Format
+//
+// A journal reuses internal/codec's framing idiom (little-endian
+// primitives, CRC-32C):
+//
+//	magic    [8]byte  "TRICJRNL"
+//	version  uint16   journal format version (currently 1)
+//	snapCRC  uint32   CRC-32C of the snapshot file this journal extends
+//	hdrCRC   uint32   CRC-32C of the 14 header bytes above
+//
+// followed by zero or more records, each
+//
+//	kind     uint8    record type (1 = batch)
+//	size     uint32   payload length in bytes
+//	payload  [size]byte
+//	crc      uint32   CRC-32C of kind ‖ size ‖ payload
+//
+// The batch payload is the wire encoding of (time, tweets, batches,
+// randDraws). Appends are fsynced before the batch is acknowledged, so an
+// acknowledged batch survives a crash; a crash *during* an append leaves
+// a torn final record, which Load tolerates by truncating at the first
+// record whose CRC or framing fails (the torn batch was never
+// acknowledged). A journal whose header is unreadable is undecodable —
+// callers quarantine it and fall back to the snapshot alone.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"triclust/internal/codec"
+	"triclust/internal/tgraph"
+)
+
+// Version is the current journal format version.
+const Version = 1
+
+var magic = [8]byte{'T', 'R', 'I', 'C', 'J', 'R', 'N', 'L'}
+
+const (
+	recBatch = 1
+	// maxRecordSize bounds a single record's payload so a corrupted or
+	// hostile length field cannot force a huge allocation.
+	maxRecordSize = 1 << 28
+)
+
+var (
+	// ErrBadMagic marks a file that is not a triclust journal at all.
+	ErrBadMagic = errors.New("journal: not a triclust journal (bad magic)")
+	// ErrVersion marks a journal written by an unknown format version.
+	ErrVersion = errors.New("journal: unsupported journal version")
+	// ErrCorrupt marks an undecodable header or record framing.
+	ErrCorrupt = errors.New("journal: corrupt journal")
+)
+
+// Record is one processed batch's delta: its inputs and the post-batch
+// fingerprint used to verify replay.
+type Record struct {
+	// Time is the batch timestamp passed to Topic.Process.
+	Time int
+	// Tweets are the batch inputs exactly as processed (Tokens keeps its
+	// nil-vs-empty distinction: nil means the text was tokenized).
+	Tweets []tgraph.Tweet
+	// Batches is the topic's non-empty batch count after this batch.
+	Batches int
+	// RandDraws is the solver's random-stream position after this batch.
+	RandDraws uint64
+}
+
+// header is the fixed journal prelude: magic, version, the CRC of the
+// snapshot this journal extends, and a CRC over those bytes.
+func encodeHeader(snapCRC uint32) []byte {
+	buf := make([]byte, 0, 18)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, snapCRC)
+	return binary.LittleEndian.AppendUint32(buf, codec.Checksum(buf))
+}
+
+func decodeHeader(buf []byte) (snapCRC uint32, rest []byte, err error) {
+	if len(buf) < 18 {
+		return 0, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if !bytes.Equal(buf[:8], magic[:]) {
+		return 0, nil, ErrBadMagic
+	}
+	if want := binary.LittleEndian.Uint32(buf[14:18]); codec.Checksum(buf[:14]) != want {
+		return 0, nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:10]); v != Version {
+		return 0, nil, fmt.Errorf("%w: journal is version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	return binary.LittleEndian.Uint32(buf[10:14]), buf[18:], nil
+}
+
+// Writer appends CRC-framed records to a journal file, fsyncing each
+// append so an acknowledged record survives a crash.
+type Writer struct {
+	f    *os.File
+	size int64
+	buf  bytes.Buffer
+}
+
+// Create truncates (or creates) the journal at path, writes a header
+// naming the snapshot it extends, and fsyncs it. The caller owns syncing
+// the directory if the file is new.
+func Create(path string, snapCRC uint32) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := encodeHeader(snapCRC)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, size: int64(len(hdr))}, nil
+}
+
+// Append marshals rec, appends it and fsyncs. The record is durable when
+// Append returns nil.
+func (w *Writer) Append(rec *Record) error {
+	if w.f == nil {
+		return errors.New("journal: writer is closed")
+	}
+	w.buf.Reset()
+	enc := codec.NewWireEncoder(&w.buf)
+	enc.Int(int64(rec.Time))
+	enc.Uint(uint64(len(rec.Tweets)))
+	for i := range rec.Tweets {
+		enc.Tweet(&rec.Tweets[i])
+	}
+	enc.Int(int64(rec.Batches))
+	enc.Uint(rec.RandDraws)
+	if err := enc.Err(); err != nil {
+		return err
+	}
+	payload := w.buf.Bytes()
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("journal: record payload %d exceeds limit", len(payload))
+	}
+
+	frame := make([]byte, 0, 5+len(payload)+4)
+	frame = append(frame, recBatch)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, codec.Checksum(frame))
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// Size returns the current journal file size in bytes.
+func (w *Writer) Size() int64 { return w.size }
+
+// Close closes the underlying file. The journal remains on disk.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Journal is the result of loading a journal file for recovery.
+type Journal struct {
+	// SnapCRC names the snapshot this journal extends: recovery replays
+	// the records only on top of the snapshot file with this checksum.
+	SnapCRC uint32
+	// Records are the decoded batch deltas, in append order.
+	Records []*Record
+	// Torn reports that trailing bytes after the last intact record
+	// failed their CRC or framing — the signature of a crash mid-append.
+	// The torn tail was never acknowledged, so recovery proceeds with the
+	// intact prefix.
+	Torn bool
+}
+
+// Load reads a journal file, tolerating a torn final record. It fails
+// with ErrBadMagic/ErrVersion/ErrCorrupt only when the header itself is
+// undecodable (the caller should quarantine such a file); record-level
+// corruption truncates instead, per the append-only crash model.
+func Load(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snapCRC, rest, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{SnapCRC: snapCRC}
+	for len(rest) > 0 {
+		rec, n, ok := decodeRecord(rest)
+		if !ok {
+			j.Torn = true
+			break
+		}
+		j.Records = append(j.Records, rec)
+		rest = rest[n:]
+	}
+	return j, nil
+}
+
+// decodeRecord decodes one framed record from the front of buf, returning
+// its decoded form and encoded length. ok is false when the frame is
+// truncated, its checksum fails, or its payload does not decode — all
+// treated as the torn tail.
+func decodeRecord(buf []byte) (*Record, int, bool) {
+	if len(buf) < 9 {
+		return nil, 0, false
+	}
+	if buf[0] != recBatch {
+		return nil, 0, false
+	}
+	size := binary.LittleEndian.Uint32(buf[1:5])
+	if size > maxRecordSize || uint64(len(buf)) < 9+uint64(size) {
+		return nil, 0, false
+	}
+	end := 5 + int(size)
+	want := binary.LittleEndian.Uint32(buf[end : end+4])
+	if codec.Checksum(buf[:end]) != want {
+		return nil, 0, false
+	}
+	dec := codec.NewWireDecoder(buf[5:end])
+	rec := &Record{Time: int(dec.Int())}
+	n := dec.Uint()
+	// A tweet encodes to at least minTweetBytes, so bound the claimed
+	// count by the bytes actually present — a crafted record cannot
+	// force an allocation larger than its own payload (CRC-32C detects
+	// corruption, not tampering).
+	const minTweetBytes = 49
+	if dec.Err() != nil || n > uint64(dec.Remaining())/minTweetBytes {
+		return nil, 0, false
+	}
+	rec.Tweets = make([]tgraph.Tweet, 0, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		rec.Tweets = append(rec.Tweets, dec.Tweet())
+	}
+	rec.Batches = int(dec.Int())
+	rec.RandDraws = dec.Uint()
+	if dec.Err() != nil || dec.Remaining() != 0 {
+		return nil, 0, false
+	}
+	return rec, end + 4, true
+}
+
+// CRCWriter tees writes to an inner writer while accumulating the
+// CRC-32C of everything written, so a snapshot and its journal-header
+// identity are produced in one pass.
+type CRCWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+// NewCRCWriter wraps w, tracking the CRC-32C of all bytes written.
+func NewCRCWriter(w io.Writer) *CRCWriter {
+	return &CRCWriter{w: w}
+}
+
+// Write implements io.Writer.
+func (c *CRCWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = codec.ChecksumUpdate(c.crc, p[:n])
+	return n, err
+}
+
+// Sum returns the CRC-32C of everything written so far.
+func (c *CRCWriter) Sum() uint32 { return c.crc }

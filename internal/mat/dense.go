@@ -65,6 +65,25 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
+// ReuseDense returns a zeroed rows×cols matrix, reusing m's backing slice
+// when it is large enough (m may be nil). Long-lived scratch holders call
+// it once per step so the steady state reshapes instead of reallocating.
+func ReuseDense(m *Dense, rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if m == nil || cap(m.data) < n {
+		return NewDense(rows, cols)
+	}
+	m.rows, m.cols = rows, cols
+	m.data = m.data[:n]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	return m
+}
+
 // CopyFrom copies the contents of src into m. Dimensions must match.
 func (m *Dense) CopyFrom(src *Dense) {
 	if m.rows != src.rows || m.cols != src.cols {

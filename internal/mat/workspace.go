@@ -10,7 +10,8 @@ package mat
 // work internally, so a single Workspace per solver is the intended
 // pattern.
 type Workspace struct {
-	free map[wsKey][]*Dense
+	free     map[wsKey][]*Dense
+	retained int
 }
 
 type wsKey struct{ rows, cols int }
@@ -23,6 +24,9 @@ func NewWorkspace() *Workspace {
 // Get returns a rows×cols matrix, reusing a previously Put matrix of the
 // same shape when one is available.
 //
+// Hits decrement the retained count so a balanced Get/Put cycle with a
+// stable shape set never approaches the trim bound.
+//
 // The contents are UNSPECIFIED: a fresh matrix is zeroed (Go allocation)
 // but a reused one still holds its previous values. Every caller must
 // fully overwrite the buffer (Mul/MulATB/MulDenseInto/Sub/CopyFrom/… all
@@ -34,10 +38,17 @@ func (w *Workspace) Get(rows, cols int) *Dense {
 	if list := w.free[key]; len(list) > 0 {
 		m := list[len(list)-1]
 		w.free[key] = list[:len(list)-1]
+		w.retained--
 		return m
 	}
 	return NewDense(rows, cols)
 }
+
+// maxFreeMatrices bounds the arena. A workspace owned by a long-lived
+// solver sees one shape set per batch size; a stream of ever-varying
+// batch sizes must not accumulate one free list per size forever, so
+// past the bound the arena is dropped and rebuilt from the live shapes.
+const maxFreeMatrices = 256
 
 // Put returns matrices to the arena for reuse. Nil entries are ignored.
 // The caller must not use a matrix after putting it back.
@@ -46,7 +57,12 @@ func (w *Workspace) Put(ms ...*Dense) {
 		if m == nil {
 			continue
 		}
+		if w.retained >= maxFreeMatrices {
+			w.free = make(map[wsKey][]*Dense)
+			w.retained = 0
+		}
 		key := wsKey{m.rows, m.cols}
 		w.free[key] = append(w.free[key], m)
+		w.retained++
 	}
 }

@@ -169,29 +169,74 @@ func (m *CSR) MulTDenseInto(dst *mat.Dense, b *mat.Dense) *mat.Dense {
 
 // T returns the transpose as a new CSR matrix.
 func (m *CSR) T() *CSR {
-	counts := make([]int, m.cols+1)
+	return m.TransposeInto(nil, nil)
+}
+
+// TransposeInto stores mᵀ into dst, reusing dst's backing storage (a nil
+// dst allocates one), with scratch providing the per-column cursor array
+// (grown as needed and returned for reuse). Hot paths that retranspose
+// per batch keep dst and scratch alive across calls so the steady state
+// allocates nothing.
+func (m *CSR) TransposeInto(dst *CSR, scratch *[]int) *CSR {
+	if dst == nil {
+		dst = &CSR{}
+	}
+	dst.rows, dst.cols = m.cols, m.rows
+	dst.rowPtr = growInts(dst.rowPtr, m.cols+1)
+	dst.colIdx = growInts(dst.colIdx, len(m.colIdx))
+	dst.val = growFloats(dst.val, len(m.val))
+	for j := range dst.rowPtr {
+		dst.rowPtr[j] = 0
+	}
 	for _, j := range m.colIdx {
-		counts[j+1]++
+		dst.rowPtr[j+1]++
 	}
 	for j := 0; j < m.cols; j++ {
-		counts[j+1] += counts[j]
+		dst.rowPtr[j+1] += dst.rowPtr[j]
 	}
-	rowPtr := counts
-	colIdx := make([]int, len(m.colIdx))
-	val := make([]float64, len(m.val))
-	next := make([]int, m.cols)
-	copy(next, rowPtr[:m.cols])
+	var next []int
+	if scratch != nil {
+		*scratch = growInts(*scratch, m.cols)
+		next = *scratch
+	} else {
+		next = make([]int, m.cols)
+	}
+	copy(next, dst.rowPtr[:m.cols])
 	for i := 0; i < m.rows; i++ {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 		for p := lo; p < hi; p++ {
 			j := m.colIdx[p]
-			dst := next[j]
-			colIdx[dst] = i
-			val[dst] = m.val[p]
+			d := next[j]
+			dst.colIdx[d] = i
+			dst.val[d] = m.val[p]
 			next[j]++
 		}
 	}
-	return &CSR{rows: m.cols, cols: m.rows, rowPtr: rowPtr, colIdx: colIdx, val: val}
+	return dst
+}
+
+// ScaleColsInPlace multiplies column j of m by s[j], mutating m. Only
+// owners of a matrix that is not yet shared may call it (CSR values are
+// otherwise treated as immutable).
+func (m *CSR) ScaleColsInPlace(s []float64) {
+	if len(s) != m.cols {
+		panic("sparse: ScaleColsInPlace length mismatch")
+	}
+	for p, j := range m.colIdx {
+		m.val[p] *= s[j]
+	}
+}
+
+// FillValues overwrites every stored entry with v (v must be non-zero to
+// preserve the no-explicit-zeros invariant). Used to clamp accumulated
+// incidence counts to 0/1 without rebuilding the matrix.
+func (m *CSR) FillValues(v float64) {
+	if v == 0 {
+		panic("sparse: FillValues(0) would store explicit zeros")
+	}
+	for p := range m.val {
+		m.val[p] = v
+	}
 }
 
 // FrobeniusSq returns Σ v² over stored entries.
@@ -214,7 +259,13 @@ func (m *CSR) Sum() float64 {
 
 // RowSums returns the vector of per-row sums.
 func (m *CSR) RowSums() []float64 {
-	out := make([]float64, m.rows)
+	return m.RowSumsInto(nil)
+}
+
+// RowSumsInto computes the per-row sums into dst, reusing its backing
+// array when large enough.
+func (m *CSR) RowSumsInto(dst []float64) []float64 {
+	out := growFloats(dst, m.rows)
 	for i := 0; i < m.rows; i++ {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 		var s float64

@@ -1,0 +1,115 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tokenizerCases are inputs chosen to hit every branch of normalize:
+// URLs, hashtags, mentions, the bare-RT marker, punctuation trims,
+// digits-only tokens, stopwords, length filters, mixed case, and
+// non-ASCII text (which must route through the fallback path).
+var tokenizerCases = []string{
+	"",
+	"   ",
+	"RT @alice Support the #California #GMO Labeling Ballot Initiative #prop37 https://example.com now!!!",
+	"plain words only",
+	"UPPER Case MiXeD",
+	"#yeson37 #NoProp37 @Bob @carol www.example.org http://x.y",
+	"37 9 x yz !! ... (parens) [brackets] 'quotes'",
+	"rt rt! rt37 #rt @rt",
+	"trailing-dash- -leading-dash double--dash",
+	"a ab abc the and of",
+	"naïve café résumé — em-dash…ellipsis",
+	"emoji 🎉 mixed ascii",
+	"tab\tseparated\nnewline\rcarriage",
+	"#37 #4 ## #",
+	"ends.with.dots... #hash.tag",
+}
+
+func tokenizerOptionVariants() []TokenizerOptions {
+	var out []TokenizerOptions
+	for _, keepHash := range []bool{true, false} {
+		for _, keepMention := range []bool{true, false} {
+			for _, stop := range []bool{true, false} {
+				for _, stem := range []bool{true, false} {
+					for _, minLen := range []int{0, 2, 4} {
+						out = append(out, TokenizerOptions{
+							KeepHashtags:    keepHash,
+							KeepMentions:    keepMention,
+							RemoveStopwords: stop,
+							MinTokenLen:     minLen,
+							Stem:            stem,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestAppendTokensMatchesTokenize pins the zero-copy ASCII fast path to
+// the reference implementation across every option combination: interned
+// tokenization must be a pure optimization, never a behaviour change.
+func TestAppendTokensMatchesTokenize(t *testing.T) {
+	for _, opts := range tokenizerOptionVariants() {
+		tok := NewTokenizer(opts)
+		in := NewInterner()
+		for _, s := range tokenizerCases {
+			want := tok.Tokenize(s)
+			got := tok.AppendTokens(nil, s, in)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("opts %+v input %q:\ninterned %v\nplain    %v", opts, s, got, want)
+			}
+			// Re-running over the warm interner must not change results.
+			again := tok.AppendTokens(nil, s, in)
+			if !reflect.DeepEqual(again, want) {
+				t.Fatalf("opts %+v input %q: second pass diverged: %v vs %v", opts, s, again, want)
+			}
+		}
+	}
+}
+
+// TestAppendTokensSteadyStateAllocFree asserts the point of the
+// interner: tokenizing previously seen ASCII text into a reused buffer
+// performs no heap allocation.
+func TestAppendTokensSteadyStateAllocFree(t *testing.T) {
+	tok := NewTokenizer(DefaultTokenizerOptions())
+	in := NewInterner()
+	tweet := "RT @alice Support the #California #GMO Labeling Ballot Initiative #prop37 https://example.com now!!!"
+	buf := tok.AppendTokens(nil, tweet, in) // warm the interner and buffer
+	avg := testing.AllocsPerRun(100, func() {
+		buf = tok.AppendTokens(buf[:0], tweet, in)
+		if len(buf) == 0 {
+			t.Fatal("no tokens")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm AppendTokens allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestInternerCapBounds verifies the intern table stops growing at its
+// cap instead of letting a hostile all-unique stream expand it forever.
+func TestInternerCapBounds(t *testing.T) {
+	in := NewInterner()
+	if maxInternedTokens > 1<<20 {
+		t.Fatalf("unexpected cap %d", maxInternedTokens)
+	}
+	scratch := make([]byte, 0, 16)
+	for i := 0; i < maxInternedTokens+100; i++ {
+		scratch = scratch[:0]
+		scratch = append(scratch, 't')
+		for v := i; v > 0; v /= 10 {
+			scratch = append(scratch, byte('0'+v%10))
+		}
+		in.intern(scratch)
+	}
+	if len(in.m) > maxInternedTokens {
+		t.Fatalf("intern table grew to %d entries past the %d cap", len(in.m), maxInternedTokens)
+	}
+}

@@ -25,73 +25,72 @@ const (
 // from tokenized documents under the given vocabulary and weighting.
 // Out-of-vocabulary tokens are ignored.
 func DocFeatureMatrix(docs [][]string, vocab *Vocabulary, w Weighting) *sparse.CSR {
+	var s FeatureScratch
+	return s.DocFeatureMatrixInto(nil, docs, vocab, w)
+}
+
+// FeatureScratch holds the reusable construction state — the triplet
+// builder, the per-document dedup set and the document-frequency buffer —
+// so that per-batch feature-matrix builds stop allocating once buffers
+// reach their steady size. The zero value is ready to use; not safe for
+// concurrent use.
+type FeatureScratch struct {
+	coo  sparse.COO
+	seen map[int]struct{}
+	df   []float64
+}
+
+// DocFeatureMatrixInto is DocFeatureMatrix emitting into a reusable dst
+// (nil allocates one).
+func (s *FeatureScratch) DocFeatureMatrixInto(dst *sparse.CSR, docs [][]string, vocab *Vocabulary, w Weighting) *sparse.CSR {
 	n, l := len(docs), vocab.Len()
-	b := sparse.NewCOO(n, l)
+	s.coo.Reset(n, l)
 	switch w {
 	case Binary:
-		seen := make(map[int]struct{})
+		if s.seen == nil {
+			s.seen = make(map[int]struct{})
+		}
 		for i, doc := range docs {
-			for k := range seen {
-				delete(seen, k)
-			}
+			clear(s.seen)
 			for _, tok := range doc {
 				j := vocab.ID(tok)
 				if j < 0 {
 					continue
 				}
-				if _, dup := seen[j]; dup {
+				if _, dup := s.seen[j]; dup {
 					continue
 				}
-				seen[j] = struct{}{}
-				b.Add(i, j, 1)
+				s.seen[j] = struct{}{}
+				s.coo.Add(i, j, 1)
 			}
 		}
-		return b.ToCSR()
+		return s.coo.ToCSRInto(dst)
 	case TF:
 		for i, doc := range docs {
 			for _, tok := range doc {
 				if j := vocab.ID(tok); j >= 0 {
-					b.Add(i, j, 1)
+					s.coo.Add(i, j, 1)
 				}
 			}
 		}
-		return b.ToCSR()
+		return s.coo.ToCSRInto(dst)
 	case TFIDF:
-		tf := DocFeatureMatrix(docs, vocab, TF)
-		idf := InverseDocumentFrequency(tf)
-		return tf.ScaleCols(idf)
+		tf := s.DocFeatureMatrixInto(dst, docs, vocab, TF)
+		s.df = InverseDocumentFrequencyInto(s.df, tf)
+		tf.ScaleColsInPlace(s.df)
+		return tf
 	default:
 		panic("text: unknown weighting")
 	}
 }
 
-// InverseDocumentFrequency returns the smoothed IDF vector
-// idf(j) = ln((1+N)/(1+df(j))) + 1 for an n×l term-frequency matrix.
-func InverseDocumentFrequency(tf *sparse.CSR) []float64 {
-	n := tf.Rows()
-	df := make([]float64, tf.Cols())
-	for i := 0; i < n; i++ {
-		cols, _ := tf.Row(i)
-		for _, j := range cols {
-			df[j]++
-		}
-	}
-	idf := make([]float64, len(df))
-	for j, d := range df {
-		idf[j] = math.Log((1+float64(n))/(1+d)) + 1
-	}
-	return idf
-}
-
-// UserFeatureMatrix aggregates an n×l tweet–feature matrix into the m×l
-// user–feature matrix Xu by summing the rows of each user's tweets.
-// owner[i] gives the user index of tweet i; tweets with owner -1 are
-// skipped.
-func UserFeatureMatrix(xp *sparse.CSR, owner []int, numUsers int) *sparse.CSR {
+// UserFeatureMatrixInto is UserFeatureMatrix emitting into a reusable dst
+// (nil allocates one).
+func (s *FeatureScratch) UserFeatureMatrixInto(dst *sparse.CSR, xp *sparse.CSR, owner []int, numUsers int) *sparse.CSR {
 	if len(owner) != xp.Rows() {
 		panic("text: owner length must match tweet count")
 	}
-	b := sparse.NewCOO(numUsers, xp.Cols())
+	s.coo.Reset(numUsers, xp.Cols())
 	for i := 0; i < xp.Rows(); i++ {
 		u := owner[i]
 		if u < 0 {
@@ -99,8 +98,48 @@ func UserFeatureMatrix(xp *sparse.CSR, owner []int, numUsers int) *sparse.CSR {
 		}
 		cols, vals := xp.Row(i)
 		for p, j := range cols {
-			b.Add(u, j, vals[p])
+			s.coo.Add(u, j, vals[p])
 		}
 	}
-	return b.ToCSR()
+	return s.coo.ToCSRInto(dst)
+}
+
+// InverseDocumentFrequency returns the smoothed IDF vector
+// idf(j) = ln((1+N)/(1+df(j))) + 1 for an n×l term-frequency matrix.
+func InverseDocumentFrequency(tf *sparse.CSR) []float64 {
+	return InverseDocumentFrequencyInto(nil, tf)
+}
+
+// InverseDocumentFrequencyInto computes the smoothed IDF vector into dst,
+// reusing its backing array when large enough.
+func InverseDocumentFrequencyInto(dst []float64, tf *sparse.CSR) []float64 {
+	n := tf.Rows()
+	l := tf.Cols()
+	if cap(dst) < l {
+		dst = make([]float64, l)
+	} else {
+		dst = dst[:l]
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		cols, _ := tf.Row(i)
+		for _, j := range cols {
+			dst[j]++
+		}
+	}
+	for j, d := range dst {
+		dst[j] = math.Log((1+float64(n))/(1+d)) + 1
+	}
+	return dst
+}
+
+// UserFeatureMatrix aggregates an n×l tweet–feature matrix into the m×l
+// user–feature matrix Xu by summing the rows of each user's tweets.
+// owner[i] gives the user index of tweet i; tweets with owner -1 are
+// skipped.
+func UserFeatureMatrix(xp *sparse.CSR, owner []int, numUsers int) *sparse.CSR {
+	var s FeatureScratch
+	return s.UserFeatureMatrixInto(nil, xp, owner, numUsers)
 }

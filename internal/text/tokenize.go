@@ -57,8 +57,58 @@ func (t *Tokenizer) Options() TokenizerOptions { return t.opts }
 
 // Tokenize splits, normalizes and filters a tweet.
 func (t *Tokenizer) Tokenize(s string) []string {
+	return t.AppendTokens(nil, s, nil)
+}
+
+// Interner deduplicates token strings across batches: topical streams
+// repeat a bounded vocabulary, so after warm-up every token of a new
+// tweet is resolved to its canonical string by a byte-keyed map lookup
+// with no allocation. The entry count is capped; past the cap unseen
+// tokens are plainly allocated (a hostile all-unique stream degrades to
+// today's cost instead of growing the table without bound).
+//
+// An Interner also carries the tokenizer's byte scratch, so it must not
+// be shared between goroutines; each engine session owns one.
+type Interner struct {
+	m       map[string]string
+	scratch []byte
+}
+
+// maxInternedTokens bounds the intern table (entries, not bytes).
+const maxInternedTokens = 1 << 16
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string)}
+}
+
+// intern returns the canonical string for the bytes, allocating only the
+// first time a token is seen (while the table has room).
+func (in *Interner) intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	s := string(b)
+	if len(in.m) < maxInternedTokens {
+		in.m[s] = s
+	}
+	return s
+}
+
+// AppendTokens tokenizes s like Tokenize and appends the tokens to dst,
+// returning the extended slice. With a non-nil Interner, ASCII tweets are
+// processed zero-copy: fields are normalized into the interner's byte
+// scratch and resolved to canonical strings, so a warm steady state
+// appends without heap allocation. Non-ASCII input falls back to the
+// allocating path (identical results either way).
+func (t *Tokenizer) AppendTokens(dst []string, s string, in *Interner) []string {
+	if in != nil && isASCII(s) {
+		return t.appendTokensASCII(dst, s, in)
+	}
 	fields := strings.Fields(s)
-	out := make([]string, 0, len(fields))
+	if dst == nil {
+		dst = make([]string, 0, len(fields))
+	}
 	for _, f := range fields {
 		tok, ok := t.normalize(f)
 		if !ok {
@@ -73,9 +123,131 @@ func (t *Tokenizer) Tokenize(s string) []string {
 		if t.opts.Stem {
 			tok = Stem(tok)
 		}
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
-	return out
+	return dst
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// asciiSpace mirrors unicode.IsSpace over the ASCII range (the only
+// bytes an all-ASCII string can contain).
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// appendTokensASCII is the zero-copy fast path: every step of normalize
+// replayed byte-wise on the interner's scratch buffer.
+func (t *Tokenizer) appendTokensASCII(dst []string, s string, in *Interner) []string {
+	n := len(s)
+	for i := 0; i < n; {
+		for i < n && asciiSpace(s[i]) {
+			i++
+		}
+		start := i
+		for i < n && !asciiSpace(s[i]) {
+			i++
+		}
+		if start == i {
+			break
+		}
+		b, ok := t.normalizeASCII(s[start:i], in)
+		if !ok {
+			continue
+		}
+		// MinTokenLen counts runes; ASCII bytes are runes.
+		if t.opts.MinTokenLen > 0 && len(b) < t.opts.MinTokenLen {
+			continue
+		}
+		if t.opts.RemoveStopwords {
+			if _, stop := stopwords[string(b)]; stop { // no-alloc lookup
+				continue
+			}
+		}
+		tok := in.intern(b)
+		if t.opts.Stem {
+			tok = Stem(tok)
+		}
+		dst = append(dst, tok)
+	}
+	return dst
+}
+
+// normalizeASCII is normalize over a lowercased copy of the field in the
+// interner's scratch buffer. The returned bytes alias that buffer and
+// are only valid until the next call.
+func (t *Tokenizer) normalizeASCII(f string, in *Interner) ([]byte, bool) {
+	b := in.scratch[:0]
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	in.scratch = b[:0]
+	if hasBytePrefix(b, "http://") || hasBytePrefix(b, "https://") || hasBytePrefix(b, "www.") {
+		return nil, false
+	}
+	if len(b) > 0 && b[0] == '#' {
+		if !t.opts.KeepHashtags {
+			return nil, false
+		}
+		b = b[1:]
+	} else if len(b) > 0 && b[0] == '@' {
+		if !t.opts.KeepMentions {
+			return nil, false
+		}
+		b = b[1:]
+	} else if len(b) == 2 && b[0] == 'r' && b[1] == 't' {
+		// Bare retweet marker.
+		return nil, false
+	}
+	lo, hi := 0, len(b)
+	for lo < hi && !asciiAlnum(b[lo]) {
+		lo++
+	}
+	for hi > lo && !asciiAlnum(b[hi-1]) {
+		hi--
+	}
+	b = b[lo:hi]
+	if len(b) == 0 {
+		return nil, false
+	}
+	hasLetter := false
+	for _, c := range b {
+		if 'a' <= c && c <= 'z' {
+			hasLetter = true
+			break
+		}
+	}
+	if !hasLetter && len(b) < 2 {
+		return nil, false
+	}
+	return b, true
+}
+
+func asciiAlnum(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('0' <= c && c <= '9')
+}
+
+func hasBytePrefix(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // normalize lowercases a raw whitespace-delimited field, strips URLs,

@@ -1,6 +1,9 @@
 package tgraph
 
 import (
+	"sort"
+
+	"triclust/internal/sparse"
 	"triclust/internal/text"
 )
 
@@ -17,20 +20,40 @@ type Snapshot struct {
 	Corpus *Corpus
 }
 
-// SnapshotBuilder builds snapshots with reusable scratch state (the
-// local-user index map and the compacted corpus buffers), so a long-lived
-// session that builds one snapshot per batch does not regrow them each
-// time. The zero value is ready to use; a builder is not safe for
-// concurrent use.
+// SnapshotBuilder builds snapshots with reusable scratch state: the
+// window slice, the local-user index map, the compacted corpus buffers
+// and — since the allocation-free ingest overhaul — the triplet builders
+// and CSR backing arrays of all four graph matrices. A long-lived session
+// that builds one snapshot per batch therefore reaches a steady state
+// where Build performs no heap allocation beyond the Active/TweetIdx
+// index slices that escape into the caller's results.
 //
-// Graph matrices are still freshly allocated per snapshot — they are
-// returned to the caller and have data-dependent sizes — but the builder
-// keeps the per-batch bookkeeping out of the steady-state profile.
+// Everything else the returned Snapshot points at — the Graph, its
+// matrices, and the Corpus — aliases the builder's internal buffers and
+// is only valid until the next Build call. Callers that need an owning
+// snapshot use BuildSnapshot (which dedicates a fresh builder per call).
+// A builder is not safe for concurrent use.
 type SnapshotBuilder struct {
 	local   map[int]int
 	users   []User
 	tweets  []Tweet
 	compact Corpus
+
+	// Window-slicing scratch.
+	tweetLocal map[int]int
+	userSeen   map[int]struct{}
+
+	// Graph-construction arena.
+	docs  [][]string
+	owner []int
+	fs    text.FeatureScratch
+	xp    *sparse.CSR
+	xu    *sparse.CSR
+	xr    *sparse.CSR
+	gu    *sparse.CSR
+	coo   sparse.COO
+	graph Graph
+	snap  Snapshot
 }
 
 // Build slices c to tweets with Time in [from, to) and builds its
@@ -38,16 +61,45 @@ type SnapshotBuilder struct {
 // are comparable across snapshots) and users renumbered to the active set.
 //
 // The returned Snapshot's Active and TweetIdx slices are freshly
-// allocated; the Corpus field aliases the builder's internal buffers and
-// is only valid until the next Build call.
+// allocated; the Snapshot itself, its Graph/matrices and its Corpus alias
+// the builder's internal buffers and are only valid until the next Build.
 func (b *SnapshotBuilder) Build(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
-	sub, tweetIdx := c.Slice(from, to)
-	active := sub.ActiveUsers()
-	if b.local == nil {
-		b.local = make(map[int]int, len(active))
+	// Window slice (Corpus.Slice with reusable buffers): select tweets,
+	// remap batch-local retweet targets, collect the active user set.
+	if b.tweetLocal == nil {
+		b.tweetLocal = make(map[int]int)
+		b.userSeen = make(map[int]struct{})
+		b.local = make(map[int]int)
 	} else {
+		clear(b.tweetLocal)
+		clear(b.userSeen)
 		clear(b.local)
 	}
+	tweetIdx := make([]int, 0, len(c.Tweets))
+	for i, tw := range c.Tweets {
+		if tw.Time >= from && tw.Time < to {
+			b.tweetLocal[i] = len(tweetIdx)
+			tweetIdx = append(tweetIdx, i)
+		}
+	}
+	b.tweets = b.tweets[:0]
+	for _, g := range tweetIdx {
+		tw := c.Tweets[g]
+		if tw.RetweetOf >= 0 {
+			if l, ok := b.tweetLocal[tw.RetweetOf]; ok {
+				tw.RetweetOf = l
+			} else {
+				tw.RetweetOf = -1 // original fell outside the window
+			}
+		}
+		b.userSeen[tw.User] = struct{}{}
+		b.tweets = append(b.tweets, tw)
+	}
+	active := make([]int, 0, len(b.userSeen))
+	for u := range b.userSeen {
+		active = append(active, u)
+	}
+	sort.Ints(active)
 	for i, g := range active {
 		b.local[g] = i
 	}
@@ -55,26 +107,75 @@ func (b *SnapshotBuilder) Build(c *Corpus, from, to int, vocab *text.Vocabulary,
 	// Re-home tweets onto local user indices in a compacted corpus copy
 	// backed by the builder's reusable buffers.
 	b.users = b.users[:0]
-	b.tweets = b.tweets[:0]
 	for _, g := range active {
 		b.users = append(b.users, c.Users[g])
 	}
-	for _, tw := range sub.Tweets {
-		tw.User = b.local[tw.User]
-		b.tweets = append(b.tweets, tw)
+	for i := range b.tweets {
+		b.tweets[i].User = b.local[b.tweets[i].User]
 	}
 	b.compact = Corpus{Users: b.users, Tweets: b.tweets}
 
-	g := Build(&b.compact, BuildOptions{Weighting: w, Vocab: vocab})
-	return &Snapshot{Graph: g, Active: active, TweetIdx: tweetIdx, Corpus: &b.compact}
+	b.buildGraphInto(vocab, w)
+	b.snap = Snapshot{Graph: &b.graph, Active: active, TweetIdx: tweetIdx, Corpus: &b.compact}
+	return &b.snap
+}
+
+// buildGraphInto is tgraph.Build over the builder's compacted corpus,
+// emitting every matrix into the builder's reusable CSR backing.
+func (b *SnapshotBuilder) buildGraphInto(vocab *text.Vocabulary, w text.Weighting) {
+	c := &b.compact
+	n, m := c.NumTweets(), c.NumUsers()
+
+	b.docs = b.docs[:0]
+	for i := range c.Tweets {
+		b.docs = append(b.docs, c.Tweets[i].Tokens)
+	}
+	b.xp = b.fs.DocFeatureMatrixInto(b.xp, b.docs, vocab, w)
+
+	b.owner = b.owner[:0]
+	for i := range c.Tweets {
+		b.owner = append(b.owner, c.Tweets[i].User)
+	}
+	b.xu = b.fs.UserFeatureMatrixInto(b.xu, b.xp, b.owner, m)
+
+	b.coo.Reset(m, n)
+	for i, tw := range c.Tweets {
+		b.coo.Add(tw.User, i, 1)
+		if tw.RetweetOf >= 0 {
+			b.coo.Add(tw.User, tw.RetweetOf, 1)
+		}
+	}
+	b.xr = b.coo.ToCSRInto(b.xr)
+	// A user either interacted with a tweet or did not: clamp the
+	// accumulated incidence counts (posted + retweeted sums to 2) to 1.
+	b.xr.FillValues(1)
+
+	b.coo.Reset(m, m)
+	for _, tw := range c.Tweets {
+		if tw.RetweetOf >= 0 {
+			orig := c.Tweets[tw.RetweetOf]
+			// The retweeting user connects to the original author in the
+			// user–user graph (both directions; the Laplacian regularizer
+			// treats Gu as undirected).
+			if orig.User != tw.User {
+				b.coo.Add(tw.User, orig.User, 1)
+				b.coo.Add(orig.User, tw.User, 1)
+			}
+		}
+	}
+	b.gu = b.coo.ToCSRInto(b.gu)
+
+	b.graph = Graph{Xp: b.xp, Xu: b.xu, Xr: b.xr, Gu: b.gu, Vocab: vocab}
 }
 
 // BuildSnapshot is the one-shot convenience over SnapshotBuilder.Build;
-// its Snapshot owns all of its memory.
+// its Snapshot owns all of its memory (the builder is dedicated to it and
+// never reused).
 func BuildSnapshot(c *Corpus, from, to int, vocab *text.Vocabulary, w text.Weighting) *Snapshot {
-	var b SnapshotBuilder
+	b := new(SnapshotBuilder)
 	s := b.Build(c, from, to, vocab, w)
-	// Detach from the transient builder so the snapshot outlives it.
+	// Detach the corpus from the transient builder so the snapshot
+	// outlives any accidental reuse.
 	s.Corpus = &Corpus{
 		Users:  append([]User(nil), b.users...),
 		Tweets: append([]Tweet(nil), b.tweets...),

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance-tracking benchmark suite and emit a
+# machine-readable BENCH_PR4.json artifact, so the perf trajectory across
+# PRs can be consumed from CI artifacts instead of hand-copied tables.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME         per-benchmark -benchtime for the library suite
+#                     (default 10x)
+#   DAEMON_BENCHTIME  -benchtime for the daemon persistence comparison
+#                     (default 500x: the 500-batch stream of the PR-4
+#                     acceptance criteria)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR4.json}
+BENCHTIME=${BENCHTIME:-10x}
+DAEMON_BENCHTIME=${DAEMON_BENCHTIME:-500x}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+LIB_BENCHES='BenchmarkProcessWarm|BenchmarkOnlineStep|BenchmarkOfflineFit|BenchmarkTable4TweetComparison|BenchmarkTable5UserComparison|BenchmarkTokenizePipeline|BenchmarkGraphBuild'
+
+go test -run xxx -bench "$LIB_BENCHES" -benchtime "$BENCHTIME" -benchmem . | tee -a "$RAW"
+go test -run xxx -bench BenchmarkDaemonBatchPersist -benchtime "$DAEMON_BENCHTIME" -benchmem ./cmd/triclustd/ | tee -a "$RAW"
+
+awk -v out="$OUT" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    rec = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "")     rec = rec sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "")  rec = rec sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") rec = rec sprintf(", \"allocs_per_op\": %s", allocs)
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    printf "[\n" > out
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "") >> out
+    printf "]\n" >> out
+}
+' "$RAW"
+
+echo "wrote $OUT ($(wc -c < "$OUT") bytes)"

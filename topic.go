@@ -307,6 +307,15 @@ func (t *Topic) UserEstimate(user int) (Sentiment, bool) {
 	return t.sess.UserEstimate(user)
 }
 
+// StreamPos returns the topic's replay fingerprint: the non-empty batch
+// count and the solver's position in its replayable random stream. Two
+// topics that processed the same batches report the same position, so a
+// batch journal records it to verify that crash-recovery replay
+// reproduced the original run exactly.
+func (t *Topic) StreamPos() (batches int, randDraws uint64) {
+	return t.sess.Progress()
+}
+
 // Snapshot serializes the topic's complete state — configuration,
 // lexicon, vocabulary, Sf0 prior, solver factors and history, user
 // history and random-stream position — as a self-describing, versioned
