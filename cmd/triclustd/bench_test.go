@@ -21,7 +21,7 @@ const (
 // vocabulary and one wide batch giving every user recorded history.
 func benchDaemon(b *testing.B, opts journalOptions) (*httptest.Server, *int) {
 	b.Helper()
-	s, err := newServer(b.TempDir(), opts, nil)
+	s, err := newServer(b.TempDir(), serverOptions{journal: opts}, nil)
 	if err != nil {
 		b.Fatalf("newServer: %v", err)
 	}

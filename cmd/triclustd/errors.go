@@ -24,6 +24,14 @@ const (
 	codeInvalidSnapshot = "invalid_snapshot"  // corrupt / truncated snapshot body
 	codeSnapshotVersion = "unsupported_snapshot_version"
 	codeStorage         = "storage_error" // -data-dir persistence failed
+	codeBodyTooLarge    = "body_too_large" // request body exceeds -max-body-bytes
+
+	// Cluster-mode codes.
+	codeNotClustered     = "not_clustered"     // cluster endpoint without -peers/-self
+	codeUnknownPeer      = "unknown_peer"      // move target not in the ring
+	codeMoveFailed       = "move_failed"       // hand-off installation failed (see message for fence state)
+	codeEpochMismatch    = "epoch_mismatch"    // snapshot's ownership epoch fenced by a tombstone
+	codeShardUnreachable = "shard_unreachable" // proxying to the owning shard failed / routing loop
 )
 
 // errorBody is the wire shape of every error response:
@@ -50,6 +58,18 @@ func snapshotErrorCode(err error) string {
 	default:
 		return codeInvalidSnapshot
 	}
+}
+
+// requestErrorStatus maps a request-body read/decode failure onto a
+// status and stable code: a body that tripped the -max-body-bytes bound
+// is 413 body_too_large (the client should split the batch, not re-send),
+// anything else is a plain 400.
+func requestErrorStatus(err error) (int, string) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge, codeBodyTooLarge
+	}
+	return http.StatusBadRequest, codeInvalidRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -51,6 +51,27 @@
 // vocab warm-up with "freeze":true fixed it earlier; batch times must
 // strictly increase per topic; an empty batch is a recorded no-op. Batch
 // results are independent of tweet ordering within a batch.
+//
+// # Cluster mode
+//
+// With -peers and -self set, the daemon serves one shard of a
+// consistent-hash cluster: every shard builds the same ring from the
+// static peer list (-vnodes virtual nodes per peer), so topic placement
+// is deterministic with no coordination traffic. A topic request
+// arriving at the wrong shard is answered 307 with a Location on the
+// owning shard and an X-Triclust-Shard header (or transparently proxied
+// with -cluster-proxy). Additional endpoints:
+//
+//	GET  /v1/healthz        readiness: topic count, startup-quarantine count, cluster view
+//	GET  /v1/cluster/info   ring membership; ?topic=t resolves t's placement
+//	POST /v1/cluster/move   operator rebalance: {"topic":"t","target":"http://shard-b:8547"}
+//
+// A move drains the topic (in-flight batch finishes, new ones block),
+// compacts its journal into a final snapshot, bumps the topic's
+// ownership epoch, installs the snapshot on the target over the restore
+// endpoint, and drops the local copy, leaving a persisted tombstone
+// (<topic>.moved) that refuses the topic's writes at stale epochs and
+// redirects clients — across restarts — to the new owner.
 package main
 
 import (
@@ -76,6 +97,16 @@ func main() {
 		"rewrite a topic's full snapshot every N batches, journaling the batches in between (1: snapshot every batch)")
 	journalMaxBytes := flag.Int64("journal-max-bytes", 8<<20,
 		"also compact a topic's journal into a snapshot when it exceeds this size")
+	maxBody := flag.Int64("max-body-bytes", 0,
+		"reject request bodies larger than this with 413 body_too_large (0: 256 MiB default)")
+	peers := flag.String("peers", "",
+		"comma-separated base URLs of every cluster shard (empty: single-process mode)")
+	self := flag.String("self", "",
+		"this shard's base URL; must be listed in -peers")
+	vnodes := flag.Int("vnodes", 0,
+		"virtual nodes per shard on the consistent-hash ring (0: default)")
+	clusterProxy := flag.Bool("cluster-proxy", false,
+		"proxy mis-routed topic requests to the owning shard instead of 307-redirecting")
 	drain := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	par.SetProcs(*procs)
@@ -83,7 +114,19 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "triclustd: "+format+"\n", args...)
 	}
-	handler, err := newServer(*dataDir, journalOptions{Every: *journalEvery, MaxBytes: *journalMaxBytes}, logf)
+	opts := serverOptions{
+		journal: journalOptions{Every: *journalEvery, MaxBytes: *journalMaxBytes},
+		maxBody: *maxBody,
+	}
+	if *peers != "" || *self != "" {
+		cc, err := newClusterConfig(*self, *peers, *vnodes, *clusterProxy)
+		if err != nil {
+			logf("startup: %v", err)
+			os.Exit(1)
+		}
+		opts.cluster = cc
+	}
+	handler, err := newServer(*dataDir, opts, logf)
 	if err != nil {
 		logf("startup: %v", err)
 		os.Exit(1)
@@ -107,6 +150,10 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("triclustd listening on %s (kernel procs=%d, data-dir=%q)\n",
 		*addr, par.Procs(), *dataDir)
+	if cc := opts.cluster; cc != nil {
+		logf("cluster mode: self=%s peers=%v vnodes=%d proxy=%v",
+			cc.self, cc.ring.Peers(), cc.ring.VirtualNodes(), cc.proxy)
+	}
 
 	select {
 	case err := <-errCh:

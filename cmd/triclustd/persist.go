@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync/atomic"
 
 	"triclust"
 	"triclust/internal/codec"
@@ -42,6 +43,15 @@ type journalOptions struct {
 type store struct {
 	dir  string
 	opts journalOptions
+	// quarantined counts the files the loader refused to serve —
+	// quarantined snapshots/journals plus unreadable or unrecognized
+	// strays. Mostly written by the startup scan, but a cluster move
+	// retry can quarantine a journal at request time (resumeMove →
+	// recoverJournal) while GET /v1/healthz reads the counter, hence
+	// atomic. Exposing it means a restarted shard's operator (or the
+	// cluster harness awaiting readiness) sees quarantine instead of
+	// having to list the directory.
+	quarantined atomic.Int64
 }
 
 func newStore(dir string, opts journalOptions) (*store, error) {
@@ -131,8 +141,10 @@ func quarantineName(dir, base, suffix string) string {
 }
 
 // quarantine renames a file aside under the first free base.<suffix>
-// name, reporting what happened through warn.
+// name, reporting what happened through warn and counting the file as
+// quarantined either way (renamed or merely skipped, it is not served).
 func (st *store) quarantine(name, suffix string, warn func(format string, args ...any), cause error) {
+	st.quarantined.Add(1)
 	q := quarantineName(st.dir, name, suffix)
 	if q == "" {
 		warn("skipping %s: %v (no free quarantine name)", name, cause)
@@ -151,6 +163,21 @@ func (st *store) remove(name string) {
 		_ = os.Remove(st.path(name))
 		_ = os.Remove(st.journalPath(name))
 	}
+}
+
+// snapExists reports whether a topic's snapshot file is on disk (used to
+// detect interrupted hand-offs: tombstone + snapshot = pending move).
+func (st *store) snapExists(name string) bool {
+	if st == nil {
+		return false
+	}
+	_, err := os.Stat(st.path(name))
+	return err == nil
+}
+
+// readSnap returns a topic's on-disk snapshot bytes.
+func (st *store) readSnap(name string) ([]byte, error) {
+	return os.ReadFile(st.path(name))
 }
 
 // restoredTopic is one topic recovered at startup: the live topic plus
@@ -184,11 +211,13 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*res
 		}
 		name := strings.TrimSuffix(e.Name(), ".snap")
 		if err := validTopicName(name); err != nil {
+			st.quarantined.Add(1)
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
 		if err != nil {
+			st.quarantined.Add(1)
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
@@ -207,6 +236,7 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*res
 				st.quarantine(e.Name(), "unsupported-version", warn, err)
 				continue
 			}
+			st.quarantined.Add(1)
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"triclust"
+	"triclust/internal/cluster"
 	"triclust/internal/journal"
 )
 
@@ -24,9 +25,22 @@ import (
 type server struct {
 	mu     sync.RWMutex
 	topics map[string]*topic
-	store  *store // nil: in-memory only
-	logf   func(format string, args ...any)
-	mux    *http.ServeMux
+	// moved records topics this shard handed off to another shard
+	// (tombstones): the ownership epoch they left at and where they went.
+	// Guarded by mu, persisted as <topic>.moved markers when a data
+	// directory is configured. A name is never in both topics and moved
+	// visibility-wise: while a hand-off is in flight the registry entry
+	// wins (lookups serve it until the move commits).
+	moved map[string]cluster.Tombstone
+	store *store // nil: in-memory only
+	logf  func(format string, args ...any)
+	mux   *http.ServeMux
+	// cluster is non-nil when the daemon runs as one shard of a
+	// consistent-hash cluster (see cluster.go); nil preserves the exact
+	// single-process behavior.
+	cluster *clusterConfig
+	// maxBody bounds every request body; 0 selects defaultMaxBody.
+	maxBody int64
 
 	// nameLocks serializes snapshot-file saves and removes per topic
 	// name. Neither the registry lock nor a per-topic mutex can play this
@@ -62,28 +76,65 @@ type topic struct {
 	saved bool
 }
 
+// serverOptions bundle the daemon's tunables beyond the data directory:
+// journaling cadence, the request-body bound, and — when the daemon runs
+// as one shard of a cluster — the placement configuration.
+type serverOptions struct {
+	journal journalOptions
+	// maxBody bounds every request body in bytes (0: defaultMaxBody).
+	maxBody int64
+	// cluster enables sharded routing; nil runs single-process.
+	cluster *clusterConfig
+}
+
 // newServer builds the registry, restoring every snapshot found under
 // dataDir (empty dataDir disables persistence) and replaying each
 // topic's journal tail. Topics whose in-memory state ran ahead of their
 // snapshot (replayed records) are compacted immediately, so a restart
-// never begins with a growing recovery debt.
-func newServer(dataDir string, opts journalOptions, logf func(format string, args ...any)) (*server, error) {
+// never begins with a growing recovery debt. Hand-off tombstones are
+// reloaded alongside the snapshots; a topic with both a snapshot and a
+// tombstone was caught mid-move and is held back from serving until the
+// move is retried (see resumeMove).
+func newServer(dataDir string, opts serverOptions, logf func(format string, args ...any)) (*server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	st, err := newStore(dataDir, opts)
+	st, err := newStore(dataDir, opts.journal)
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
 		topics:    make(map[string]*topic),
+		moved:     make(map[string]cluster.Tombstone),
 		store:     st,
 		logf:      logf,
+		cluster:   opts.cluster,
+		maxBody:   opts.maxBody,
 		nameLocks: make(map[string]*nameLock),
 	}
 	restored, err := st.loadAll(logf)
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		tombs, err := cluster.LoadTombstones(st.dir, func(format string, args ...any) {
+			st.quarantined.Add(1)
+			logf(format, args...)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for name, ts := range tombs {
+			s.moved[name] = ts
+			if _, pending := restored[name]; pending {
+				// The daemon crashed between writing the hand-off intent
+				// and deleting the topic's files: the tombstone fences
+				// writes, the snapshot stays for a move retry.
+				delete(restored, name)
+				s.logf("topic %q has an interrupted hand-off to %s (epoch %d); refusing writes until the move is retried",
+					name, ts.Target, ts.Epoch)
+			}
+		}
 	}
 	for name, rt := range restored {
 		tp := &topic{name: name, created: time.Now().UTC(), tp: rt.tp, saved: true}
@@ -108,6 +159,7 @@ func newServer(dataDir string, opts journalOptions, logf func(format string, arg
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("POST /v1/topics", s.createTopic)
 	mux.HandleFunc("GET /v1/topics", s.listTopics)
 	mux.HandleFunc("GET /v1/topics/{topic}", s.topicInfo)
@@ -118,20 +170,72 @@ func newServer(dataDir string, opts journalOptions, logf func(format string, arg
 	mux.HandleFunc("GET /v1/topics/{topic}/users/{user}", s.userEstimate)
 	mux.HandleFunc("GET /v1/topics/{topic}/snapshot", s.exportSnapshot)
 	mux.HandleFunc("GET /v1/topics/{topic}/features", s.featureSentiments)
+	mux.HandleFunc("POST /v1/cluster/move", s.moveTopic)
+	mux.HandleFunc("GET /v1/cluster/info", s.clusterInfo)
 	s.mux = mux
 	return s, nil
 }
 
-// maxRequestBody bounds every request body (JSON and snapshot uploads)
-// so a hostile client cannot make the daemon buffer gigabytes.
-const maxRequestBody = 256 << 20
+// defaultMaxBody bounds every request body (JSON and snapshot uploads)
+// when -max-body-bytes is not set, so a hostile client cannot make the
+// daemon buffer gigabytes.
+const defaultMaxBody = 256 << 20
+
+func (s *server) maxBodyBytes() int64 {
+	if s.maxBody > 0 {
+		return s.maxBody
+	}
+	return defaultMaxBody
+}
 
 // ServeHTTP routes the versioned API.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes())
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// healthResponse is the body of GET /v1/healthz: liveness plus the
+// numbers an operator (or the cluster test harness) needs to decide a
+// shard is ready — how many topics it serves and how many data-dir files
+// startup had to quarantine or skip instead of loading.
+type healthResponse struct {
+	Status string `json:"status"`
+	Topics int    `json:"topics"`
+	// Quarantined counts startup files that could not be served:
+	// quarantined snapshots/journals plus unreadable strays. Non-zero
+	// means an operator should inspect the data directory; before this
+	// counter existed, quarantine was silent unless you listed the files.
+	Quarantined int            `json:"quarantined"`
+	Cluster     *clusterHealth `json:"cluster,omitempty"`
+}
+
+type clusterHealth struct {
+	Self        string   `json:"self"`
+	Peers       []string `json:"peers"`
+	Vnodes      int      `json:"vnodes"`
+	MovedTopics int      `json:"moved_topics"`
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	topics := len(s.topics)
+	movedTopics := len(s.moved)
+	s.mu.RUnlock()
+	resp := healthResponse{Status: "ok", Topics: topics}
+	if s.store != nil {
+		resp.Quarantined = int(s.store.quarantined.Load())
+	}
+	if c := s.cluster; c != nil {
+		resp.Cluster = &clusterHealth{
+			Self:        c.self,
+			Peers:       c.ring.Peers(),
+			Vnodes:      c.ring.VirtualNodes(),
+			MovedTopics: movedTopics,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ——— wire types ———
@@ -251,14 +355,38 @@ type featuresResponse struct {
 
 // ——— handlers ———
 
+// readBody buffers a request body (already bounded by -max-body-bytes in
+// ServeHTTP) so handlers can decode it and still forward it intact to
+// another shard. On failure the error response — 413 for an oversized
+// body, 400 otherwise — is written and ok is false.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		status, code := requestErrorStatus(err)
+		writeError(w, status, code, fmt.Errorf("read body: %w", err))
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
 func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
+	// The topic name lives in the body, so routing needs the body decoded
+	// first; it is buffered so a mis-routed create can be proxied onward
+	// intact.
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req createTopicRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
 	if err := validTopicName(req.Name); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidName, err)
+		return
+	}
+	if !s.routeTopic(w, r, req.Name, body) {
 		return
 	}
 	if len(req.Users) == 0 {
@@ -278,7 +406,7 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tp := &topic{name: req.Name, created: time.Now().UTC(), tp: tr}
-	if !s.register(w, tp) {
+	if !s.register(w, tp, 0) {
 		return
 	}
 	if !s.persistNew(w, tp) {
@@ -289,20 +417,34 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 
 // restoreTopic implements PUT /v1/topics/{topic}: the request body is a
 // binary snapshot (from GET …/snapshot or triclust.Topic.Snapshot); the
-// topic resumes exactly where the snapshot was taken.
+// topic resumes exactly where the snapshot was taken. In cluster mode the
+// same endpoint is the hand-off installation path: a move's PUT carries
+// the handoff header, which pins the topic to this shard regardless of
+// ring placement. Either way the snapshot's ownership epoch must beat any
+// tombstone this shard holds for the name.
 func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("topic")
 	if err := validTopicName(name); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidName, err)
 		return
 	}
-	tr, err := triclust.Restore(r.Body)
+	// The body is buffered (bounded by -max-body-bytes) so an oversized
+	// upload maps to 413 instead of a generic snapshot-corruption error,
+	// and so a mis-routed restore can be proxied onward.
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if !s.routeTopic(w, r, name, body) {
+		return
+	}
+	tr, err := triclust.Restore(bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, snapshotErrorCode(err), err)
 		return
 	}
 	tp := &topic{name: name, created: time.Now().UTC(), tp: tr}
-	if !s.register(w, tp) {
+	if !s.register(w, tp, tr.Epoch()) {
 		return
 	}
 	if !s.persistNew(w, tp) {
@@ -370,20 +512,25 @@ func (s *server) saveIfCurrent(tp *topic) (bool, error) {
 }
 
 // rotateJournal starts a fresh journal extending the snapshot just
-// written. On failure the daemon degrades to snapshot-on-every-batch for
-// this topic (jw stays nil) instead of serving without durability.
+// written. An open journal rotates in place on its own descriptor (the
+// hand-off/compaction hook, journal.Writer.Rotate); otherwise a new file
+// is created. On failure the daemon degrades to snapshot-on-every-batch
+// for this topic (jw stays nil) instead of serving without durability.
 // Called with tp.mu and the per-name lock held.
 func (s *server) rotateJournal(tp *topic, snapCRC uint32) {
 	if !s.store.journaling() {
 		return
 	}
-	if tp.jw != nil {
-		if err := tp.jw.Close(); err != nil {
-			s.logf("journal close %q: %v", tp.name, err)
-		}
-		tp.jw = nil
-	}
 	tp.jRecords = 0
+	if tp.jw != nil {
+		if err := tp.jw.Rotate(snapCRC); err == nil {
+			return
+		} else {
+			s.logf("journal rotate %q: %v (recreating)", tp.name, err)
+			tp.jw.Close()
+			tp.jw = nil
+		}
+	}
 	jw, err := journal.Create(s.store.journalPath(tp.name), snapCRC)
 	if err != nil {
 		s.logf("journal create %q: %v (falling back to snapshot-per-batch)", tp.name, err)
@@ -453,9 +600,21 @@ func (s *server) persistNew(w http.ResponseWriter, tp *topic) bool {
 }
 
 // register installs a topic in the registry, failing with 409 if the
-// name is taken.
-func (s *server) register(w http.ResponseWriter, tp *topic) bool {
+// name is taken or if a hand-off tombstone fences the topic's epoch.
+// epoch is the ownership epoch the topic arrives with (0 for a fresh
+// create): a shard that handed the topic away at epoch E accepts it back
+// only at a strictly greater epoch, so a stale pre-move snapshot can
+// never resurrect forked state. Registering at a valid epoch clears the
+// tombstone — the topic legitimately lives here again.
+func (s *server) register(w http.ResponseWriter, tp *topic, epoch uint64) bool {
 	s.mu.Lock()
+	if mv, ok := s.moved[tp.name]; ok && epoch <= mv.Epoch {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, codeEpochMismatch,
+			fmt.Errorf("topic %q was handed off to %s at epoch %d; refusing state at epoch %d",
+				tp.name, mv.Target, mv.Epoch, epoch))
+		return false
+	}
 	if _, exists := s.topics[tp.name]; exists {
 		s.mu.Unlock()
 		writeError(w, http.StatusConflict, codeTopicExists,
@@ -463,12 +622,28 @@ func (s *server) register(w http.ResponseWriter, tp *topic) bool {
 		return false
 	}
 	s.topics[tp.name] = tp
+	_, wasMoved := s.moved[tp.name]
+	delete(s.moved, tp.name)
 	s.mu.Unlock()
+	if wasMoved && s.store != nil {
+		l := s.lockName(tp.name)
+		if err := cluster.RemoveTombstone(s.store.dir, tp.name); err != nil {
+			s.logf("remove tombstone %q: %v", tp.name, err)
+		}
+		s.unlockName(tp.name, l)
+	}
 	return true
 }
 
+// lookup resolves the request's topic, routing it to the owning shard
+// first in cluster mode: a request for a topic this shard neither holds
+// nor owns is redirected (or proxied) and lookup returns nil with the
+// response already written.
 func (s *server) lookup(w http.ResponseWriter, r *http.Request) *topic {
 	name := r.PathValue("topic")
+	if !s.routeTopic(w, r, name, nil) {
+		return nil
+	}
 	s.mu.RLock()
 	tp := s.topics[name]
 	s.mu.RUnlock()
@@ -500,6 +675,9 @@ func (s *server) topicInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("topic")
+	if !s.routeTopic(w, r, name, nil) {
+		return
+	}
 	s.mu.Lock()
 	tp, ok := s.topics[name]
 	delete(s.topics, name)
@@ -572,7 +750,8 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 	defer batchPool.Put(sc)
 	sc.reset()
 	if _, err := sc.body.ReadFrom(r.Body); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("read body: %w", err))
+		status, code := requestErrorStatus(err)
+		writeError(w, status, code, fmt.Errorf("read body: %w", err))
 		return
 	}
 	if err := json.Unmarshal(sc.body.Bytes(), &sc.req); err != nil {
@@ -600,6 +779,19 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 
 	out, status, code, err := s.runBatch(tp, req.Time, sc.tweets)
 	if err != nil {
+		// A batch can lose the race against a hand-off: lookup succeeded,
+		// then the move committed while the batch waited on the topic
+		// lock. The topic is not gone — it lives on another shard now —
+		// so forward the client instead of reporting 404.
+		if code == codeTopicNotFound && s.cluster != nil {
+			s.mu.RLock()
+			mv, movedOK := s.moved[tp.name]
+			s.mu.RUnlock()
+			if movedOK {
+				s.forward(w, r, mv.Target, sc.body.Bytes())
+				return
+			}
+		}
 		writeError(w, status, code, err)
 		return
 	}
@@ -684,7 +876,8 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 	}
 	var req vocabRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
+		status, code := requestErrorStatus(err)
+		writeError(w, status, code, fmt.Errorf("decode: %w", err))
 		return
 	}
 	tp.mu.Lock()

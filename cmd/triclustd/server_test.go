@@ -25,7 +25,7 @@ func testServer(t *testing.T, dataDir string) (*server, *httptest.Server) {
 
 func testServerOpts(t *testing.T, dataDir string, opts journalOptions) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(dataDir, opts, t.Logf)
+	s, err := newServer(dataDir, serverOptions{journal: opts}, t.Logf)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
@@ -636,5 +636,133 @@ func TestQuarantineDoesNotClobberEarlierCopy(t *testing.T) {
 	}
 	if kept, err := os.ReadFile(filepath.Join(dir, "prop37.snap.unsupported-version.1")); err != nil || !bytes.Equal(kept, legacy) {
 		t.Fatalf("second quarantine copy wrong: %v", err)
+	}
+}
+
+// TestMaxBodyBytes covers the -max-body-bytes limit on every body-bearing
+// endpoint: oversized requests die with 413 body_too_large (a stable code
+// the client can branch on: split the batch, don't blindly re-send), and
+// requests under the limit are unaffected.
+func TestMaxBodyBytes(t *testing.T) {
+	s, err := newServer("", serverOptions{maxBody: 4096}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	client := srv.Client()
+
+	_, req := synthTopic(t, 31)
+	if code, err := doJSON(client, "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("small create: %d %v", code, err)
+	}
+
+	// An oversized batch.
+	big := batchRequest{Time: 1}
+	for i := 0; i < 400; i++ {
+		big.Tweets = append(big.Tweets, tweetSpec{Text: "padding padding padding padding", User: 0})
+	}
+	code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics/"+req.Name+"/batches", big)
+	if code != http.StatusRequestEntityTooLarge || ec != codeBodyTooLarge {
+		t.Fatalf("oversized batch: %d %q, want 413 %q", code, ec, codeBodyTooLarge)
+	}
+
+	// An oversized create.
+	bigCreate := req
+	bigCreate.Name = "big"
+	for i := 0; i < 2000; i++ {
+		bigCreate.Users = append(bigCreate.Users, fmt.Sprintf("filler-user-%06d", i))
+	}
+	code, ec = errCode(t, client, "POST", srv.URL+"/v1/topics", bigCreate)
+	if code != http.StatusRequestEntityTooLarge || ec != codeBodyTooLarge {
+		t.Fatalf("oversized create: %d %q", code, ec)
+	}
+
+	// An oversized snapshot PUT (binary path, not JSON).
+	hreq, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/topics/restored", bytes.NewReader(make([]byte, 64<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || eb.Error.Code != codeBodyTooLarge {
+		t.Fatalf("oversized snapshot: %d %q", resp.StatusCode, eb.Error.Code)
+	}
+
+	// An oversized vocab warm-up.
+	var texts []string
+	for i := 0; i < 300; i++ {
+		texts = append(texts, "sufficiently long warmup text to overflow the configured limit")
+	}
+	code, ec = errCode(t, client, "POST", srv.URL+"/v1/topics/"+req.Name+"/vocab", vocabRequest{Texts: texts})
+	if code != http.StatusRequestEntityTooLarge || ec != codeBodyTooLarge {
+		t.Fatalf("oversized vocab: %d %q", code, ec)
+	}
+
+	// The topic is untouched by all the rejected bodies.
+	var sum topicSummary
+	if code, err := doJSON(client, "GET", srv.URL+"/v1/topics/"+req.Name, nil, &sum); err != nil || code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, err)
+	}
+	if sum.Batches != 0 {
+		t.Fatalf("rejected bodies changed state: %+v", sum)
+	}
+}
+
+// TestHealthzQuarantineCount: startup quarantine used to be visible only
+// by listing the data directory; now GET /v1/healthz reports how many
+// files the loader refused to serve, alongside the topic count.
+func TestHealthzQuarantineCount(t *testing.T) {
+	dir := t.TempDir()
+
+	// One healthy topic, persisted by a first daemon instance.
+	{
+		s, err := newServer(dir, serverOptions{journal: journalOptions{Every: 1}}, t.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(s)
+		_, req := synthTopic(t, 77)
+		if code, err := doJSON(srv.Client(), "POST", srv.URL+"/v1/topics", req, nil); err != nil || code != http.StatusCreated {
+			t.Fatalf("create: %d %v", code, err)
+		}
+		srv.Close()
+	}
+	// Two poisoned files beside it: an undecodable snapshot and an
+	// undecodable journal for a topic whose snapshot is healthy.
+	if err := os.WriteFile(filepath.Join(dir, "garbage.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "topic-77.journal"), []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := newServer(dir, serverOptions{journal: journalOptions{Every: 4}}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var hr healthResponse
+	code, err := doJSON(srv.Client(), "GET", srv.URL+"/v1/healthz", nil, &hr)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("healthz: %d %v", code, err)
+	}
+	if hr.Status != "ok" || hr.Topics != 1 {
+		t.Fatalf("healthz %+v, want ok with 1 topic", hr)
+	}
+	if hr.Quarantined != 2 {
+		t.Fatalf("quarantined %d, want 2 (bad snapshot + bad journal)", hr.Quarantined)
+	}
+	if hr.Cluster != nil {
+		t.Fatalf("single-process healthz advertises a cluster: %+v", hr.Cluster)
 	}
 }

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# examples/cluster/run.sh — a 3-shard triclustd cluster on one machine:
+# boot, create topics through the ring, watch a mis-routed request get
+# redirected, move a topic between shards, verify the epoch fence, and
+# kill/restart a shard to show recovery.
+#
+# Usage:  examples/cluster/run.sh [base-port]
+#
+# Requires: go, curl. jq is used when present, plain cat otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PORT=${1:-8547}
+A="http://127.0.0.1:$PORT"
+B="http://127.0.0.1:$((PORT + 1))"
+C="http://127.0.0.1:$((PORT + 2))"
+PEERS="$A,$B,$C"
+
+WORK=$(mktemp -d)
+BIN="$WORK/triclustd"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+pretty() { if command -v jq >/dev/null; then jq .; else cat; echo; fi; }
+
+echo "==> building triclustd"
+go build -o "$BIN" ./cmd/triclustd
+
+start_shard() { # $1 = name, $2 = url
+  local name=$1 url=$2
+  mkdir -p "$WORK/$name"
+  "$BIN" -addr "${url#http://}" -data-dir "$WORK/$name" \
+    -self "$url" -peers "$PEERS" -journal-every 8 \
+    >"$WORK/$name.log" 2>&1 &
+  PIDS+=($!)
+}
+
+await() { # $1 = url
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/v1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "shard $1 never became healthy; log:" >&2
+  cat "$WORK"/*.log >&2
+  return 1
+}
+
+echo "==> starting 3 shards ($A, $B, $C)"
+start_shard a "$A"; start_shard b "$B"; start_shard c "$C"
+await "$A"; await "$B"; await "$C"
+
+echo
+echo "==> creating topics through shard A; the ring routes each to its owner"
+for t in prop30 prop37 election2012 obama romney; do
+  # -L follows the 307 to the owning shard, re-sending the body (HTTP/1.1
+  # 307 semantics); clients need zero ring awareness.
+  curl -fsSL -X POST "$A/v1/topics" -d '{
+    "name": "'"$t"'",
+    "users": ["ann", "bob", "cyn", "dan"],
+    "options": {"max_iter": 10, "seed": 7, "min_df": 1}
+  }' >/dev/null
+  owner=$(curl -fsS "$A/v1/cluster/info?topic=$t" | sed -n 's/.*"owner":"\([^"]*\)".*/\1/p')
+  echo "    $t -> $owner"
+done
+
+echo
+echo "==> feeding prop37 three batches (again via shard A, routed)"
+for day in 1 2 3; do
+  curl -fsSL -X POST "$A/v1/topics/prop37/batches" -d '{
+    "time": '"$day"',
+    "tweets": [
+      {"text": "love the win on prop37", "user": 0},
+      {"text": "prop37 is an awful scam", "user": 1},
+      {"text": "no on 37, bad law",       "user": 2}
+    ]}' >/dev/null
+done
+echo "    summary:"; curl -fsSL "$A/v1/topics/prop37" | pretty
+
+OWNER=$(curl -fsS "$A/v1/cluster/info?topic=prop37" | sed -n 's/.*"owner":"\([^"]*\)".*/\1/p')
+TARGET=""
+for p in "$A" "$B" "$C"; do
+  if [ "$p" != "$OWNER" ]; then TARGET=$p; break; fi
+done
+echo
+echo "==> prop37 lives on $OWNER; a mis-routed request elsewhere answers 307 + X-Triclust-Shard:"
+WRONG=$TARGET
+curl -sS -o /dev/null -D - "$WRONG/v1/topics/prop37" | grep -iE '^(HTTP|location|x-triclust-shard)' || true
+
+echo
+echo "==> moving prop37 to $TARGET (drain -> compact -> fence -> install -> drop)"
+curl -fsSL -X POST "$A/v1/cluster/move" \
+  -d '{"topic": "prop37", "target": "'"$TARGET"'"}' | pretty
+
+echo "==> the old owner now redirects prop37 (persisted tombstone):"
+curl -fsS "$OWNER/v1/cluster/info?topic=prop37" | pretty
+
+echo
+echo "==> epoch fence: installing a stale snapshot on a shard that handed the topic on is refused"
+curl -fsSL "$TARGET/v1/topics/prop37/snapshot" -o "$WORK/prop37.snap"
+echo "    (snapshot exported from $TARGET at epoch 1)"
+echo "    moving it back to $OWNER bumps to epoch 2:"
+curl -fsSL -X POST "$TARGET/v1/cluster/move" \
+  -d '{"topic": "prop37", "target": "'"$OWNER"'"}' | pretty
+echo "    re-installing the now-stale epoch-1 snapshot on $TARGET fails:"
+# The hand-off header addresses the fencing shard itself (a plain PUT
+# would just be redirected onward to the current owner).
+curl -sS -X PUT -H "X-Triclust-Handoff: 1" \
+  "$TARGET/v1/topics/prop37" --data-binary @"$WORK/prop37.snap" | pretty
+
+echo
+echo "==> kill shard B and restart it from its data directory"
+kill "${PIDS[1]}"; wait "${PIDS[1]}" 2>/dev/null || true
+start_shard b "$B"
+await "$B"
+echo "    B is back:"; curl -fsS "$B/v1/healthz" | pretty
+
+echo
+echo "==> stream continues on the moved topic (back on $OWNER) after all of that"
+curl -fsSL -X POST "$A/v1/topics/prop37/batches" -d '{
+  "time": 4,
+  "tweets": [{"text": "prop37 still winning", "user": 3}]}' | pretty
+
+echo
+echo "done."

@@ -76,7 +76,10 @@ var (
 	ErrCorrupt = errors.New("codec: corrupt snapshot")
 )
 
-// Section tags of the snapshot format (unchanged since version 1).
+// Section tags of the snapshot format. Tags 1–7 are unchanged since
+// version 1; tagEpoch was added within version 2 as an optional section
+// (absent = epoch 0), which older version-2 readers skip by the
+// unknown-tag rule.
 const (
 	tagEnd     = 0
 	tagConfig  = 1
@@ -86,6 +89,7 @@ const (
 	tagCounter = 5
 	tagOnline  = 6
 	tagFactors = 7
+	tagEpoch   = 8
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -128,6 +132,13 @@ func Encode(w io.Writer, st *engine.State) error {
 	enc.section(tagOnline, func(e *encoder) { e.online(st.Online) })
 	if st.LastFactors != nil {
 		enc.section(tagFactors, func(e *encoder) { e.factors(st.LastFactors) })
+	}
+	// The ownership epoch is written only when set, so snapshots of
+	// never-moved topics stay byte-identical to pre-cluster builds (and to
+	// the golden fixture). Determinism holds either way: equal states make
+	// equal include-or-omit decisions.
+	if st.Epoch != 0 {
+		enc.section(tagEpoch, func(e *encoder) { e.uint(st.Epoch) })
 	}
 	enc.byte(tagEnd)
 	if enc.err != nil {
@@ -222,6 +233,8 @@ func Decode(r io.Reader) (*engine.State, error) {
 			st.Online = sd.online()
 		case tagFactors:
 			st.LastFactors = sd.factors()
+		case tagEpoch:
+			st.Epoch = sd.uint()
 		default:
 			// Unknown section from a newer minor revision: skip.
 			continue

@@ -64,6 +64,7 @@ func fullState() *engine.State {
 			Hp: denseOf(3, 3, 1, 0, 0, 0, 1, 0, 0, 0, 1),
 			Hu: denseOf(3, 3, 2, 0, 0, 0, 2, 0, 0, 0, 2),
 		},
+		Epoch: 6,
 	}
 }
 
@@ -103,6 +104,44 @@ func TestRoundTripMinimal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st, got) {
 		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", st, got)
+	}
+}
+
+// TestEpochSectionOptional pins the epoch section's compatibility story:
+// epoch 0 (a topic that never changed shards) omits the section entirely,
+// so such snapshots are byte-identical to those of pre-cluster builds —
+// the golden fixture keeps passing without a version bump — while a
+// non-zero epoch rides along and round-trips.
+func TestEpochSectionOptional(t *testing.T) {
+	withEpoch := fullState()
+	withEpoch.Epoch = 9
+	without := fullState()
+	without.Epoch = 0
+
+	var a, b bytes.Buffer
+	if err := Encode(&a, withEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, without); err != nil {
+		t.Fatal(err)
+	}
+	// tag byte + 8-byte size + 8-byte epoch.
+	if want := b.Len() + 17; a.Len() != want {
+		t.Fatalf("epoch section size: with=%d without=%d, want with = without+17", a.Len(), b.Len())
+	}
+	got, err := Decode(&a)
+	if err != nil {
+		t.Fatalf("Decode with epoch: %v", err)
+	}
+	if got.Epoch != 9 {
+		t.Fatalf("epoch %d, want 9", got.Epoch)
+	}
+	got, err = Decode(&b)
+	if err != nil {
+		t.Fatalf("Decode without epoch: %v", err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("epoch %d, want 0", got.Epoch)
 	}
 }
 

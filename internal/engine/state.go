@@ -55,6 +55,13 @@ type State struct {
 	// restore. Nil when the topic never solved (or the exporter chose not
 	// to include them); Restore tolerates nil.
 	LastFactors *core.Factors
+
+	// Epoch is the topic's ownership epoch in a sharded deployment: 0 for
+	// a topic that never changed shards, incremented by one on every
+	// hand-off. It rides inside the snapshot so the receiving shard can
+	// fence out stale (pre-move) snapshots; it does not influence the
+	// solver or the session.
+	Epoch uint64
 }
 
 // ExportState deep-copies the session's full state (model + session +

@@ -176,6 +176,37 @@ func (w *Writer) Append(rec *Record) error {
 // Size returns the current journal file size in bytes.
 func (w *Writer) Size() int64 { return w.size }
 
+// Rotate restarts the journal in place: it truncates the file on the open
+// descriptor and writes a fresh header naming the snapshot the journal
+// extends from now on. This is the compaction hook — after a snapshot
+// rewrite (the periodic compaction point, or a topic hand-off's final
+// drain) the journal must restart empty against the new snapshot's
+// identity, and rotating the existing descriptor avoids the close/reopen
+// of Create on every compaction. A crash between the truncate and the
+// header fsync leaves an undecodable header, which recovery quarantines
+// and serves the (just-written, complete) snapshot alone — the same crash
+// window Create has.
+func (w *Writer) Rotate(snapCRC uint32) error {
+	if w.f == nil {
+		return errors.New("journal: writer is closed")
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	hdr := encodeHeader(snapCRC)
+	if _, err := w.f.Write(hdr); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(len(hdr))
+	return nil
+}
+
 // Close closes the underlying file. The journal remains on disk.
 func (w *Writer) Close() error {
 	if w.f == nil {

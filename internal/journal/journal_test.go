@@ -220,3 +220,55 @@ func TestJournalAppendIsOBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalRotate covers the in-place compaction hook: after Rotate the
+// journal is empty, names the new snapshot, keeps accepting appends on the
+// same descriptor, and none of the pre-rotation records survive.
+func TestJournalRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topic.journal")
+	recs := testRecords()
+	w, err := Create(path, 0x1111)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer w.Close()
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := w.Size()
+
+	if err := w.Rotate(0x2222); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if w.Size() >= before {
+		t.Fatalf("rotation did not shrink the journal: %d -> %d", before, w.Size())
+	}
+	j, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after rotate: %v", err)
+	}
+	if j.SnapCRC != 0x2222 || len(j.Records) != 0 || j.Torn {
+		t.Fatalf("rotated journal: crc=%#x records=%d torn=%v", j.SnapCRC, len(j.Records), j.Torn)
+	}
+
+	// The same writer keeps appending after rotation, and only
+	// post-rotation records are visible.
+	if err := w.Append(recs[1]); err != nil {
+		t.Fatalf("Append after rotate: %v", err)
+	}
+	j, err = Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(j.Records) != 1 || !reflect.DeepEqual(j.Records[0], recs[1]) {
+		t.Fatalf("post-rotation journal holds %d records", len(j.Records))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(0x3333); err == nil {
+		t.Fatal("Rotate on a closed writer succeeded")
+	}
+}

@@ -136,6 +136,9 @@ type Topic struct {
 	model *engine.Model
 	sess  *engine.Session
 	last  *core.Result // factors of the most recent solve, for Predict
+	// epoch is the ownership epoch of sharded deployments (see Epoch). It
+	// travels inside snapshots but never influences the solver.
+	epoch uint64
 }
 
 // NewTopic creates a topic over a fixed user universe (tweets in later
@@ -307,6 +310,28 @@ func (t *Topic) UserEstimate(user int) (Sentiment, bool) {
 	return t.sess.UserEstimate(user)
 }
 
+// Epoch returns the topic's ownership epoch. Epochs fence topic hand-offs
+// in sharded deployments: a topic is created at epoch 0, every move to
+// another shard increments the epoch, and the value rides inside the
+// snapshot so a shard that gave a topic up can reject stale (pre-move)
+// snapshots. The epoch never influences processing — two topics that
+// differ only in epoch produce identical results and, epoch section
+// aside, identical snapshots.
+func (t *Topic) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// SetEpoch sets the topic's ownership epoch (see Epoch). It is called by
+// sharding layers at hand-off time, immediately before exporting the
+// snapshot installed on the receiving shard.
+func (t *Topic) SetEpoch(e uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epoch = e
+}
+
 // StreamPos returns the topic's replay fingerprint: the non-empty batch
 // count and the solver's position in its replayable random stream. Two
 // topics that processed the same batches report the same position, so a
@@ -330,6 +355,7 @@ func (t *Topic) Snapshot(w io.Writer) error {
 		if t.last != nil {
 			st.LastFactors = &t.last.Factors
 		}
+		st.Epoch = t.epoch
 		return st
 	}()
 	// Encoding streams to w outside the lock so a slow writer — e.g. a
@@ -351,7 +377,7 @@ func Restore(r io.Reader) (*Topic, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Topic{model: sess.Model(), sess: sess}
+	t := &Topic{model: sess.Model(), sess: sess, epoch: st.Epoch}
 	if st.LastFactors != nil {
 		t.last = &core.Result{Factors: *st.LastFactors}
 	}
