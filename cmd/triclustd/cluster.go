@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -66,6 +67,37 @@ type clusterConfig struct {
 	proxy bool // proxy mis-routed requests instead of 307
 	// client issues hand-off PUTs and (in proxy mode) forwarded requests.
 	client *http.Client
+	// peerTimeout bounds each inter-shard request (proxy hop, hand-off
+	// PUT, placement query) with a per-request context; 0 selects
+	// defaultPeerTimeout. The client's own 2-minute timeout stays as the
+	// outer backstop.
+	peerTimeout time.Duration
+	// backoff spaces retries of idempotent inter-shard requests; the zero
+	// value selects cluster.DefaultBackoff.
+	backoff cluster.Backoff
+}
+
+// defaultPeerTimeout bounds one inter-shard request when -peer-timeout is
+// not set.
+const defaultPeerTimeout = 30 * time.Second
+
+// peerAttempts bounds retries of inter-shard requests that are safe to
+// re-issue (idempotent GETs; hand-off PUTs disambiguated between tries).
+const peerAttempts = 4
+
+func (c *clusterConfig) timeout() time.Duration {
+	if c.peerTimeout > 0 {
+		return c.peerTimeout
+	}
+	return defaultPeerTimeout
+}
+
+func (c *clusterConfig) retryDelay(attempt int) time.Duration {
+	b := c.backoff
+	if b.Base <= 0 {
+		b = cluster.DefaultBackoff
+	}
+	return b.Delay(attempt)
 }
 
 // newClusterConfig validates and assembles the cluster flags: peers is
@@ -122,6 +154,21 @@ func (s *server) routeTopic(w http.ResponseWriter, r *http.Request, name string,
 		return false
 	}
 	if owner := s.cluster.ring.Owner(name); owner != s.cluster.self {
+		// With replication on, a request for a down owner's topic goes to
+		// the first live replica-set member instead — the shard that has
+		// promoted (or is about to promote) the topic's cold replica. When
+		// that shard is this one, serve locally: before the promotion lands
+		// the registry answers 404 and clients retry, which is strictly
+		// better than forwarding into a dead shard's connection timeouts.
+		if rp := s.repl; rp != nil && rp.det.Down(owner) {
+			if alt, ok := rp.det.FirstLive(rp.candidates(name, owner)); ok {
+				if alt == s.cluster.self {
+					return true
+				}
+				s.forward(w, r, alt, body)
+				return false
+			}
+		}
 		s.forward(w, r, owner, body)
 		return false
 	}
@@ -160,7 +207,13 @@ func (s *server) forward(w http.ResponseWriter, r *http.Request, target string, 
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, dest, rdr)
+	// Bound the hop with its own deadline (under the client's context) so
+	// a wedged peer fails this request in -peer-timeout, not in the
+	// transport's 2-minute backstop. No retry: the proxied request may not
+	// be idempotent, and the client owns the retry decision.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cluster.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, dest, rdr)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, codeShardUnreachable, err)
 		return
@@ -302,6 +355,20 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	resp, status, code, err := s.performHandoff(tp, req.Target)
+	if err != nil {
+		writeError(w, status, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// performHandoff executes the drain → compact → export → install → drop
+// sequence moving tp to target. It is the shared spine of the operator
+// move endpoint and the automatic rebalancer; the caller must not hold
+// tp.mu. On failure it returns the HTTP status and stable code the
+// operator path responds with.
+func (s *server) performHandoff(tp *topic, target string) (moveResponse, int, string, error) {
 	// Holding the topic lock for the whole hand-off *is* the drain: any
 	// in-flight batch finished before we got the lock, and every batch
 	// that arrives while we hold it blocks, then finds the tombstone and
@@ -309,21 +376,18 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
 	if tp.deleted {
-		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
-		return
+		return moveResponse{}, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name)
 	}
 	// Final compaction: fold the journal tail into one fresh snapshot so
 	// the exported state is the complete, settled history.
 	if s.store != nil {
 		ok, err := s.saveIfCurrent(tp)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, codeStorage,
-				fmt.Errorf("final compaction before hand-off: %w", err))
-			return
+			return moveResponse{}, http.StatusInternalServerError, codeStorage,
+				fmt.Errorf("final compaction before hand-off: %w", err)
 		}
 		if !ok {
-			writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
-			return
+			return moveResponse{}, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name)
 		}
 	}
 
@@ -333,19 +397,17 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 	var snap bytes.Buffer
 	if err := tp.tp.Snapshot(&snap); err != nil {
 		tp.tp.SetEpoch(oldEpoch)
-		writeError(w, http.StatusInternalServerError, codeStorage,
-			fmt.Errorf("export snapshot: %w", err))
-		return
+		return moveResponse{}, http.StatusInternalServerError, codeStorage,
+			fmt.Errorf("export snapshot: %w", err)
 	}
-	ts := cluster.Tombstone{Epoch: newEpoch, Target: req.Target}
+	ts := cluster.Tombstone{Epoch: newEpoch, Target: target}
 	if err := s.setMoved(tp.name, ts); err != nil {
 		s.clearMoved(tp.name)
 		tp.tp.SetEpoch(oldEpoch)
-		writeError(w, http.StatusInternalServerError, codeStorage,
-			fmt.Errorf("persist hand-off intent: %w", err))
-		return
+		return moveResponse{}, http.StatusInternalServerError, codeStorage,
+			fmt.Errorf("persist hand-off intent: %w", err)
 	}
-	if definitive, err := s.installOn(req.Target, tp.name, snap.Bytes()); err != nil {
+	if definitive, err := s.installOn(target, tp.name, snap.Bytes(), newEpoch); err != nil {
 		// A definitive refusal (the target answered non-201) installed
 		// nothing: un-fence and keep serving. A transport error is
 		// *ambiguous* — the PUT may have been applied on the target — so
@@ -359,9 +421,8 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 		if definitive || s.store == nil {
 			s.clearMoved(tp.name)
 			tp.tp.SetEpoch(oldEpoch)
-			writeError(w, http.StatusBadGateway, codeMoveFailed,
-				fmt.Errorf("install %q on %s: %w", tp.name, req.Target, err))
-			return
+			return moveResponse{}, http.StatusBadGateway, codeMoveFailed,
+				fmt.Errorf("install %q on %s: %w", tp.name, target, err)
 		}
 		s.mu.Lock()
 		if s.topics[tp.name] == tp {
@@ -373,11 +434,10 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 			tp.jw.Close()
 			tp.jw = nil
 		}
-		s.logf("hand-off of %q to %s is ambiguous (%v); fence kept, retry the move to resume", tp.name, req.Target, err)
-		writeError(w, http.StatusBadGateway, codeMoveFailed,
+		s.logf("hand-off of %q to %s is ambiguous (%v); fence kept, retry the move to resume", tp.name, target, err)
+		return moveResponse{}, http.StatusBadGateway, codeMoveFailed,
 			fmt.Errorf("install %q on %s did not complete: %v — the topic is fenced; retry the move to resume the hand-off",
-				tp.name, req.Target, err))
-		return
+				tp.name, target, err)
 	}
 
 	// The target owns the topic now. Drop the local copy: registry entry,
@@ -394,40 +454,94 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 		tp.jw = nil
 	}
 	s.removeStale(tp.name)
-	s.logf("moved topic %q to %s at epoch %d (%d batches)", tp.name, req.Target, newEpoch, batches)
-	writeJSON(w, http.StatusOK, moveResponse{
-		Topic: tp.name, Source: s.cluster.self, Target: req.Target,
+	if s.repl != nil {
+		// The new primary re-seeds its own followers; this shard's
+		// shipping state for the topic is obsolete.
+		s.repl.dropTopicState(tp.name)
+	}
+	s.logf("moved topic %q to %s at epoch %d (%d batches)", tp.name, target, newEpoch, batches)
+	return moveResponse{
+		Topic: tp.name, Source: s.cluster.self, Target: target,
 		Epoch: newEpoch, Batches: batches,
-	})
+	}, 0, "", nil
 }
 
 // installOn PUTs a snapshot onto the target shard through the ordinary
 // restore endpoint, marked as a hand-off so the target pins the topic.
 // definitive reports whether the outcome is known: true on success or
 // when the target answered with a refusal (nothing was installed), false
-// on a transport error — the PUT may or may not have been applied, and
-// the caller must not assume either.
-func (s *server) installOn(target, name string, snapshot []byte) (definitive bool, err error) {
-	req, err := http.NewRequest(http.MethodPut, target+"/v1/topics/"+name, bytes.NewReader(snapshot))
+// when every attempt ended in ambiguity — the PUT may or may not have
+// been applied, and the caller must not assume either.
+//
+// A hand-off PUT is not blindly idempotent: if an earlier attempt landed
+// but its response was lost, the retry is refused with topic_exists —
+// which must read as success, not refusal. So between attempts the
+// target's placement is queried at the hand-off epoch: already-installed
+// resolves to success, reachable-but-absent makes a transport failure
+// safe to retry (nothing landed), and unreachable stays ambiguous.
+func (s *server) installOn(target, name string, snapshot []byte, epoch uint64) (definitive bool, err error) {
+	var last error
+	for attempt := 0; attempt < peerAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.cluster.retryDelay(attempt - 1))
+		}
+		resp, rerr := s.putSnapshot(target, name, snapshot)
+		if rerr != nil {
+			last = rerr
+			has, reachable := s.targetTopicState(target, name, epoch)
+			if has {
+				return true, nil
+			}
+			if !reachable {
+				return false, rerr // truly ambiguous: park the hand-off
+			}
+			continue // target answered and lacks the topic: retry is safe
+		}
+		if resp.status == http.StatusCreated {
+			return true, nil
+		}
+		if resp.code == codeTopicExists {
+			if has, _ := s.targetTopicState(target, name, epoch); has {
+				return true, nil
+			}
+		}
+		// Any other answer is the target's considered refusal (epoch
+		// fence, quarantine, invalid snapshot); retrying cannot change it.
+		return true, fmt.Errorf("target answered %d (%s: %s)", resp.status, resp.code, resp.message)
+	}
+	return false, fmt.Errorf("gave up after %d attempts: %w", peerAttempts, last)
+}
+
+// installResponse is one hand-off PUT's decoded outcome.
+type installResponse struct {
+	status  int
+	code    string
+	message string
+}
+
+func (s *server) putSnapshot(target, name string, snapshot []byte) (*installResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cluster.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		target+"/v1/topics/"+name, bytes.NewReader(snapshot))
 	if err != nil {
-		return true, err // never sent
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(handoffHeader, "1")
 	resp, err := s.cluster.client.Do(req)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	defer resp.Body.Close()
+	out := &installResponse{status: resp.StatusCode}
 	if resp.StatusCode != http.StatusCreated {
 		var eb errorBody
-		msg := ""
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil {
-			msg = fmt.Sprintf(" (%s: %s)", eb.Error.Code, eb.Error.Message)
+			out.code, out.message = eb.Error.Code, eb.Error.Message
 		}
-		return true, fmt.Errorf("target answered %d%s", resp.StatusCode, msg)
 	}
-	return true, nil
+	return out, nil
 }
 
 // pendingHandoff reports whether name has a tombstone *and* its snapshot
@@ -497,7 +611,7 @@ func (s *server) resumeMove(w http.ResponseWriter, req moveRequest, mv cluster.T
 		s.moved[req.Topic] = mv
 		s.mu.Unlock()
 	}
-	if _, err := s.installOn(req.Target, req.Topic, snap.Bytes()); err != nil {
+	if _, err := s.installOn(req.Target, req.Topic, snap.Bytes(), mv.Epoch); err != nil {
 		// If the interrupted hand-off's original PUT did land on the
 		// target, the retry is refused with topic_exists; ask the target
 		// whether it already serves the topic at the fencing epoch and, if
@@ -521,19 +635,50 @@ func (s *server) resumeMove(w http.ResponseWriter, req moveRequest, mv cluster.T
 // at least the given one — the signature of a hand-off whose installation
 // succeeded but whose acknowledgement was lost.
 func (s *server) targetHasTopic(target, name string, epoch uint64) bool {
-	resp, err := s.cluster.client.Get(target + "/v1/cluster/info?topic=" + name)
+	has, _ := s.targetTopicState(target, name, epoch)
+	return has
+}
+
+// targetTopicState additionally reports whether the target answered at
+// all: reachable distinguishes "asked, and the topic is not there" from
+// "could not ask" — the difference between a retryable and an ambiguous
+// hand-off failure. The placement query is an idempotent GET, so it is
+// retried with backoff under per-request deadlines.
+func (s *server) targetTopicState(target, name string, epoch uint64) (has, reachable bool) {
+	for attempt := 0; attempt < peerAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.cluster.retryDelay(attempt - 1))
+		}
+		info, err := s.queryPlacement(target, name)
+		if err != nil {
+			continue
+		}
+		return info.Topic != nil && info.Topic.Local && info.Topic.Epoch >= epoch, true
+	}
+	return false, false
+}
+
+func (s *server) queryPlacement(target, name string) (*clusterInfoResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cluster.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		target+"/v1/cluster/info?topic="+name, nil)
 	if err != nil {
-		return false
+		return nil, err
+	}
+	resp, err := s.cluster.client.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false
+		return nil, fmt.Errorf("placement query answered %d", resp.StatusCode)
 	}
 	var info clusterInfoResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
-		return false
+		return nil, err
 	}
-	return info.Topic != nil && info.Topic.Local && info.Topic.Epoch >= epoch
+	return &info, nil
 }
 
 // clusterInfoResponse describes this shard's placement view; with

@@ -148,9 +148,23 @@ func (tc *testCluster) boot(i int) {
 	if err != nil {
 		tc.t.Fatalf("shard %d boot: %v", i, err)
 	}
+	s.start()
+	tc.t.Cleanup(func() { _ = s.Close() })
 	sd.srv = s
 	sd.sh.swap(s)
 	tc.awaitReady(i)
+}
+
+// killShard takes shard i down for good: the listener answers 503, the
+// in-flight requests drain, and the server object — detector, resync
+// worker, replica handles — is shut down. Unlike kill()+boot(), nothing
+// comes back: this is the process death the failover machinery exists
+// for.
+func (tc *testCluster) killShard(i int) {
+	tc.shards[i].sh.kill()
+	if srv := tc.shards[i].srv; srv != nil {
+		_ = srv.Close()
+	}
 }
 
 // awaitReady polls the shard's /v1/healthz until it answers — the

@@ -12,9 +12,9 @@ import (
 // on message text or HTTP status alone; codes are append-only across
 // releases.
 const (
-	codeInvalidRequest  = "invalid_request"   // malformed JSON / missing fields
+	codeInvalidRequest  = "invalid_request" // malformed JSON / missing fields
 	codeInvalidName     = "invalid_topic_name"
-	codeInvalidConfig   = "invalid_config"    // rejected by triclust validation
+	codeInvalidConfig   = "invalid_config" // rejected by triclust validation
 	codeTopicExists     = "topic_exists"
 	codeTopicNotFound   = "topic_not_found"
 	codeUserNotFound    = "user_not_found"
@@ -23,8 +23,14 @@ const (
 	codeVocabFrozen     = "vocabulary_frozen" // warm-up after the freeze
 	codeInvalidSnapshot = "invalid_snapshot"  // corrupt / truncated snapshot body
 	codeSnapshotVersion = "unsupported_snapshot_version"
-	codeStorage         = "storage_error" // -data-dir persistence failed
+	codeStorage         = "storage_error"  // -data-dir persistence failed
 	codeBodyTooLarge    = "body_too_large" // request body exceeds -max-body-bytes
+	// codeJournalWriteFailed means the batch was processed in memory but
+	// its journal record could not be appended + fsynced (disk full, I/O
+	// error). The batch is rolled back, the on-disk tail truncated to the
+	// last intact record, and the topic marked degraded in healthz until a
+	// later append or snapshot succeeds. Retryable once disk recovers.
+	codeJournalWriteFailed = "journal_write_failed"
 
 	// Cluster-mode codes.
 	codeNotClustered     = "not_clustered"     // cluster endpoint without -peers/-self
@@ -32,6 +38,10 @@ const (
 	codeMoveFailed       = "move_failed"       // hand-off installation failed (see message for fence state)
 	codeEpochMismatch    = "epoch_mismatch"    // snapshot's ownership epoch fenced by a tombstone
 	codeShardUnreachable = "shard_unreachable" // proxying to the owning shard failed / routing loop
+
+	// Replication codes.
+	codeReplicationOff   = "replication_off"     // replica endpoint without -replication-factor >= 2
+	codeReplicaOutOfSync = "replica_out_of_sync" // shipped tail does not extend the held replica; re-ship a full base
 )
 
 // errorBody is the wire shape of every error response:

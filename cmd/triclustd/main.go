@@ -72,6 +72,27 @@
 // endpoint, and drops the local copy, leaving a persisted tombstone
 // (<topic>.moved) that refuses the topic's writes at stale epochs and
 // redirects clients — across restarts — to the new owner.
+//
+// # Replication and failover
+//
+// With -replication-factor N (N >= 2, requires cluster mode and a
+// -data-dir), every topic also lives as a *cold replica* on its N-1 ring
+// successors: after each acknowledged batch the owning shard ships the
+// batch's journal frame to the followers (POST /v1/replica/{topic}/append),
+// which verify it — CRC, epoch, and the recorded batch/random-stream
+// fingerprints — and fsync it to <topic>.rsnap + <topic>.rjournal without
+// ever opening the topic. Each shard probes its peers' /v1/healthz
+// (-probe-interval, -probe-timeout, -probe-failures); when a peer is
+// declared down, the first live member of each affected topic's replica
+// set promotes its replica by replaying the tail through the
+// deterministic pipeline, bumps the ownership epoch, and serves the topic
+// from where the dead primary stopped. A zombie primary (still running,
+// merely partitioned) is fenced on its next ship by 409 epoch_mismatch
+// and redirects its clients to the new owner. -auto-rebalance drives
+// held topics back onto the ring as peers die and return. GET /v1/healthz
+// reports the replication factor, down peers, held replicas and
+// per-follower shipping lag; a topic whose journal append fails (disk
+// full) answers 503 journal_write_failed and is listed as degraded.
 package main
 
 import (
@@ -107,6 +128,20 @@ func main() {
 		"virtual nodes per shard on the consistent-hash ring (0: default)")
 	clusterProxy := flag.Bool("cluster-proxy", false,
 		"proxy mis-routed topic requests to the owning shard instead of 307-redirecting")
+	peerTimeout := flag.Duration("peer-timeout", 0,
+		"deadline for each inter-shard request: proxy hop, hand-off PUT, replica ship (0: 30s default)")
+	replFactor := flag.Int("replication-factor", 1,
+		"copies of every topic across the cluster: the primary plus N-1 cold replicas on ring successors (1: off)")
+	probeInterval := flag.Duration("probe-interval", time.Second,
+		"peer failure-detector probe cadence")
+	probeTimeout := flag.Duration("probe-timeout", 0,
+		"deadline for one failure-detector probe (0: the probe interval)")
+	probeFailures := flag.Int("probe-failures", 3,
+		"consecutive probe failures before a peer is declared down")
+	autoRebalance := flag.Bool("auto-rebalance", false,
+		"periodically move held topics back to their ring owners as peers die and return")
+	rebalanceInterval := flag.Duration("rebalance-interval", 10*time.Second,
+		"cadence of the -auto-rebalance convergence check")
 	drain := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	par.SetProcs(*procs)
@@ -124,13 +159,26 @@ func main() {
 			logf("startup: %v", err)
 			os.Exit(1)
 		}
+		cc.peerTimeout = *peerTimeout
 		opts.cluster = cc
+	}
+	if *replFactor >= 2 {
+		opts.repl = &replOptions{
+			Factor:            *replFactor,
+			ProbeInterval:     *probeInterval,
+			ProbeTimeout:      *probeTimeout,
+			ProbeFailures:     *probeFailures,
+			ShipTimeout:       *peerTimeout,
+			AutoRebalance:     *autoRebalance,
+			RebalanceInterval: *rebalanceInterval,
+		}
 	}
 	handler, err := newServer(*dataDir, opts, logf)
 	if err != nil {
 		logf("startup: %v", err)
 		os.Exit(1)
 	}
+	handler.start()
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -170,6 +218,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logf("shutdown: %v", err)
+	}
+	// Stop the replication machinery (detector, resync worker, rebalancer)
+	// before the final snapshot pass so nothing ships or promotes mid-exit.
+	if err := handler.Close(); err != nil {
+		logf("close: %v", err)
 	}
 	if err := handler.snapshotAll(); err != nil {
 		logf("final snapshot: %v", err)

@@ -77,6 +77,22 @@ func (st *store) journalPath(name string) string {
 	return filepath.Join(st.dir, name+".journal")
 }
 
+// Replica files: a cold replica held for a peer is <topic>.rsnap (base
+// snapshot bytes), <topic>.rjournal (CRC-framed tail extending it) and
+// <topic>.rmeta (JSON replMeta). None of the suffixes collide with .snap
+// or .journal, so loadAll never mistakes a replica for a served topic.
+func (st *store) replSnapPath(name string) string {
+	return filepath.Join(st.dir, name+".rsnap")
+}
+
+func (st *store) replJournalPath(name string) string {
+	return filepath.Join(st.dir, name+".rjournal")
+}
+
+func (st *store) replMetaPath(name string) string {
+	return filepath.Join(st.dir, name+".rmeta")
+}
+
 // save writes one topic's snapshot atomically: a crash mid-write leaves
 // the previous snapshot intact, never a torn file (and Restore would
 // reject a torn file by checksum anyway). It returns the CRC-32C of the
@@ -245,6 +261,25 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*res
 		out[name] = rt
 	}
 	return out, nil
+}
+
+// reloadTopic rebuilds one topic from its on-disk state (snapshot +
+// journal tail), exactly as a restart would: the recovery path for a
+// failed journal append, where the in-memory topic has advanced past
+// what disk can vouch for and must be rolled back to the durable
+// position.
+func (st *store) reloadTopic(name string, warn func(format string, args ...any)) (*triclust.Topic, error) {
+	data, err := st.readSnap(name)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := triclust.Restore(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	rt := &restoredTopic{tp: tp}
+	st.recoverJournal(name, rt, data, warn)
+	return rt.tp, nil
 }
 
 // recoverJournal replays <name>.journal on top of the freshly restored

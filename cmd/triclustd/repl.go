@@ -1,0 +1,1295 @@
+package main
+
+// Replication (RF ≥ 2): after every acknowledged batch the owning shard
+// ships the batch's journal frame to the topic's ring successors, so each
+// topic's history exists on -replication-factor shards before the client
+// sees the ack. Followers keep a *cold* replica — the base snapshot file
+// plus a journal tail, verified frame-by-frame (CRC + the {batches,
+// randDraws} fingerprints) — never an open Topic: replication costs
+// follower disk and verification, not follower compute.
+//
+// Failure handling is layered on the epoch fencing PR 5 introduced:
+//
+//   - a failure detector (internal/cluster.Detector) probes every peer's
+//     /v1/healthz; when a peer is declared down, the first live member of
+//     each of its topics' replica sets promotes its cold replica by
+//     replaying it through Topic.Process — deterministic, fingerprint-
+//     verified — and registers the topic at epoch+1;
+//   - the zombie side of a promotion (the old primary, still running but
+//     partitioned) discovers its demotion on its next ship: the follower
+//     answers 409 epoch_mismatch, and the zombie fences itself — drops
+//     the topic, writes a tombstone pointing at the new owner — so its
+//     clients are redirected instead of fed forked state;
+//   - an optional rebalancer (-auto-rebalance) converges held topics back
+//     onto the ring as peers die and return, driving the existing move
+//     path in the minimal-remap order the consistent hash gives for free.
+//
+// Shipping is semi-synchronous: the in-request ship (with bounded retries
+// and backoff) must either succeed, discover a zombie, or mark the
+// follower out-of-sync and queue an asynchronous full resync. A dead or
+// flaky follower therefore degrades a topic from RF=N to fewer live
+// copies — it never blocks the write path indefinitely, and healthz
+// reports the lag so an operator can see the degradation.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"triclust"
+	"triclust/internal/cluster"
+	"triclust/internal/codec"
+	"triclust/internal/journal"
+)
+
+// epochHeader carries the responding shard's ownership epoch on a 409
+// epoch_mismatch from the replica endpoint, so a fenced zombie can write
+// a tombstone at exactly the epoch that demoted it.
+const epochHeader = "X-Triclust-Epoch"
+
+// replOptions are the replication tunables (flags in main.go; the test
+// harness sets them directly).
+type replOptions struct {
+	// Factor is the replication factor: every topic lives on its primary
+	// plus Factor-1 ring successors. 1 disables replication.
+	Factor int
+	// ProbeInterval / ProbeTimeout / ProbeFailures tune the failure
+	// detector (see cluster.DetectorConfig).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	ProbeFailures int
+	// ShipTimeout bounds each replica-ship request; ShipAttempts bounds
+	// the in-request retries before a follower is marked out-of-sync.
+	ShipTimeout  time.Duration
+	ShipAttempts int
+	// Backoff spaces the in-request ship retries.
+	Backoff cluster.Backoff
+	// AutoRebalance drives held topics back onto the ring every
+	// RebalanceInterval; off by default, preserving PR 5's pin semantics.
+	AutoRebalance     bool
+	RebalanceInterval time.Duration
+	// Transport overrides the ship/probe transport (the fault-injection
+	// harness plugs a flaky RoundTripper in here); nil uses the default.
+	Transport http.RoundTripper
+}
+
+func (o replOptions) withDefaults() replOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval
+	}
+	if o.ProbeFailures <= 0 {
+		o.ProbeFailures = 3
+	}
+	if o.ShipTimeout <= 0 {
+		o.ShipTimeout = 10 * time.Second
+	}
+	if o.ShipAttempts <= 0 {
+		o.ShipAttempts = 8
+	}
+	if o.RebalanceInterval <= 0 {
+		o.RebalanceInterval = 10 * time.Second
+	}
+	return o
+}
+
+// followerState is the primary's book-keeping for one (topic, follower)
+// pair: which base the follower holds and how far its tail reaches. The
+// incremental frames a primary ships name the *follower's* base CRC, not
+// the primary's on-disk one — the two legitimately diverge between a
+// follower resync and the next compaction, and naming the follower's base
+// is what keeps one resync from looping into another.
+type followerState struct {
+	snapCRC uint32
+	batches int
+	draws   uint64
+	synced  bool
+}
+
+// replMeta is the follower's durable description of one cold replica
+// (<topic>.rmeta, JSON): who ships it, at what epoch, and the identity +
+// fingerprint of the base snapshot its journal tail extends.
+type replMeta struct {
+	Source    string `json:"source"`
+	Epoch     uint64 `json:"epoch"`
+	SnapCRC   uint32 `json:"snap_crc"`
+	Batches   int    `json:"batches"`
+	RandDraws uint64 `json:"rand_draws"`
+}
+
+// replica is one cold replica held for a peer: its durable meta, the open
+// tail writer (lazy), and the in-memory position (base + applied tail).
+type replica struct {
+	mu      sync.Mutex
+	meta    replMeta
+	jw      *journal.Writer
+	batches int
+	draws   uint64
+	dropped bool
+}
+
+// replAck is the follower's 200 body: the replica position after applying
+// the frame, which the primary folds into its followerState.
+type replAck struct {
+	Batches   int    `json:"batches"`
+	RandDraws uint64 `json:"rand_draws"`
+}
+
+// replicator holds one shard's replication machinery: the failure
+// detector, the per-follower shipping state for topics it serves, the
+// cold replicas it holds for peers, and the bounded resync queue.
+type replicator struct {
+	s      *server
+	opts   replOptions
+	client *http.Client
+	det    *cluster.Detector
+
+	mu        sync.Mutex
+	followers map[string]map[string]*followerState // topic → peer → state
+	replicas  map[string]*replica                  // topic → cold replica held here
+	queued    map[string]bool                      // resync dedup
+	closed    bool
+
+	queue    chan string
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newReplicator(s *server, opts replOptions) *replicator {
+	opts = opts.withDefaults()
+	r := &replicator{
+		s:         s,
+		opts:      opts,
+		client:    &http.Client{Transport: opts.Transport},
+		followers: make(map[string]map[string]*followerState),
+		replicas:  make(map[string]*replica),
+		queued:    make(map[string]bool),
+		queue:     make(chan string, 256),
+		stop:      make(chan struct{}),
+	}
+	var peers []string
+	for _, p := range s.cluster.ring.Peers() {
+		if p != s.cluster.self {
+			peers = append(peers, p)
+		}
+	}
+	r.det = cluster.NewDetector(peers, r.probe, cluster.DetectorConfig{
+		Interval:  opts.ProbeInterval,
+		Timeout:   opts.ProbeTimeout,
+		Threshold: opts.ProbeFailures,
+		Backoff:   opts.Backoff,
+	}, r.onPeerChange)
+	return r
+}
+
+// probe is the detector's liveness check: the peer's readiness endpoint.
+func (r *replicator) probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// start launches the detector, the resync worker, the optional
+// rebalancer, and the one-shot startup reconciliation.
+func (r *replicator) start() {
+	r.det.Start()
+	r.spawn(r.resyncLoop)
+	if r.opts.AutoRebalance {
+		r.spawn(r.rebalanceLoop)
+	}
+	r.spawn(r.reconcileStartup)
+}
+
+// close stops every background goroutine and releases the replica
+// journal handles. Idempotent.
+func (r *replicator) close() {
+	r.stopOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		close(r.stop)
+	})
+	r.det.Stop()
+	r.wg.Wait()
+	r.mu.Lock()
+	for _, rep := range r.replicas {
+		rep.mu.Lock()
+		if rep.jw != nil {
+			rep.jw.Close()
+			rep.jw = nil
+		}
+		rep.mu.Unlock()
+	}
+	r.mu.Unlock()
+}
+
+// spawn runs fn on a tracked goroutine unless the replicator is closing.
+func (r *replicator) spawn(fn func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// followerPeers returns the peers a topic this shard serves replicates
+// to: the first Factor-1 ring-ordered replica-set members besides self.
+// Using ring order keyed by the topic name (not by who currently serves
+// it) keeps the set stable under operator moves and promotions.
+func (r *replicator) followerPeers(name string) []string {
+	all := r.s.cluster.ring.Peers()
+	set := r.s.cluster.ring.ReplicaSet(name, len(all))
+	out := make([]string, 0, r.opts.Factor-1)
+	for _, p := range set {
+		if p == r.s.cluster.self {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == r.opts.Factor-1 {
+			break
+		}
+	}
+	return out
+}
+
+// candidates returns the ring-ordered promotion candidates for a topic
+// whose shipping source died: every replica-set member except the source.
+// Every live shard computes the same list, so "the first live candidate
+// promotes" needs no coordination beyond converging failure detectors.
+func (r *replicator) candidates(name, source string) []string {
+	all := r.s.cluster.ring.Peers()
+	set := r.s.cluster.ring.ReplicaSet(name, len(all))
+	out := make([]string, 0, len(set))
+	for _, p := range set {
+		if p != source {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ——— primary side: shipping ———
+
+// follower returns a copy of the shipping state for (topic, peer).
+func (r *replicator) follower(name, peer string) (followerState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.followers[name]
+	if m == nil {
+		return followerState{}, false
+	}
+	st := m[peer]
+	if st == nil {
+		return followerState{}, false
+	}
+	return *st, true
+}
+
+func (r *replicator) setFollower(name, peer string, st followerState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.followers[name]
+	if m == nil {
+		m = make(map[string]*followerState)
+		r.followers[name] = m
+	}
+	m[peer] = &st
+}
+
+func (r *replicator) markUnsynced(name, peer string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.followers[name][peer]; st != nil {
+		st.synced = false
+	}
+}
+
+// dropTopicState forgets a topic's shipping state (topic deleted, handed
+// off, or fenced — the next holder rebuilds it from scratch).
+func (r *replicator) dropTopicState(name string) {
+	r.mu.Lock()
+	delete(r.followers, name)
+	delete(r.queued, name)
+	r.mu.Unlock()
+}
+
+// enqueueResync queues an asynchronous full resync of a topic's
+// out-of-sync followers. The queue is bounded and deduplicated; when it
+// is full the enqueue is dropped — the next batch's ship (or the next
+// peer-up event) re-queues, so a dropped entry delays convergence without
+// losing it.
+func (r *replicator) enqueueResync(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.queued[name] {
+		return
+	}
+	select {
+	case r.queue <- name:
+		r.queued[name] = true
+	default:
+		r.s.logf("resync queue full; dropping %q (will re-queue on next ship)", name)
+	}
+}
+
+func (r *replicator) resyncLoop() {
+	for {
+		var name string
+		select {
+		case <-r.stop:
+			return
+		case name = <-r.queue:
+		}
+		r.mu.Lock()
+		delete(r.queued, name)
+		r.mu.Unlock()
+		s := r.s
+		s.mu.RLock()
+		tp := s.topics[name]
+		s.mu.RUnlock()
+		if tp == nil {
+			continue
+		}
+		tp.mu.Lock()
+		if !tp.deleted {
+			// Full re-ship to the followers that fell behind; errors mark
+			// them unsynced again and re-queue, so a follower that stays
+			// down simply stays queued-on-demand.
+			if _, _, err := s.replShip(tp, nil, 0, 0, true); err != nil {
+				s.logf("resync %q: %v", name, err)
+			}
+		}
+		tp.mu.Unlock()
+	}
+}
+
+// shipError is a ship attempt's terminal failure: the follower's stable
+// error code (when it answered) plus the epoch/owner it advertised.
+type shipError struct {
+	code  string
+	epoch uint64
+	owner string
+	err   error
+}
+
+// post ships one replication frame to peer with bounded retries and
+// backoff. Transport errors and 5xx answers retry (a duplicate delivery
+// is acknowledged idempotently by the follower, so retrying a frame whose
+// response was lost is safe); 4xx answers are definitive.
+func (r *replicator) post(peer, name string, fr *codec.ReplAppend) (replAck, *shipError) {
+	var buf bytes.Buffer
+	if err := codec.EncodeReplAppend(&buf, fr); err != nil {
+		return replAck{}, &shipError{err: err}
+	}
+	var last error
+	for attempt := 0; attempt < r.opts.ShipAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.stop:
+				return replAck{}, &shipError{err: errors.New("replicator shutting down")}
+			case <-time.After(r.opts.Backoff.Delay(attempt - 1)):
+			}
+		}
+		ack, se, retry := r.postOnce(peer, name, buf.Bytes())
+		if se == nil {
+			return ack, nil
+		}
+		if !retry {
+			return replAck{}, se
+		}
+		last = se.err
+	}
+	return replAck{}, &shipError{err: fmt.Errorf("gave up after %d attempts: %w", r.opts.ShipAttempts, last)}
+}
+
+func (r *replicator) postOnce(peer, name string, frame []byte) (replAck, *shipError, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.ShipTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/v1/replica/"+name+"/append", bytes.NewReader(frame))
+	if err != nil {
+		return replAck{}, &shipError{err: err}, false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return replAck{}, &shipError{err: err}, true
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusOK {
+		var ack replAck
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return replAck{}, &shipError{err: fmt.Errorf("undecodable ack: %w", err)}, false
+		}
+		return ack, nil, false
+	}
+	se := &shipError{err: fmt.Errorf("%s answered %d", peer, resp.StatusCode)}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		se.code = eb.Error.Code
+		se.err = fmt.Errorf("%s answered %d (%s: %s)", peer, resp.StatusCode, eb.Error.Code, eb.Error.Message)
+	}
+	if v := resp.Header.Get(epochHeader); v != "" {
+		se.epoch, _ = strconv.ParseUint(v, 10, 64)
+	}
+	se.owner = resp.Header.Get(shardHeader)
+	// 5xx (including a killed shard's 503) may be transient; 4xx is the
+	// follower's considered verdict.
+	return replAck{}, se, resp.StatusCode >= 500
+}
+
+// replShip replicates a topic's latest state to its followers; the caller
+// holds tp.mu. frame non-nil ships that just-appended journal frame
+// incrementally (batches/draws are the post-append fingerprint); frame
+// nil ships the full current snapshot — the first-contact, post-
+// compaction and resync path. onlyUnsynced skips followers already in
+// sync (the async resync worker's mode).
+//
+// The only failure that propagates is discovering this shard is a fenced
+// zombie (a follower answered epoch_mismatch): the topic is fenced
+// locally and the caller must fail the client's request with 409. Every
+// other failure degrades: the follower is marked out-of-sync, a resync is
+// queued, and the batch acks with fewer live copies.
+func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, onlyUnsynced bool) (int, string, error) {
+	r := s.repl
+	if r == nil || tp.deleted {
+		return 0, "", nil
+	}
+	peers := r.followerPeers(tp.name)
+	if len(peers) == 0 {
+		return 0, "", nil
+	}
+	epoch := tp.tp.Epoch()
+	if frame == nil {
+		batches, draws = tp.tp.StreamPos()
+	}
+	// The full snapshot is built at most once per ship round and reused
+	// across followers.
+	var fullSnap []byte
+	var fullCRC uint32
+	buildFull := func() error {
+		if fullSnap != nil {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := tp.tp.Snapshot(&buf); err != nil {
+			return err
+		}
+		fullSnap = buf.Bytes()
+		fullCRC = codec.Checksum(fullSnap)
+		return nil
+	}
+	for _, peer := range peers {
+		st, known := r.follower(tp.name, peer)
+		if onlyUnsynced && known && st.synced {
+			continue
+		}
+		if r.det.Down(peer) {
+			r.markUnsynced(tp.name, peer)
+			r.enqueueResync(tp.name)
+			continue
+		}
+		full := frame == nil || !known || !st.synced
+		// At most two passes: an incremental ship the follower refuses as
+		// out-of-sync is retried once as a full ship.
+		for pass := 0; pass < 2; pass++ {
+			fr := codec.ReplAppend{Source: s.cluster.self, Epoch: epoch,
+				Batches: uint64(batches), RandDraws: draws}
+			crc := st.snapCRC
+			if full {
+				if err := buildFull(); err != nil {
+					return http.StatusInternalServerError, codeStorage,
+						fmt.Errorf("export snapshot for replication: %w", err)
+				}
+				crc = fullCRC
+				fr.Snapshot = fullSnap
+				fr.BaseBatches = uint64(batches)
+				fr.BaseRandDraws = draws
+			} else {
+				fr.Tail = frame
+			}
+			fr.SnapCRC = crc
+			ack, se := r.post(peer, tp.name, &fr)
+			if se == nil {
+				r.setFollower(tp.name, peer, followerState{
+					snapCRC: crc, batches: ack.Batches, draws: ack.RandDraws, synced: true,
+				})
+				break
+			}
+			if se.code == codeEpochMismatch {
+				// The follower knows the topic at a higher epoch: someone
+				// promoted (or the topic legitimately moved on) while this
+				// shard kept serving. Fence ourselves at just below the
+				// winning epoch so the new owner's ships to *us* pass and
+				// our clients are redirected to it.
+				fe := se.epoch
+				if fe == 0 {
+					fe = epoch + 1
+				}
+				target := se.owner
+				if target == "" {
+					target = peer
+				}
+				s.logf("topic %q: follower %s fenced this shard (epoch %d > %d); demoting", tp.name, peer, fe, epoch)
+				s.fenceLocal(tp, fe-1, target)
+				return http.StatusConflict, codeEpochMismatch,
+					fmt.Errorf("topic %q is now owned elsewhere at epoch %d (this shard was fenced; ask %s)", tp.name, fe, target)
+			}
+			if se.code == codeReplicaOutOfSync && !full {
+				full = true
+				continue
+			}
+			r.markUnsynced(tp.name, peer)
+			r.enqueueResync(tp.name)
+			s.logf("replicate %q to %s: %v (follower marked out of sync)", tp.name, peer, se.err)
+			break
+		}
+	}
+	return 0, "", nil
+}
+
+// fenceLocal demotes this shard's copy of a topic: it is unregistered,
+// its journal handle closed, a tombstone at the given epoch written (so
+// clients are redirected to target and stale-epoch state cannot
+// re-register), and its files dropped. Caller holds tp.mu.
+func (s *server) fenceLocal(tp *topic, epoch uint64, target string) {
+	s.mu.Lock()
+	if s.topics[tp.name] == tp {
+		delete(s.topics, tp.name)
+	}
+	s.mu.Unlock()
+	tp.deleted = true
+	if tp.jw != nil {
+		tp.jw.Close()
+		tp.jw = nil
+	}
+	if err := s.setMoved(tp.name, cluster.Tombstone{Epoch: epoch, Target: target}); err != nil {
+		s.logf("fence %q: tombstone not persisted: %v", tp.name, err)
+	}
+	s.removeStale(tp.name)
+	if s.repl != nil {
+		s.repl.dropTopicState(tp.name)
+	}
+}
+
+// dropReplicas asks a deleted topic's followers to drop their cold
+// replicas (best effort, off the request path).
+func (r *replicator) dropReplicas(name string, epoch uint64) {
+	peers := r.followerPeers(name)
+	r.dropTopicState(name)
+	r.spawn(func() {
+		for _, peer := range peers {
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.ShipTimeout)
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+				peer+"/v1/replica/"+name+"?epoch="+strconv.FormatUint(epoch, 10), nil)
+			if err == nil {
+				if resp, err := r.client.Do(req); err == nil {
+					_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+					resp.Body.Close()
+				}
+			}
+			cancel()
+		}
+	})
+}
+
+// ——— follower side: the replica store ———
+
+// replicaFor returns the named cold replica, creating the bookkeeping
+// entry when create is set.
+func (r *replicator) replicaFor(name string, create bool) *replica {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.replicas[name]
+	if rep == nil && create {
+		rep = &replica{}
+		r.replicas[name] = rep
+	}
+	return rep
+}
+
+// loadReplicas restores the cold replicas found in the data directory at
+// startup: every <topic>.rmeta whose snapshot and journal agree with it.
+// A replica that fails its own consistency checks is skipped (and
+// counted), not served — the primary will re-ship a fresh base on its
+// next contact.
+func (r *replicator) loadReplicas() {
+	st := r.s.store
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		r.s.logf("replica scan: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".rmeta") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".rmeta")
+		if err := validTopicName(name); err != nil {
+			st.quarantined.Add(1)
+			r.s.logf("skipping replica %s: %v", e.Name(), err)
+			continue
+		}
+		rep, err := r.loadReplica(name)
+		if err != nil {
+			st.quarantined.Add(1)
+			r.s.logf("skipping replica %q: %v", name, err)
+			continue
+		}
+		r.replicas[name] = rep
+		r.s.logf("loaded replica %q (source %s, epoch %d, %d batches)",
+			name, rep.meta.Source, rep.meta.Epoch, rep.batches)
+	}
+}
+
+func (r *replicator) loadReplica(name string) (*replica, error) {
+	st := r.s.store
+	data, err := os.ReadFile(st.replMetaPath(name))
+	if err != nil {
+		return nil, err
+	}
+	var meta replMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("meta undecodable: %w", err)
+	}
+	snap, err := os.ReadFile(st.replSnapPath(name))
+	if err != nil {
+		return nil, err
+	}
+	if crc := codec.Checksum(snap); crc != meta.SnapCRC {
+		return nil, fmt.Errorf("base snapshot CRC %08x does not match meta %08x", crc, meta.SnapCRC)
+	}
+	j, err := journal.Load(st.replJournalPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("tail journal: %w", err)
+	}
+	if j.SnapCRC != meta.SnapCRC {
+		return nil, fmt.Errorf("tail journal extends snapshot %08x, meta names %08x", j.SnapCRC, meta.SnapCRC)
+	}
+	rep := &replica{meta: meta, batches: meta.Batches, draws: meta.RandDraws}
+	if n := len(j.Records); n > 0 {
+		last := j.Records[n-1]
+		rep.batches, rep.draws = last.Batches, last.RandDraws
+	}
+	return rep, nil
+}
+
+// verifyTail decodes raw journal frames and checks they chain gaplessly
+// from the position after fromBatches to exactly (wantBatches, wantDraws).
+// Nothing is written unless the whole tail verifies.
+func verifyTail(tail []byte, fromBatches, wantBatches int, fromDraws, wantDraws uint64) error {
+	prevB, prevD := fromBatches, fromDraws
+	for off := 0; off < len(tail); {
+		rec, n, ok := journal.DecodeFrame(tail[off:])
+		if !ok {
+			return errors.New("undecodable record frame in tail")
+		}
+		if rec.Batches != prevB+1 {
+			return fmt.Errorf("tail record at batch %d does not follow %d", rec.Batches, prevB)
+		}
+		prevB, prevD = rec.Batches, rec.RandDraws
+		off += n
+	}
+	if prevB != wantBatches || prevD != wantDraws {
+		return fmt.Errorf("tail ends at (batches=%d, draws=%d), frame declares (batches=%d, draws=%d)",
+			prevB, prevD, wantBatches, wantDraws)
+	}
+	return nil
+}
+
+// writeReplMeta atomically persists a replica's meta file.
+func (st *store) writeReplMeta(name string, meta replMeta) error {
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, name+".rmeta.tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.replMetaPath(name)); err != nil {
+		return err
+	}
+	return st.syncDir()
+}
+
+// replicaAppend implements POST /v1/replica/{topic}/append — the wire a
+// primary ships journal frames (and base snapshots) over. The frame is
+// verified completely — CRC, epoch fencing, gapless fingerprint chain —
+// before anything is fsynced; a frame the follower cannot reconcile with
+// its replica answers 409 replica_out_of_sync, telling the primary to
+// re-ship a full base. Duplicate frames (a retry whose original response
+// was lost) are acknowledged idempotently.
+func (s *server) replicaAppend(w http.ResponseWriter, req *http.Request) {
+	r := s.repl
+	if r == nil {
+		writeError(w, http.StatusConflict, codeReplicationOff,
+			errors.New("this daemon does not run replication (-replication-factor)"))
+		return
+	}
+	name := req.PathValue("topic")
+	if err := validTopicName(name); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidName, err)
+		return
+	}
+	body, ok := s.readBody(w, req)
+	if !ok {
+		return
+	}
+	fr, err := codec.DecodeReplAppend(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
+		return
+	}
+
+	// Epoch fencing against this shard's own view of the topic. A local
+	// copy at a strictly higher epoch outranks the shipper (it is the
+	// zombie); a local copy at a lower epoch means *we* are stale — fence
+	// ourselves, then accept the replica. Equal epochs are the hand-off
+	// window: this shard is mid-move of the topic to the shipper (our
+	// tombstone at newEpoch is already down, the local copy is about to be
+	// dropped when the install PUT we are serving right now acks), so the
+	// frame is stored as a replica without touching the served topic —
+	// demoting here would deadlock against the hand-off holding tp.mu, and
+	// refusing would fence the legitimate new owner.
+	s.mu.RLock()
+	tp, local := s.topics[name]
+	mv, movedOK := s.moved[name]
+	s.mu.RUnlock()
+	if local {
+		if le := tp.tp.Epoch(); le > fr.Epoch {
+			w.Header().Set(epochHeader, strconv.FormatUint(le, 10))
+			w.Header().Set(shardHeader, s.cluster.self)
+			writeError(w, http.StatusConflict, codeEpochMismatch,
+				fmt.Errorf("topic %q is served here at epoch %d; refusing replica frames at epoch %d", name, le, fr.Epoch))
+			return
+		} else if le < fr.Epoch {
+			tp.mu.Lock()
+			if !tp.deleted {
+				s.logf("topic %q: replica frame at epoch %d outranks local epoch %d; demoting to follower",
+					name, fr.Epoch, tp.tp.Epoch())
+				s.fenceLocal(tp, fr.Epoch-1, fr.Source)
+			}
+			tp.mu.Unlock()
+		}
+	} else if movedOK && mv.Epoch > fr.Epoch {
+		// The tombstone records the epoch the topic *left* at — the new
+		// owner legitimately ships at exactly that epoch, so only strictly
+		// older frames are the fenced zombie's.
+		w.Header().Set(epochHeader, strconv.FormatUint(mv.Epoch, 10))
+		w.Header().Set(shardHeader, mv.Target)
+		writeError(w, http.StatusConflict, codeEpochMismatch,
+			fmt.Errorf("topic %q was handed off at epoch %d; refusing replica frames at epoch %d", name, mv.Epoch, fr.Epoch))
+		return
+	}
+
+	rep := r.replicaFor(name, true)
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.meta.Epoch > fr.Epoch {
+		w.Header().Set(epochHeader, strconv.FormatUint(rep.meta.Epoch, 10))
+		w.Header().Set(shardHeader, rep.meta.Source)
+		writeError(w, http.StatusConflict, codeEpochMismatch,
+			fmt.Errorf("replica of %q is held at epoch %d; refusing frames at epoch %d", name, rep.meta.Epoch, fr.Epoch))
+		return
+	}
+	if fr.Snapshot != nil {
+		s.installReplica(w, rep, name, fr)
+		return
+	}
+	s.appendReplica(w, rep, name, fr)
+}
+
+// installReplica replaces a replica's base with a shipped full snapshot.
+// rep.mu held.
+func (s *server) installReplica(w http.ResponseWriter, rep *replica, name string, fr *codec.ReplAppend) {
+	st := s.store
+	if err := verifyTail(fr.Tail, int(fr.BaseBatches), int(fr.Batches), fr.BaseRandDraws, fr.RandDraws); err != nil {
+		writeError(w, http.StatusConflict, codeReplicaOutOfSync,
+			fmt.Errorf("shipped tail does not extend the shipped base: %w", err))
+		return
+	}
+	tmp, err := os.CreateTemp(st.dir, name+".rsnap.tmp*")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(fr.Snapshot); err != nil {
+		tmp.Close()
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), st.replSnapPath(name)); err != nil {
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	if rep.jw != nil {
+		rep.jw.Close()
+		rep.jw = nil
+	}
+	jw, err := journal.Create(st.replJournalPath(name), fr.SnapCRC)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	if len(fr.Tail) > 0 {
+		if err := jw.AppendFrames(fr.Tail); err != nil {
+			jw.Close()
+			writeError(w, http.StatusInternalServerError, codeStorage, err)
+			return
+		}
+	}
+	meta := replMeta{Source: fr.Source, Epoch: fr.Epoch, SnapCRC: fr.SnapCRC,
+		Batches: int(fr.BaseBatches), RandDraws: fr.BaseRandDraws}
+	if err := st.writeReplMeta(name, meta); err != nil {
+		jw.Close()
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	rep.meta = meta
+	rep.jw = jw
+	rep.batches, rep.draws = int(fr.Batches), fr.RandDraws
+	rep.dropped = false
+	writeJSON(w, http.StatusOK, replAck{Batches: rep.batches, RandDraws: rep.draws})
+}
+
+// appendReplica extends a replica's journal tail with shipped frames.
+// rep.mu held.
+func (s *server) appendReplica(w http.ResponseWriter, rep *replica, name string, fr *codec.ReplAppend) {
+	if rep.meta.SnapCRC == 0 && rep.meta.Source == "" {
+		writeError(w, http.StatusConflict, codeReplicaOutOfSync,
+			fmt.Errorf("no replica of %q is held here; ship a full base first", name))
+		return
+	}
+	if rep.meta.Epoch != fr.Epoch || rep.meta.SnapCRC != fr.SnapCRC {
+		writeError(w, http.StatusConflict, codeReplicaOutOfSync,
+			fmt.Errorf("replica of %q holds base %08x at epoch %d, frame extends %08x at epoch %d",
+				name, rep.meta.SnapCRC, rep.meta.Epoch, fr.SnapCRC, fr.Epoch))
+		return
+	}
+	if int(fr.Batches) <= rep.batches {
+		// A duplicate delivery: the original append landed but its ack was
+		// lost. Acknowledge idempotently — the primary's retry settles.
+		writeJSON(w, http.StatusOK, replAck{Batches: rep.batches, RandDraws: rep.draws})
+		return
+	}
+	if err := verifyTail(fr.Tail, rep.batches, int(fr.Batches), rep.draws, fr.RandDraws); err != nil {
+		writeError(w, http.StatusConflict, codeReplicaOutOfSync, err)
+		return
+	}
+	if rep.jw == nil {
+		jw, _, err := journal.Open(s.store.replJournalPath(name))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeStorage, err)
+			return
+		}
+		rep.jw = jw
+	}
+	if err := rep.jw.AppendFrames(fr.Tail); err != nil {
+		if terr := rep.jw.TruncateTail(); terr != nil {
+			rep.jw.Close()
+			rep.jw = nil
+		}
+		writeError(w, http.StatusInternalServerError, codeStorage, err)
+		return
+	}
+	rep.batches, rep.draws = int(fr.Batches), fr.RandDraws
+	writeJSON(w, http.StatusOK, replAck{Batches: rep.batches, RandDraws: rep.draws})
+}
+
+// replicaDrop implements DELETE /v1/replica/{topic}?epoch=N: the primary
+// deleted the topic (or re-homed it), so the cold replica at epochs ≤ N
+// is garbage.
+func (s *server) replicaDrop(w http.ResponseWriter, req *http.Request) {
+	r := s.repl
+	if r == nil {
+		writeError(w, http.StatusConflict, codeReplicationOff,
+			errors.New("this daemon does not run replication (-replication-factor)"))
+		return
+	}
+	name := req.PathValue("topic")
+	if err := validTopicName(name); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidName, err)
+		return
+	}
+	epoch, err := strconv.ParseUint(req.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("bad epoch: %w", err))
+		return
+	}
+	rep := r.replicaFor(name, false)
+	if rep != nil {
+		rep.mu.Lock()
+		if epoch >= rep.meta.Epoch {
+			if rep.jw != nil {
+				rep.jw.Close()
+				rep.jw = nil
+			}
+			rep.dropped = true
+			s.removeReplicaFiles(name)
+			r.mu.Lock()
+			delete(r.replicas, name)
+			r.mu.Unlock()
+		}
+		rep.mu.Unlock()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) removeReplicaFiles(name string) {
+	_ = os.Remove(s.store.replSnapPath(name))
+	_ = os.Remove(s.store.replJournalPath(name))
+	_ = os.Remove(s.store.replMetaPath(name))
+}
+
+// ——— failover: promotion ———
+
+// onPeerChange reacts to detector verdicts: a peer going down triggers
+// promotion of the replicas it was shipping; a peer coming back triggers
+// a resync sweep (it may have missed ships while down).
+func (r *replicator) onPeerChange(peer string, down bool) {
+	if down {
+		r.s.logf("peer %s declared down", peer)
+		r.spawn(func() { r.promoteFrom(peer) })
+		return
+	}
+	r.s.logf("peer %s is back", peer)
+	r.spawn(r.resyncAllLocal)
+}
+
+func (r *replicator) resyncAllLocal() {
+	s := r.s
+	s.mu.RLock()
+	names := make([]string, 0, len(s.topics))
+	for name := range s.topics {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	for _, name := range names {
+		r.enqueueResync(name)
+	}
+}
+
+// promoteFrom promotes every cold replica whose shipping source is the
+// dead peer — when this shard is the first live promotion candidate. The
+// candidate order is shared ring order, so exactly one shard elects
+// itself per topic once detector views converge.
+func (r *replicator) promoteFrom(peer string) {
+	r.mu.Lock()
+	var names []string
+	for name, rep := range r.replicas {
+		rep.mu.Lock()
+		if rep.meta.Source == peer && !rep.dropped {
+			names = append(names, name)
+		}
+		rep.mu.Unlock()
+	}
+	r.mu.Unlock()
+	for _, name := range names {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.maybePromote(name, peer)
+	}
+}
+
+func (r *replicator) maybePromote(name, source string) {
+	s := r.s
+	cands := r.candidates(name, source)
+	first, ok := r.det.FirstLive(cands)
+	if !ok || first != s.cluster.self {
+		return
+	}
+	s.mu.RLock()
+	_, local := s.topics[name]
+	s.mu.RUnlock()
+	if local {
+		return
+	}
+	rep := r.replicaFor(name, false)
+	if rep == nil {
+		return
+	}
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.dropped || rep.meta.Source != source {
+		return
+	}
+	// Split-brain guard: an operator move (or an earlier promotion) may
+	// have re-homed the topic onto a shard that is alive and well — in
+	// which case the replica is merely stale and promoting it would fork
+	// history. Ask every live candidate before self-electing.
+	for _, c := range cands {
+		if c == s.cluster.self || r.det.Down(c) {
+			continue
+		}
+		if s.targetHasTopic(c, name, rep.meta.Epoch) {
+			s.logf("not promoting %q: %s already serves it at epoch ≥ %d", name, c, rep.meta.Epoch)
+			return
+		}
+	}
+	if err := s.promoteReplica(name, rep); err != nil {
+		s.logf("promote %q: %v (replica kept)", name, err)
+	}
+}
+
+// promoteReplica turns a verified cold replica into the served topic:
+// restore the base snapshot, replay the tail through Topic.Process with
+// fingerprint verification (bit-identical by the determinism contract),
+// bump the epoch past the dead primary's, register, persist, and drop the
+// replica files. rep.mu held.
+func (s *server) promoteReplica(name string, rep *replica) error {
+	st := s.store
+	snapData, err := os.ReadFile(st.replSnapPath(name))
+	if err != nil {
+		return err
+	}
+	if crc := codec.Checksum(snapData); crc != rep.meta.SnapCRC {
+		return fmt.Errorf("base snapshot CRC %08x does not match meta %08x", crc, rep.meta.SnapCRC)
+	}
+	tr, err := triclust.Restore(bytes.NewReader(snapData))
+	if err != nil {
+		return fmt.Errorf("base snapshot undecodable: %w", err)
+	}
+	if b, d := tr.StreamPos(); b != rep.meta.Batches || d != rep.meta.RandDraws {
+		return fmt.Errorf("base snapshot is at (batches=%d, draws=%d), meta declares (batches=%d, draws=%d)",
+			b, d, rep.meta.Batches, rep.meta.RandDraws)
+	}
+	if rep.jw != nil {
+		rep.jw.Close()
+		rep.jw = nil
+	}
+	j, err := journal.Load(st.replJournalPath(name))
+	if err != nil {
+		return fmt.Errorf("tail journal: %w", err)
+	}
+	if j.SnapCRC != rep.meta.SnapCRC {
+		return fmt.Errorf("tail journal extends snapshot %08x, meta names %08x", j.SnapCRC, rep.meta.SnapCRC)
+	}
+	for i, rec := range j.Records {
+		out, err := tr.Process(rec.Time, rec.Tweets)
+		if err == nil && out.Skipped {
+			err = errors.New("recorded batch replayed as an empty-batch skip")
+		}
+		if err == nil {
+			if b, d := tr.StreamPos(); b != rec.Batches || d != rec.RandDraws {
+				err = fmt.Errorf("fingerprint mismatch: replayed (batches=%d, draws=%d), recorded (batches=%d, draws=%d)",
+					b, d, rec.Batches, rec.RandDraws)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("replay of tail record %d/%d failed: %w", i+1, len(j.Records), err)
+		}
+	}
+	newEpoch := rep.meta.Epoch + 1
+	tr.SetEpoch(newEpoch)
+	tp := &topic{name: name, created: time.Now().UTC(), tp: tr}
+	if code, err := s.tryRegister(tp, newEpoch); err != nil {
+		return fmt.Errorf("register promoted topic: %s: %w", code, err)
+	}
+	tp.mu.Lock()
+	if _, err := s.saveIfCurrent(tp); err != nil {
+		// The topic serves from memory; the next successful save (or
+		// batch) restores durability.
+		s.logf("persist promoted %q: %v", name, err)
+	}
+	tp.mu.Unlock()
+	rep.dropped = true
+	s.removeReplicaFiles(name)
+	s.repl.mu.Lock()
+	delete(s.repl.replicas, name)
+	s.repl.mu.Unlock()
+	s.logf("promoted replica %q to primary at epoch %d (%d batches; source %s is down)",
+		name, newEpoch, tr.Batches(), rep.meta.Source)
+	// This shard is the topic's primary now: seed its own followers.
+	s.repl.enqueueResync(name)
+	return nil
+}
+
+// reconcileStartup checks, once per boot, whether any locally served
+// topic was promoted elsewhere while this shard was down (the restarted-
+// zombie case): if a live replica-set peer serves the topic at a higher
+// epoch, the local copy is fenced immediately instead of waiting to be
+// fenced on its next ship.
+func (r *replicator) reconcileStartup() {
+	s := r.s
+	s.mu.RLock()
+	topics := make([]*topic, 0, len(s.topics))
+	for _, tp := range s.topics {
+		topics = append(topics, tp)
+	}
+	s.mu.RUnlock()
+	for _, tp := range topics {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		epoch := tp.tp.Epoch()
+		for _, peer := range r.s.cluster.ring.ReplicaSet(tp.name, len(r.s.cluster.ring.Peers())) {
+			if peer == s.cluster.self {
+				continue
+			}
+			if s.targetHasTopic(peer, tp.name, epoch+1) {
+				tp.mu.Lock()
+				if !tp.deleted {
+					s.logf("topic %q was re-homed to %s while this shard was down; demoting local copy", tp.name, peer)
+					s.fenceLocal(tp, epoch, peer)
+				}
+				tp.mu.Unlock()
+				break
+			}
+		}
+	}
+}
+
+// ——— rebalancer ———
+
+// rebalanceLoop periodically converges this shard's held topics onto the
+// ring: topics whose ring owner is a different live peer are handed off
+// through the ordinary move path. Because placement is a consistent hash,
+// the plan is exactly the minimal remap for whatever peers died or
+// returned — topics still mapping here never move.
+func (r *replicator) rebalanceLoop() {
+	t := time.NewTicker(r.opts.RebalanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.rebalanceOnce()
+	}
+}
+
+func (r *replicator) rebalanceOnce() {
+	s := r.s
+	s.mu.RLock()
+	held := make([]string, 0, len(s.topics))
+	for name := range s.topics {
+		held = append(held, name)
+	}
+	s.mu.RUnlock()
+	plan := cluster.PlanRebalance(s.cluster.ring, s.cluster.self, held, func(p string) bool {
+		return !r.det.Down(p)
+	})
+	for _, mv := range plan {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		s.mu.RLock()
+		tp := s.topics[mv.Topic]
+		s.mu.RUnlock()
+		if tp == nil {
+			continue
+		}
+		resp, _, _, err := s.performHandoff(tp, mv.To)
+		if err != nil {
+			s.logf("rebalance %q to %s: %v", mv.Topic, mv.To, err)
+			continue
+		}
+		s.logf("rebalanced %q to its ring owner %s at epoch %d", mv.Topic, mv.To, resp.Epoch)
+	}
+}
+
+// ——— health ———
+
+// replicationHealth is the healthz view of this shard's replication
+// state: its own factor, the peers it currently considers down, the cold
+// replicas it holds, and the per-follower shipping lag of the topics it
+// serves (behind = primary batches − follower batches; a synced follower
+// is at 0).
+type replicationHealth struct {
+	Factor    int              `json:"factor"`
+	Replicas  int              `json:"replicas"`
+	DownPeers []string         `json:"down_peers,omitempty"`
+	Lag       []replicaLagJSON `json:"lag,omitempty"`
+}
+
+type replicaLagJSON struct {
+	Topic  string `json:"topic"`
+	Peer   string `json:"peer"`
+	Behind int    `json:"behind"`
+	Synced bool   `json:"synced"`
+}
+
+func (r *replicator) health() *replicationHealth {
+	h := &replicationHealth{Factor: r.opts.Factor, DownPeers: r.det.DownPeers()}
+	s := r.s
+	s.mu.RLock()
+	batches := make(map[string]int, len(s.topics))
+	for name, tp := range s.topics {
+		batches[name] = tp.tp.Batches()
+	}
+	s.mu.RUnlock()
+	r.mu.Lock()
+	h.Replicas = len(r.replicas)
+	for name, cur := range batches {
+		for peer, st := range r.followers[name] {
+			behind := cur - st.batches
+			if behind < 0 {
+				behind = 0
+			}
+			h.Lag = append(h.Lag, replicaLagJSON{Topic: name, Peer: peer, Behind: behind, Synced: st.synced})
+		}
+	}
+	r.mu.Unlock()
+	return h
+}

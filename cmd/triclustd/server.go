@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"triclust"
@@ -39,6 +41,10 @@ type server struct {
 	// consistent-hash cluster (see cluster.go); nil preserves the exact
 	// single-process behavior.
 	cluster *clusterConfig
+	// repl is non-nil when -replication-factor >= 2: this shard ships its
+	// topics' journals to ring successors and holds cold replicas for
+	// peers (see repl.go).
+	repl *replicator
 	// maxBody bounds every request body; 0 selects defaultMaxBody.
 	maxBody int64
 
@@ -74,6 +80,11 @@ type topic struct {
 	// it tells removeStale whether <name>.snap belongs to the currently
 	// registered topic or to a deleted earlier incarnation of the name.
 	saved bool
+	// degraded is set when the topic's last journal append failed (disk
+	// full, I/O error): the batch was refused with journal_write_failed
+	// and healthz reports the topic until an append or snapshot succeeds.
+	// Atomic so healthz can read it without the topic lock.
+	degraded atomic.Bool
 }
 
 // serverOptions bundle the daemon's tunables beyond the data directory:
@@ -85,6 +96,9 @@ type serverOptions struct {
 	maxBody int64
 	// cluster enables sharded routing; nil runs single-process.
 	cluster *clusterConfig
+	// repl enables journal-shipped replication (nil or Factor < 2: off).
+	// Requires cluster mode and a data directory.
+	repl *replOptions
 }
 
 // newServer builds the registry, restoring every snapshot found under
@@ -155,6 +169,17 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 		}
 	}
 
+	if opts.repl != nil && opts.repl.Factor >= 2 {
+		if opts.cluster == nil {
+			return nil, errors.New("-replication-factor needs cluster mode (-peers and -self)")
+		}
+		if st == nil {
+			return nil, errors.New("-replication-factor needs a -data-dir (cold replicas live on disk)")
+		}
+		s.repl = newReplicator(s, *opts.repl)
+		s.repl.loadReplicas()
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -172,8 +197,29 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 	mux.HandleFunc("GET /v1/topics/{topic}/features", s.featureSentiments)
 	mux.HandleFunc("POST /v1/cluster/move", s.moveTopic)
 	mux.HandleFunc("GET /v1/cluster/info", s.clusterInfo)
+	mux.HandleFunc("POST /v1/replica/{topic}/append", s.replicaAppend)
+	mux.HandleFunc("DELETE /v1/replica/{topic}", s.replicaDrop)
 	s.mux = mux
 	return s, nil
+}
+
+// start launches the server's background machinery — the failure
+// detector, the resync worker and the optional rebalancer. Kept out of
+// newServer so construction stays side-effect-free (tests that never
+// exercise replication need no goroutines and no Close).
+func (s *server) start() {
+	if s.repl != nil {
+		s.repl.start()
+	}
+}
+
+// Close stops the background machinery and releases replica journal
+// handles. Idempotent; a server that was never started closes cleanly.
+func (s *server) Close() error {
+	if s.repl != nil {
+		s.repl.close()
+	}
+	return nil
 }
 
 // defaultMaxBody bounds every request body (JSON and snapshot uploads)
@@ -209,6 +255,14 @@ type healthResponse struct {
 	// counter existed, quarantine was silent unless you listed the files.
 	Quarantined int            `json:"quarantined"`
 	Cluster     *clusterHealth `json:"cluster,omitempty"`
+	// Degraded lists topics whose last journal append failed: they are
+	// serving reads but refusing batches with journal_write_failed until
+	// the disk recovers. Non-empty flips Status to "degraded".
+	Degraded []string `json:"degraded,omitempty"`
+	// Replication reports the shard's replication state (factor, down
+	// peers, held replicas, per-follower shipping lag); absent when
+	// replication is off.
+	Replication *replicationHealth `json:"replication,omitempty"`
 }
 
 type clusterHealth struct {
@@ -222,8 +276,19 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	topics := len(s.topics)
 	movedTopics := len(s.moved)
+	var degraded []string
+	for name, tp := range s.topics {
+		if tp.degraded.Load() {
+			degraded = append(degraded, name)
+		}
+	}
 	s.mu.RUnlock()
 	resp := healthResponse{Status: "ok", Topics: topics}
+	if len(degraded) > 0 {
+		sort.Strings(degraded)
+		resp.Status = "degraded"
+		resp.Degraded = degraded
+	}
 	if s.store != nil {
 		resp.Quarantined = int(s.store.quarantined.Load())
 	}
@@ -234,6 +299,9 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 			Vnodes:      c.ring.VirtualNodes(),
 			MovedTopics: movedTopics,
 		}
+	}
+	if rp := s.repl; rp != nil {
+		resp.Replication = rp.health()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -596,30 +664,46 @@ func (s *server) persistNew(w http.ResponseWriter, tp *topic) bool {
 			fmt.Errorf("topic %q was deleted while being created", tp.name))
 		return false
 	}
+	// Seed the topic's followers with its base snapshot before the 201:
+	// a replicated topic's creation ack implies RF copies exist (or are
+	// at least queued for resync). Only a fencing verdict fails the
+	// request — this shard learned it does not own the name after all.
+	if status, code, err := s.replShip(tp, nil, 0, 0, false); err != nil {
+		writeError(w, status, code, err)
+		return false
+	}
 	return true
 }
 
-// register installs a topic in the registry, failing with 409 if the
-// name is taken or if a hand-off tombstone fences the topic's epoch.
-// epoch is the ownership epoch the topic arrives with (0 for a fresh
-// create): a shard that handed the topic away at epoch E accepts it back
-// only at a strictly greater epoch, so a stale pre-move snapshot can
-// never resurrect forked state. Registering at a valid epoch clears the
-// tombstone — the topic legitimately lives here again.
+// register installs a topic in the registry, writing the 409 response
+// itself when the name is taken or a tombstone fences the epoch (the
+// HTTP wrapper around tryRegister).
 func (s *server) register(w http.ResponseWriter, tp *topic, epoch uint64) bool {
+	if code, err := s.tryRegister(tp, epoch); err != nil {
+		writeError(w, http.StatusConflict, code, err)
+		return false
+	}
+	return true
+}
+
+// tryRegister installs a topic in the registry, failing with a stable
+// error code if the name is taken or if a hand-off tombstone fences the
+// topic's epoch. epoch is the ownership epoch the topic arrives with (0
+// for a fresh create): a shard that handed the topic away at epoch E
+// accepts it back only at a strictly greater epoch, so a stale pre-move
+// snapshot can never resurrect forked state. Registering at a valid
+// epoch clears the tombstone — the topic legitimately lives here again.
+func (s *server) tryRegister(tp *topic, epoch uint64) (string, error) {
 	s.mu.Lock()
 	if mv, ok := s.moved[tp.name]; ok && epoch <= mv.Epoch {
 		s.mu.Unlock()
-		writeError(w, http.StatusConflict, codeEpochMismatch,
+		return codeEpochMismatch,
 			fmt.Errorf("topic %q was handed off to %s at epoch %d; refusing state at epoch %d",
-				tp.name, mv.Target, mv.Epoch, epoch))
-		return false
+				tp.name, mv.Target, mv.Epoch, epoch)
 	}
 	if _, exists := s.topics[tp.name]; exists {
 		s.mu.Unlock()
-		writeError(w, http.StatusConflict, codeTopicExists,
-			fmt.Errorf("topic %q already exists", tp.name))
-		return false
+		return codeTopicExists, fmt.Errorf("topic %q already exists", tp.name)
 	}
 	s.topics[tp.name] = tp
 	_, wasMoved := s.moved[tp.name]
@@ -632,7 +716,7 @@ func (s *server) register(w http.ResponseWriter, tp *topic, epoch uint64) bool {
 		}
 		s.unlockName(tp.name, l)
 	}
-	return true
+	return "", nil
 }
 
 // lookup resolves the request's topic, routing it to the owning shard
@@ -701,6 +785,12 @@ func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 	// either belongs to this (now unregistered) topic and is skipped, or
 	// to a re-created topic whose own save marks its file current.
 	s.removeStale(name)
+	if s.repl != nil {
+		// Best-effort: tell the followers their cold replicas are garbage.
+		// A follower that misses the drop keeps a stale replica, which the
+		// epoch fence retires if the name is ever re-created.
+		s.repl.dropReplicas(name, tp.tp.Epoch())
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -837,19 +927,25 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 		if tp.jw != nil {
 			batches, draws := tp.tp.StreamPos()
 			rec := journal.Record{Time: ts, Tweets: tweets, Batches: batches, RandDraws: draws}
-			if err := tp.jw.Append(&rec); err != nil {
-				// Fall back to a full snapshot; the journal is rotated on
-				// success, so the failed append leaves no gap.
-				s.logf("journal append %q: %v (falling back to snapshot)", tp.name, err)
-				tp.jw.Close()
-				tp.jw = nil
-			} else {
-				tp.jRecords++
-				if tp.jRecords < s.store.opts.Every && tp.jw.Size() < s.store.opts.MaxBytes {
-					return out, 0, "", nil
-				}
-				// Compaction point: fold the journal into a fresh snapshot.
+			frame, err := journal.EncodeFrame(&rec)
+			if err == nil {
+				err = tp.jw.AppendFrames(frame)
 			}
+			if err != nil {
+				return s.failJournalAppend(tp, err)
+			}
+			tp.degraded.Store(false)
+			tp.jRecords++
+			if tp.jRecords < s.store.opts.Every && tp.jw.Size() < s.store.opts.MaxBytes {
+				// The frame just fsynced locally ships to the followers
+				// before the ack — the same bytes, so they verify and store
+				// it without re-encoding.
+				if status, code, err := s.replShip(tp, frame, batches, draws, false); err != nil {
+					return nil, status, code, err
+				}
+				return out, 0, "", nil
+			}
+			// Compaction point: fold the journal into a fresh snapshot.
 		}
 		// Snapshot durability: the new state is persisted before the
 		// response is sent, so an acknowledged batch survives a restart.
@@ -862,8 +958,46 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 			return nil, http.StatusNotFound, codeTopicNotFound,
 				fmt.Errorf("topic %q was deleted", tp.name)
 		}
+		tp.degraded.Store(false)
+		// A compaction re-bases the followers too: ship the fresh snapshot
+		// so their replica journals restart as bounded tails (and so the
+		// snapshot-per-batch mode replicates at all).
+		if status, code, err := s.replShip(tp, nil, 0, 0, false); err != nil {
+			return nil, status, code, err
+		}
 	}
 	return out, 0, "", nil
+}
+
+// failJournalAppend resolves a failed journal append + fsync (disk full,
+// I/O error). The batch already ran in memory, but acknowledging it
+// would promise durability the disk refused — so the topic is rolled
+// back to exactly what disk vouches for (snapshot + intact journal
+// records), the on-disk tail is truncated so the failed append leaves no
+// ambiguous torn frame for recovery to guess about, and the batch fails
+// with 503 journal_write_failed. The topic stays served (reads, retries)
+// but is reported degraded by healthz until an append or save succeeds.
+func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResult, int, string, error) {
+	tp.degraded.Store(true)
+	if terr := tp.jw.TruncateTail(); terr != nil {
+		// The tail could not even be truncated; close the writer so the
+		// next batch re-resolves durability (journal re-create, or the
+		// snapshot path) instead of appending after an ambiguous tail.
+		s.logf("journal truncate %q after failed append: %v", tp.name, terr)
+		tp.jw.Close()
+		tp.jw = nil
+	}
+	epoch := tp.tp.Epoch()
+	fresh, rerr := s.store.reloadTopic(tp.name, s.logf)
+	if rerr != nil {
+		s.logf("reload %q after failed journal append: %v (in-memory state is ahead of disk until the next save)",
+			tp.name, rerr)
+	} else {
+		fresh.SetEpoch(epoch)
+		tp.tp = fresh
+	}
+	return nil, http.StatusServiceUnavailable, codeJournalWriteFailed,
+		fmt.Errorf("batch processed but not durable: %w", cause)
 }
 
 // warmupVocab implements POST /v1/topics/{topic}/vocab: fold warm-up
@@ -926,6 +1060,12 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 		}
 		if !ok {
 			writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
+			return
+		}
+		// Vocabulary warm-up mutates state outside the journal, so the
+		// followers need the new base snapshot.
+		if status, code, err := s.replShip(tp, nil, 0, 0, false); err != nil {
+			writeError(w, status, code, err)
 			return
 		}
 	}

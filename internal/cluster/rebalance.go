@@ -1,0 +1,37 @@
+package cluster
+
+import "sort"
+
+// Move is one step of a rebalance plan: hand topic to the shard To.
+type Move struct {
+	Topic string
+	To    string
+}
+
+// PlanRebalance computes the moves a shard should drive to converge its
+// held topics onto the current ring: every held topic whose ring owner is
+// a different, live peer becomes one Move to that owner. Because the ring
+// is a consistent hash, a peer-list change remaps only the topics whose
+// arc changed hands — the plan *is* the minimal remap; topics the ring
+// still assigns to self never appear in it.
+//
+// Topics whose new owner is reported down by alive are skipped (moving a
+// topic onto a dead shard would just lose it again); they reappear in the
+// next plan once the owner answers probes. The plan is ordered
+// deterministically (by topic name) so concurrent planners on different
+// shards interleave predictably and logs are comparable across runs.
+func PlanRebalance(r *Ring, self string, held []string, alive func(peer string) bool) []Move {
+	var out []Move
+	for _, t := range held {
+		owner := r.Owner(t)
+		if owner == self {
+			continue
+		}
+		if alive != nil && !alive(owner) {
+			continue
+		}
+		out = append(out, Move{Topic: t, To: owner})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testRing(t *testing.T, peers ...string) *Ring {
+	t.Helper()
+	r, err := New(peers, 64)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+func TestReplicaSetDistinctAndOwnerFirst(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := testRing(t, peers...)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("topic-%03d", i)
+		for n := 1; n <= len(peers)+2; n++ {
+			set := r.ReplicaSet(key, n)
+			want := n
+			if want > len(peers) {
+				want = len(peers)
+			}
+			if len(set) != want {
+				t.Fatalf("ReplicaSet(%q, %d) has %d peers, want %d", key, n, len(set), want)
+			}
+			if set[0] != r.Owner(key) {
+				t.Fatalf("ReplicaSet(%q)[0] = %s, Owner = %s", key, set[0], r.Owner(key))
+			}
+			seen := make(map[string]bool)
+			for _, p := range set {
+				if seen[p] {
+					t.Fatalf("ReplicaSet(%q, %d) repeats %s: %v", key, n, p, set)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestReplicaSetDeterministicAcrossPeerOrder(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	r1 := testRing(t, peers...)
+	shuffled := []string{"http://d", "http://b", "http://e", "http://a", "http://c"}
+	r2 := testRing(t, shuffled...)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a, b := r1.ReplicaSet(key, 3), r2.ReplicaSet(key, 3); !reflect.DeepEqual(a, b) {
+			t.Fatalf("ReplicaSet(%q) differs across peer order: %v vs %v", key, a, b)
+		}
+	}
+}
+
+func TestSuccessorsExcludeOwner(t *testing.T) {
+	r := testRing(t, "http://a", "http://b", "http://c")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		succ := r.Successors(key, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%q, 2) = %v", key, succ)
+		}
+		owner := r.Owner(key)
+		for _, p := range succ {
+			if p == owner {
+				t.Fatalf("Successors(%q) contains the owner %s", key, owner)
+			}
+		}
+	}
+	single := testRing(t, "http://only")
+	if succ := single.Successors("k", 2); len(succ) != 0 {
+		t.Fatalf("one-peer ring has successors: %v", succ)
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	prevCap := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		cap := b.Base
+		for i := 0; i < attempt && cap < b.Max; i++ {
+			cap *= 2
+		}
+		if cap > b.Max {
+			cap = b.Max
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(attempt)
+			if d < cap/2 || d > cap {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, d, cap/2, cap)
+			}
+		}
+		if cap < prevCap {
+			t.Fatalf("backoff cap shrank: %v after %v", cap, prevCap)
+		}
+		prevCap = cap
+	}
+	// The zero value falls back to the default schedule instead of
+	// busy-looping with zero delays.
+	var zero Backoff
+	if d := zero.Delay(0); d <= 0 {
+		t.Fatalf("zero-value Delay(0) = %v, want > 0", d)
+	}
+}
+
+func TestDetectorThresholdAndRecovery(t *testing.T) {
+	var failing atomic.Bool
+	var mu sync.Mutex
+	events := []string{}
+	probe := func(ctx context.Context, peer string) error {
+		if failing.Load() {
+			return errors.New("down")
+		}
+		return nil
+	}
+	d := NewDetector([]string{"http://p"}, probe, DetectorConfig{
+		Interval:  5 * time.Millisecond,
+		Timeout:   5 * time.Millisecond,
+		Threshold: 3,
+		Backoff:   Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+	}, func(peer string, down bool) {
+		mu.Lock()
+		events = append(events, fmt.Sprintf("%s down=%v", peer, down))
+		mu.Unlock()
+	})
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	if d.Down("http://p") {
+		t.Fatal("peer down before any probe failed")
+	}
+	failing.Store(true)
+	for !d.Down("http://p") {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never declared down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := d.DownPeers(); len(got) != 1 || got[0] != "http://p" {
+		t.Fatalf("DownPeers = %v", got)
+	}
+	failing.Store(false)
+	for d.Down("http://p") {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) < 2 || events[0] != "http://p down=true" || events[1] != "http://p down=false" {
+		t.Fatalf("onChange events = %v", events)
+	}
+}
+
+func TestDetectorSingleFailureIsNotDown(t *testing.T) {
+	var calls atomic.Int64
+	probe := func(ctx context.Context, peer string) error {
+		if calls.Add(1) == 1 {
+			return errors.New("one blip")
+		}
+		return nil
+	}
+	d := NewDetector([]string{"http://p"}, probe, DetectorConfig{
+		Interval: 2 * time.Millisecond, Threshold: 3,
+	}, nil)
+	d.Start()
+	defer d.Stop()
+	deadline := time.Now().Add(time.Second)
+	for calls.Load() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("probes never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d.Down("http://p") {
+		t.Fatal("a single failed probe declared the peer down")
+	}
+}
+
+func TestDetectorFirstLive(t *testing.T) {
+	d := NewDetector([]string{"http://a", "http://b"}, func(context.Context, string) error { return nil },
+		DetectorConfig{}, nil)
+	d.MarkDown("http://a")
+	if p, ok := d.FirstLive([]string{"http://a", "http://b"}); !ok || p != "http://b" {
+		t.Fatalf("FirstLive = %q, %v", p, ok)
+	}
+	// Unwatched peers (e.g. self) count as live.
+	if p, ok := d.FirstLive([]string{"http://self", "http://b"}); !ok || p != "http://self" {
+		t.Fatalf("FirstLive with unwatched = %q, %v", p, ok)
+	}
+	d.MarkDown("http://b")
+	if _, ok := d.FirstLive([]string{"http://a", "http://b"}); ok {
+		t.Fatal("FirstLive found a live peer among all-down")
+	}
+}
+
+func TestPlanRebalance(t *testing.T) {
+	r := testRing(t, "http://a", "http://b", "http://c")
+	var held, wantMoved []string
+	for i := 0; i < 60; i++ {
+		held = append(held, fmt.Sprintf("k%d", i))
+	}
+	for _, k := range held {
+		if r.Owner(k) != "http://a" {
+			wantMoved = append(wantMoved, k)
+		}
+	}
+	sort.Strings(wantMoved)
+	plan := PlanRebalance(r, "http://a", held, nil)
+	var got []string
+	for _, mv := range plan {
+		if mv.To != r.Owner(mv.Topic) {
+			t.Fatalf("move %v does not target the ring owner %s", mv, r.Owner(mv.Topic))
+		}
+		got = append(got, mv.Topic)
+	}
+	if !reflect.DeepEqual(got, wantMoved) {
+		t.Fatalf("plan moves %v, want %v", got, wantMoved)
+	}
+	// Dead owners are skipped; their topics stay put until they answer.
+	deadOwner := plan[0].To
+	filtered := PlanRebalance(r, "http://a", held, func(p string) bool { return p != deadOwner })
+	for _, mv := range filtered {
+		if mv.To == deadOwner {
+			t.Fatalf("plan moves %q onto the dead peer %s", mv.Topic, deadOwner)
+		}
+	}
+	if len(filtered) >= len(plan) {
+		t.Fatalf("filtering a dead owner did not shrink the plan (%d vs %d)", len(filtered), len(plan))
+	}
+}
+
+// Satellite: LoadTombstones against damaged markers — corrupt JSON,
+// truncated files, wrong shapes. Every damaged marker is skipped with a
+// warning (counted, not fatal), and intact markers still load.
+func TestLoadTombstonesDamagedMarkers(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteTombstone(dir, "good", Tombstone{Epoch: 3, Target: "http://b"}); err != nil {
+		t.Fatalf("WriteTombstone: %v", err)
+	}
+	damaged := map[string]string{
+		"corrupt.moved":   "{not json at all",
+		"truncated.moved": `{"epoch": 7, "targ`,
+		"empty.moved":     "",
+		"notarget.moved":  `{"epoch": 2, "target": ""}`,
+	}
+	for name, content := range damaged {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	var warnings []string
+	tombs, err := LoadTombstones(dir, func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatalf("LoadTombstones: %v", err)
+	}
+	if len(tombs) != 1 {
+		t.Fatalf("loaded %d tombstones (%v), want only the intact one", len(tombs), tombs)
+	}
+	if ts := tombs["good"]; ts.Epoch != 3 || ts.Target != "http://b" {
+		t.Fatalf("good tombstone = %+v", ts)
+	}
+	if len(warnings) != len(damaged) {
+		t.Fatalf("%d warnings for %d damaged markers: %v", len(warnings), len(damaged), warnings)
+	}
+	for name := range damaged {
+		base := strings.TrimSuffix(name, ".moved")
+		found := false
+		for _, w := range warnings {
+			if strings.Contains(w, base) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no warning mentions damaged marker %s: %v", name, warnings)
+		}
+	}
+}
+
+func TestLoadTombstonesMissingDir(t *testing.T) {
+	tombs, err := LoadTombstones(filepath.Join(t.TempDir(), "nope"), func(string, ...any) {})
+	if err == nil && len(tombs) != 0 {
+		t.Fatalf("missing dir produced tombstones: %v", tombs)
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with jitter. Every
+// inter-shard call in the daemon (proxying, hand-off installs, replica
+// shipping, health probes) retries through one of these so a hung or
+// flapping peer costs a bounded, spread-out amount of waiting instead of
+// either a tight retry loop or an unbounded stall.
+type Backoff struct {
+	// Base is the first retry's delay; attempt k waits Base<<k.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+}
+
+// DefaultBackoff is the daemon-wide retry schedule: 50ms, 100ms, 200ms, …
+// capped at 2s.
+var DefaultBackoff = Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// Delay returns the jittered delay before retry attempt (0-based): the
+// capped exponential base scaled by a uniform factor in [0.5, 1.0], so
+// simultaneous retries against a recovering peer spread out instead of
+// arriving in lockstep.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoff.Base
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoff.Max
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(jitter.Int63n(int64(d/2)+1))
+}
+
+// jitter is the process-wide jitter source. Retry spacing needs no
+// determinism (nothing replays it), only contention-free concurrent use.
+var jitter = lockedRand{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

@@ -117,6 +117,44 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].peer
 }
 
+// ReplicaSet returns the first n distinct peers clockwise from key's hash
+// position: the owner first, then its ring successors. This is the
+// replication placement contract — with replication factor n, the topic's
+// primary is element 0 and its followers are elements 1..n-1, and every
+// shard computes the same set with no coordination. n is capped at the
+// peer count (a 3-shard ring cannot hold 4 copies).
+func (r *Ring) ReplicaSet(key string, n int) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Successors returns the n distinct peers clockwise from key's owner,
+// excluding the owner itself — the follower set a primary ships its
+// journal to.
+func (r *Ring) Successors(key string, n int) []string {
+	set := r.ReplicaSet(key, n+1)
+	if len(set) <= 1 {
+		return nil
+	}
+	return set[1:]
+}
+
 // Peers returns the ring's peer list in sorted order. The slice is shared;
 // callers must not mutate it.
 func (r *Ring) Peers() []string { return r.peers }

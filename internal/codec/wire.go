@@ -82,6 +82,17 @@ func (d *WireDecoder) Err() error { return d.dec.err }
 // Remaining returns the number of unread bytes.
 func (d *WireDecoder) Remaining() int { return len(d.dec.buf) }
 
+// Bytes reads n raw bytes, aliasing the decoder's buffer (the caller
+// must copy if it outlives the input). Negative or past-end lengths fail
+// with ErrCorrupt.
+func (d *WireDecoder) Bytes(n int) []byte {
+	if n < 0 {
+		d.dec.fail("negative byte count")
+		return nil
+	}
+	return d.dec.bytes(uint64(n))
+}
+
 // Uint reads a little-endian uint64.
 func (d *WireDecoder) Uint() uint64 { return d.dec.uint() }
 

@@ -135,14 +135,13 @@ func Create(path string, snapCRC uint32) (*Writer, error) {
 	return &Writer{f: f, size: int64(len(hdr))}, nil
 }
 
-// Append marshals rec, appends it and fsyncs. The record is durable when
-// Append returns nil.
-func (w *Writer) Append(rec *Record) error {
-	if w.f == nil {
-		return errors.New("journal: writer is closed")
-	}
-	w.buf.Reset()
-	enc := codec.NewWireEncoder(&w.buf)
+// EncodeFrame returns rec's CRC-framed wire encoding — the exact bytes
+// Append writes. Exposed so the replication shipper can append a record
+// locally and ship the identical frame to follower shards, which verify
+// and store it without re-encoding.
+func EncodeFrame(rec *Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := codec.NewWireEncoder(&buf)
 	enc.Int(int64(rec.Time))
 	enc.Uint(uint64(len(rec.Tweets)))
 	for i := range rec.Tweets {
@@ -151,26 +150,70 @@ func (w *Writer) Append(rec *Record) error {
 	enc.Int(int64(rec.Batches))
 	enc.Uint(rec.RandDraws)
 	if err := enc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	payload := w.buf.Bytes()
+	payload := buf.Bytes()
 	if len(payload) > maxRecordSize {
-		return fmt.Errorf("journal: record payload %d exceeds limit", len(payload))
+		return nil, fmt.Errorf("journal: record payload %d exceeds limit", len(payload))
 	}
-
 	frame := make([]byte, 0, 5+len(payload)+4)
 	frame = append(frame, recBatch)
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, codec.Checksum(frame))
-	if _, err := w.f.Write(frame); err != nil {
+	return frame, nil
+}
+
+// DecodeFrame decodes one framed record from the front of buf, returning
+// its decoded form and encoded length. ok is false when the frame is
+// truncated, its checksum fails, or its payload does not decode.
+func DecodeFrame(buf []byte) (rec *Record, n int, ok bool) {
+	return decodeRecord(buf)
+}
+
+// Append marshals rec, appends it and fsyncs. The record is durable when
+// Append returns nil.
+func (w *Writer) Append(rec *Record) error {
+	frame, err := EncodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	return w.AppendFrames(frame)
+}
+
+// AppendFrames appends pre-encoded record frames (from EncodeFrame, or
+// received off the replication wire after verification) and fsyncs once.
+// Callers own frame validity — the bytes are written as given.
+func (w *Writer) AppendFrames(frames []byte) error {
+	if w.f == nil {
+		return errors.New("journal: writer is closed")
+	}
+	if _, err := w.f.Write(frames); err != nil {
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.size += int64(len(frame))
+	w.size += int64(len(frames))
 	return nil
+}
+
+// TruncateTail cuts the file back to the last successfully appended
+// record. After a failed Append (a partial write, ENOSPC mid-frame) the
+// on-disk tail is ambiguous — bytes of a record that was never
+// acknowledged; truncating restores the journal to exactly its state
+// before the failed append, so recovery never has to guess.
+func (w *Writer) TruncateTail() error {
+	if w.f == nil {
+		return errors.New("journal: writer is closed")
+	}
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
 }
 
 // Size returns the current journal file size in bytes.
@@ -215,6 +258,42 @@ func (w *Writer) Close() error {
 	err := w.f.Close()
 	w.f = nil
 	return err
+}
+
+// Open loads an existing journal and returns a Writer positioned to
+// append after its last intact record, plus the loaded contents. A torn
+// final record (never acknowledged, by the append protocol) is truncated
+// away so appended frames always follow intact ones. This is the replica
+// store's restart path: a follower resumes appending a primary's shipped
+// frames to the tail it already holds.
+func Open(path string) (*Writer, *Journal, error) {
+	j, err := Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int64(18) // header bytes
+	for _, rec := range j.Records {
+		frame, err := EncodeFrame(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		size += int64(len(frame))
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.Torn {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Writer{f: f, size: size}, j, nil
 }
 
 // Journal is the result of loading a journal file for recovery.
