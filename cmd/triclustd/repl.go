@@ -56,6 +56,13 @@ import (
 // a tombstone at exactly the epoch that demoted it.
 const epochHeader = "X-Triclust-Epoch"
 
+// shipRequestAttempts caps replica-ship retries on the request path,
+// where tp.mu is held and a client is waiting: enough to absorb one
+// transient failure, tight enough that a hung peer stalls the topic's
+// writers for about one ship timeout rather than the full configured
+// budget. The async resync worker uses the whole ShipAttempts budget.
+const shipRequestAttempts = 2
+
 // replOptions are the replication tunables (flags in main.go; the test
 // harness sets them directly).
 type replOptions struct {
@@ -149,6 +156,12 @@ type replAck struct {
 // replicator holds one shard's replication machinery: the failure
 // detector, the per-follower shipping state for topics it serves, the
 // cold replicas it holds for peers, and the bounded resync queue.
+//
+// Lock discipline: r.mu and any replica.mu are never held at the same
+// time. Code that needs both snapshots pointers under one lock, releases
+// it, then takes the other — both orders of nesting used to exist
+// (promoteFrom vs replicaDrop) and could deadlock two peer-down
+// promotions against a replica DELETE.
 type replicator struct {
 	s      *server
 	opts   replOptions
@@ -235,7 +248,12 @@ func (r *replicator) close() {
 	r.det.Stop()
 	r.wg.Wait()
 	r.mu.Lock()
+	reps := make([]*replica, 0, len(r.replicas))
 	for _, rep := range r.replicas {
+		reps = append(reps, rep)
+	}
+	r.mu.Unlock()
+	for _, rep := range reps {
 		rep.mu.Lock()
 		if rep.jw != nil {
 			rep.jw.Close()
@@ -243,7 +261,6 @@ func (r *replicator) close() {
 		}
 		rep.mu.Unlock()
 	}
-	r.mu.Unlock()
 }
 
 // spawn runs fn on a tracked goroutine unless the replicator is closing.
@@ -382,13 +399,27 @@ func (r *replicator) resyncLoop() {
 		tp.mu.Lock()
 		if !tp.deleted {
 			// Full re-ship to the followers that fell behind; errors mark
-			// them unsynced again and re-queue, so a follower that stays
-			// down simply stays queued-on-demand.
+			// them unsynced again and re-queue (unless the follower is now
+			// declared down — then the peer-up sweep owns the re-queue).
 			if _, _, err := s.replShip(tp, nil, 0, 0, true); err != nil {
 				s.logf("resync %q: %v", name, err)
 			}
 		}
 		tp.mu.Unlock()
+		// A topic that re-queued itself during the ship failed to converge
+		// (its follower is flaky but not yet declared down). Pace the next
+		// round instead of spinning on tp.mu at 100% CPU until the
+		// detector's verdict lands.
+		r.mu.Lock()
+		failed := r.queued[name]
+		r.mu.Unlock()
+		if failed {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(r.opts.ProbeInterval):
+			}
+		}
 	}
 }
 
@@ -404,15 +435,20 @@ type shipError struct {
 // post ships one replication frame to peer with bounded retries and
 // backoff. Transport errors and 5xx answers retry (a duplicate delivery
 // is acknowledged idempotently by the follower, so retrying a frame whose
-// response was lost is safe); 4xx answers are definitive.
-func (r *replicator) post(peer, name string, fr *codec.ReplAppend) (replAck, *shipError) {
+// response was lost is safe); 4xx answers are definitive. A peer the
+// detector declares down mid-retry is abandoned immediately — its resync
+// happens when it comes back, not by hammering a corpse.
+func (r *replicator) post(peer, name string, fr *codec.ReplAppend, attempts int) (replAck, *shipError) {
 	var buf bytes.Buffer
 	if err := codec.EncodeReplAppend(&buf, fr); err != nil {
 		return replAck{}, &shipError{err: err}
 	}
 	var last error
-	for attempt := 0; attempt < r.opts.ShipAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if r.det.Down(peer) {
+				return replAck{}, &shipError{err: fmt.Errorf("%s declared down after %d attempts: %w", peer, attempt, last)}
+			}
 			select {
 			case <-r.stop:
 				return replAck{}, &shipError{err: errors.New("replicator shutting down")}
@@ -428,7 +464,7 @@ func (r *replicator) post(peer, name string, fr *codec.ReplAppend) (replAck, *sh
 		}
 		last = se.err
 	}
-	return replAck{}, &shipError{err: fmt.Errorf("gave up after %d attempts: %w", r.opts.ShipAttempts, last)}
+	return replAck{}, &shipError{err: fmt.Errorf("gave up after %d attempts: %w", attempts, last)}
 }
 
 func (r *replicator) postOnce(peer, name string, frame []byte) (replAck, *shipError, bool) {
@@ -472,15 +508,16 @@ func (r *replicator) postOnce(peer, name string, frame []byte) (replAck, *shipEr
 // holds tp.mu. frame non-nil ships that just-appended journal frame
 // incrementally (batches/draws are the post-append fingerprint); frame
 // nil ships the full current snapshot — the first-contact, post-
-// compaction and resync path. onlyUnsynced skips followers already in
-// sync (the async resync worker's mode).
+// compaction and resync path. async marks the resync worker's mode: skip
+// followers already in sync, and retry with the full ShipAttempts budget
+// (no client is waiting); the request path gets shipRequestAttempts.
 //
 // The only failure that propagates is discovering this shard is a fenced
 // zombie (a follower answered epoch_mismatch): the topic is fenced
 // locally and the caller must fail the client's request with 409. Every
 // other failure degrades: the follower is marked out-of-sync, a resync is
 // queued, and the batch acks with fewer live copies.
-func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, onlyUnsynced bool) (int, string, error) {
+func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, async bool) (int, string, error) {
 	r := s.repl
 	if r == nil || tp.deleted {
 		return 0, "", nil
@@ -488,6 +525,10 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, on
 	peers := r.followerPeers(tp.name)
 	if len(peers) == 0 {
 		return 0, "", nil
+	}
+	attempts := shipRequestAttempts
+	if async || attempts > r.opts.ShipAttempts {
+		attempts = r.opts.ShipAttempts
 	}
 	epoch := tp.tp.Epoch()
 	if frame == nil {
@@ -511,12 +552,15 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, on
 	}
 	for _, peer := range peers {
 		st, known := r.follower(tp.name, peer)
-		if onlyUnsynced && known && st.synced {
+		if async && known && st.synced {
 			continue
 		}
 		if r.det.Down(peer) {
+			// No resync is queued for a down peer — re-queueing now would
+			// spin the resync worker for the whole outage. The peer-up
+			// sweep (onPeerChange) re-queues every local topic when it
+			// answers again.
 			r.markUnsynced(tp.name, peer)
-			r.enqueueResync(tp.name)
 			continue
 		}
 		full := frame == nil || !known || !st.synced
@@ -539,7 +583,7 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, on
 				fr.Tail = frame
 			}
 			fr.SnapCRC = crc
-			ack, se := r.post(peer, tp.name, &fr)
+			ack, se := r.post(peer, tp.name, &fr, attempts)
 			if se == nil {
 				r.setFollower(tp.name, peer, followerState{
 					snapCRC: crc, batches: ack.Batches, draws: ack.RandDraws, synced: true,
@@ -570,7 +614,12 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, on
 				continue
 			}
 			r.markUnsynced(tp.name, peer)
-			r.enqueueResync(tp.name)
+			if !r.det.Down(peer) {
+				// A peer that died mid-ship is handled by the peer-up
+				// sweep; only a still-nominally-live follower earns an
+				// async retry.
+				r.enqueueResync(tp.name)
+			}
 			s.logf("replicate %q to %s: %v (follower marked out of sync)", tp.name, peer, se.err)
 			break
 		}
@@ -636,6 +685,18 @@ func (r *replicator) replicaFor(name string, create bool) *replica {
 		r.replicas[name] = rep
 	}
 	return rep
+}
+
+// forgetReplica removes a dropped replica's map entry. It runs with no
+// replica.mu held (the lock discipline forbids nesting), so the entry is
+// removed only while it still names the same replica — a concurrent
+// re-create must not lose its fresh entry.
+func (r *replicator) forgetReplica(name string, rep *replica) {
+	r.mu.Lock()
+	if r.replicas[name] == rep {
+		delete(r.replicas, name)
+	}
+	r.mu.Unlock()
 }
 
 // loadReplicas restores the cold replicas found in the data directory at
@@ -828,6 +889,13 @@ func (s *server) replicaAppend(w http.ResponseWriter, req *http.Request) {
 	rep := r.replicaFor(name, true)
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
+	if rep.dropped {
+		// Mid-removal (a drop or promotion has marked it, the map entry is
+		// about to go): refuse, and the primary's retry gets a fresh entry.
+		writeError(w, http.StatusConflict, codeReplicaOutOfSync,
+			fmt.Errorf("replica of %q is being removed; re-ship a full base", name))
+		return
+	}
 	if rep.meta.Epoch > fr.Epoch {
 		w.Header().Set(epochHeader, strconv.FormatUint(rep.meta.Epoch, 10))
 		w.Header().Set(shardHeader, rep.meta.Source)
@@ -921,7 +989,16 @@ func (s *server) appendReplica(w http.ResponseWriter, rep *replica, name string,
 	}
 	if int(fr.Batches) <= rep.batches {
 		// A duplicate delivery: the original append landed but its ack was
-		// lost. Acknowledge idempotently — the primary's retry settles.
+		// lost. Verify the claim before the idempotent ack — a same-epoch
+		// primary whose history diverged declares the right batch count
+		// with the wrong draw fingerprint, and acking it would silently
+		// bless the fork.
+		if int(fr.Batches) == rep.batches && fr.RandDraws != rep.draws {
+			writeError(w, http.StatusConflict, codeReplicaOutOfSync,
+				fmt.Errorf("frame at batch %d declares draws %d, replica recorded %d — histories diverged",
+					fr.Batches, fr.RandDraws, rep.draws))
+			return
+		}
 		writeJSON(w, http.StatusOK, replAck{Batches: rep.batches, RandDraws: rep.draws})
 		return
 	}
@@ -972,18 +1049,19 @@ func (s *server) replicaDrop(w http.ResponseWriter, req *http.Request) {
 	rep := r.replicaFor(name, false)
 	if rep != nil {
 		rep.mu.Lock()
-		if epoch >= rep.meta.Epoch {
+		dropped := epoch >= rep.meta.Epoch
+		if dropped {
 			if rep.jw != nil {
 				rep.jw.Close()
 				rep.jw = nil
 			}
 			rep.dropped = true
 			s.removeReplicaFiles(name)
-			r.mu.Lock()
-			delete(r.replicas, name)
-			r.mu.Unlock()
 		}
 		rep.mu.Unlock()
+		if dropped {
+			r.forgetReplica(name, rep)
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -1028,15 +1106,20 @@ func (r *replicator) resyncAllLocal() {
 // itself per topic once detector views converge.
 func (r *replicator) promoteFrom(peer string) {
 	r.mu.Lock()
-	var names []string
+	reps := make(map[string]*replica, len(r.replicas))
 	for name, rep := range r.replicas {
-		rep.mu.Lock()
-		if rep.meta.Source == peer && !rep.dropped {
-			names = append(names, name)
-		}
-		rep.mu.Unlock()
+		reps[name] = rep
 	}
 	r.mu.Unlock()
+	var names []string
+	for name, rep := range reps {
+		rep.mu.Lock()
+		match := rep.meta.Source == peer && !rep.dropped
+		rep.mu.Unlock()
+		if match {
+			names = append(names, name)
+		}
+	}
 	for _, name := range names {
 		select {
 		case <-r.stop:
@@ -1065,8 +1148,8 @@ func (r *replicator) maybePromote(name, source string) {
 		return
 	}
 	rep.mu.Lock()
-	defer rep.mu.Unlock()
 	if rep.dropped || rep.meta.Source != source {
+		rep.mu.Unlock()
 		return
 	}
 	// Split-brain guard: an operator move (or an earlier promotion) may
@@ -1079,12 +1162,19 @@ func (r *replicator) maybePromote(name, source string) {
 		}
 		if s.targetHasTopic(c, name, rep.meta.Epoch) {
 			s.logf("not promoting %q: %s already serves it at epoch ≥ %d", name, c, rep.meta.Epoch)
+			rep.mu.Unlock()
 			return
 		}
 	}
-	if err := s.promoteReplica(name, rep); err != nil {
+	err := s.promoteReplica(name, rep)
+	rep.mu.Unlock()
+	if err != nil {
 		s.logf("promote %q: %v (replica kept)", name, err)
+		return
 	}
+	r.forgetReplica(name, rep)
+	// This shard is the topic's primary now: seed its own followers.
+	r.enqueueResync(name)
 }
 
 // promoteReplica turns a verified cold replica into the served topic:
@@ -1150,13 +1240,11 @@ func (s *server) promoteReplica(name string, rep *replica) error {
 	tp.mu.Unlock()
 	rep.dropped = true
 	s.removeReplicaFiles(name)
-	s.repl.mu.Lock()
-	delete(s.repl.replicas, name)
-	s.repl.mu.Unlock()
 	s.logf("promoted replica %q to primary at epoch %d (%d batches; source %s is down)",
 		name, newEpoch, tr.Batches(), rep.meta.Source)
-	// This shard is the topic's primary now: seed its own followers.
-	s.repl.enqueueResync(name)
+	// The caller (holding rep.mu) forgets the map entry and seeds this
+	// shard's own followers once the lock is released — the lock
+	// discipline forbids touching r.mu from here.
 	return nil
 }
 

@@ -199,6 +199,17 @@ func TestReplicaFrameSequence(t *testing.T) {
 		t.Fatalf("duplicate append: %d ack=%+v", code, ack)
 	}
 
+	// 4b. A same-position frame with a different draw fingerprint is not a
+	// duplicate — it is a same-epoch primary whose history diverged, and
+	// acking it would bless the fork.
+	code, _, ec, _ = postReplFrame(t, s, name, &codec.ReplAppend{
+		Source: src, Epoch: 0, SnapCRC: snapCRC,
+		Batches: 4, RandDraws: 41, Tail: tailFrame(t, 4, 4, 41),
+	})
+	if code != http.StatusConflict || ec != codeReplicaOutOfSync {
+		t.Fatalf("diverged duplicate: %d %q, want 409 %q", code, ec, codeReplicaOutOfSync)
+	}
+
 	// 5. A gap (batch 6 does not follow 4): the follower must demand a
 	// resync, not fake continuity.
 	code, _, ec, _ = postReplFrame(t, s, name, &codec.ReplAppend{

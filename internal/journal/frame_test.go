@@ -144,6 +144,44 @@ func TestOpenResumesAfterLastIntactRecord(t *testing.T) {
 	}
 }
 
+// TestLoadSizeIsConsumedOffset pins Journal.Size — the offset Open
+// resumes appending at — to the bytes actually decoded: the whole file
+// when intact, the end of the last intact record when torn.
+func TestLoadSizeIsConsumedOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.journal")
+	recs := testRecords()
+	writeTestJournal(t, path, 42, recs)
+
+	j, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Torn || j.Size != fi.Size() {
+		t.Fatalf("intact journal: torn=%v Size=%d, want clean %d (the file size)", j.Torn, j.Size, fi.Size())
+	}
+
+	intact := j.Size
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{recBatch, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if j, err = Load(path); err != nil {
+		t.Fatalf("Load torn: %v", err)
+	}
+	if !j.Torn || j.Size != intact {
+		t.Fatalf("torn journal: torn=%v Size=%d, want torn at %d (end of last intact record)", j.Torn, j.Size, intact)
+	}
+}
+
 func TestOpenMissingFile(t *testing.T) {
 	if _, _, err := Open(filepath.Join(t.TempDir(), "absent.journal")); err == nil {
 		t.Fatal("Open of a missing journal succeeded")

@@ -271,29 +271,21 @@ func Open(path string) (*Writer, *Journal, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	size := int64(18) // header bytes
-	for _, rec := range j.Records {
-		frame, err := EncodeFrame(rec)
-		if err != nil {
-			return nil, nil, err
-		}
-		size += int64(len(frame))
-	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
 	if j.Torn {
-		if err := f.Truncate(size); err != nil {
+		if err := f.Truncate(j.Size); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
 	}
-	if _, err := f.Seek(size, io.SeekStart); err != nil {
+	if _, err := f.Seek(j.Size, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Writer{f: f, size: size}, j, nil
+	return &Writer{f: f, size: j.Size}, j, nil
 }
 
 // Journal is the result of loading a journal file for recovery.
@@ -308,6 +300,11 @@ type Journal struct {
 	// The torn tail was never acknowledged, so recovery proceeds with the
 	// intact prefix.
 	Torn bool
+	// Size is the file offset just past the last intact record — the
+	// position Open resumes appending at. It is the offset actually
+	// consumed while decoding, so it stays correct even if encode and
+	// decode ever disagree about a record's framing.
+	Size int64
 }
 
 // Load reads a journal file, tolerating a torn final record. It fails
@@ -323,7 +320,7 @@ func Load(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{SnapCRC: snapCRC}
+	j := &Journal{SnapCRC: snapCRC, Size: int64(len(data) - len(rest))}
 	for len(rest) > 0 {
 		rec, n, ok := decodeRecord(rest)
 		if !ok {
@@ -331,6 +328,7 @@ func Load(path string) (*Journal, error) {
 			break
 		}
 		j.Records = append(j.Records, rec)
+		j.Size += int64(n)
 		rest = rest[n:]
 	}
 	return j, nil
