@@ -391,19 +391,19 @@ func (s *server) performHandoff(tp *topic, target string) (moveResponse, int, st
 		}
 	}
 
-	oldEpoch := tp.tp.Epoch()
+	oldEpoch := tp.eng().Epoch()
 	newEpoch := oldEpoch + 1
-	tp.tp.SetEpoch(newEpoch)
+	tp.eng().SetEpoch(newEpoch)
 	var snap bytes.Buffer
-	if err := tp.tp.Snapshot(&snap); err != nil {
-		tp.tp.SetEpoch(oldEpoch)
+	if err := tp.eng().Snapshot(&snap); err != nil {
+		tp.eng().SetEpoch(oldEpoch)
 		return moveResponse{}, http.StatusInternalServerError, codeStorage,
 			fmt.Errorf("export snapshot: %w", err)
 	}
 	ts := cluster.Tombstone{Epoch: newEpoch, Target: target}
 	if err := s.setMoved(tp.name, ts); err != nil {
 		s.clearMoved(tp.name)
-		tp.tp.SetEpoch(oldEpoch)
+		tp.eng().SetEpoch(oldEpoch)
 		return moveResponse{}, http.StatusInternalServerError, codeStorage,
 			fmt.Errorf("persist hand-off intent: %w", err)
 	}
@@ -420,7 +420,7 @@ func (s *server) performHandoff(tp *topic, target string) (moveResponse, int, st
 		// running without -data-dir).
 		if definitive || s.store == nil {
 			s.clearMoved(tp.name)
-			tp.tp.SetEpoch(oldEpoch)
+			tp.eng().SetEpoch(oldEpoch)
 			return moveResponse{}, http.StatusBadGateway, codeMoveFailed,
 				fmt.Errorf("install %q on %s: %w", tp.name, target, err)
 		}
@@ -442,7 +442,7 @@ func (s *server) performHandoff(tp *topic, target string) (moveResponse, int, st
 
 	// The target owns the topic now. Drop the local copy: registry entry,
 	// journal handle, snapshot and journal files — the tombstone stays.
-	batches := tp.tp.Batches()
+	batches := tp.eng().Batches()
 	s.mu.Lock()
 	if s.topics[tp.name] == tp {
 		delete(s.topics, tp.name)
@@ -727,7 +727,7 @@ func (s *server) clusterInfo(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		switch {
 		case local:
-			pl.Owner, pl.Local, pl.Epoch = s.cluster.self, true, tp.tp.Epoch()
+			pl.Owner, pl.Local, pl.Epoch = s.cluster.self, true, tp.eng().Epoch()
 		case movedOK:
 			pl.Owner, pl.Epoch = mv.Target, mv.Epoch
 		default:

@@ -1,0 +1,121 @@
+package main
+
+// Coverage for the error codes no other test exercises, so the
+// error-code registry check (scripts/error-codes-check.sh) can require
+// every code in errors.go to be both documented in README.md and
+// asserted by at least one test.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+
+	"triclust/internal/codec"
+)
+
+// TestRestoreUnsupportedSnapshotVersion: a snapshot stamped with a
+// future format version is refused with unsupported_snapshot_version —
+// not invalid_snapshot — so clients can tell a skewed build from a
+// corrupt file.
+func TestRestoreUnsupportedSnapshotVersion(t *testing.T) {
+	_, srv := testServer(t, "")
+	client := srv.Client()
+	jtCreate(t, client, srv.URL)
+	jtFeed(t, client, srv.URL, 0, 2)
+	snap := jtSnapshotBytes(t, client, srv.URL)
+
+	// The version lives at bytes 8:10 of the header, checked before the
+	// payload checksum.
+	future := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint16(future[8:10], codec.Version+1)
+
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/topics/other", bytes.NewReader(future))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != codeSnapshotVersion {
+		t.Fatalf("future-version restore: %d %q, want 400 %q", resp.StatusCode, eb.Error.Code, codeSnapshotVersion)
+	}
+}
+
+// TestPersistenceFailureStorageError: when the data directory vanishes
+// under a running daemon (disk detached, path unlinked), the batch that
+// cannot be persisted is refused with storage_error.
+func TestPersistenceFailureStorageError(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := testServer(t, dir) // snapshot-every-batch: each batch must save
+	client := srv.Client()
+	jtCreate(t, client, srv.URL)
+	jtFeed(t, client, srv.URL, 0, 2)
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	code, ec := errCode(t, client, "POST", srv.URL+"/v1/topics/"+journalTopicName+"/batches", jtBatch(2))
+	if code != http.StatusInternalServerError || ec != codeStorage {
+		t.Fatalf("batch without storage: %d %q, want 500 %q", code, ec, codeStorage)
+	}
+}
+
+// TestMoveToDeadPeerFails: a hand-off whose target refuses the install
+// (peer down, answering 503) is reported as move_failed, and the source
+// un-fences and keeps serving the topic.
+func TestMoveToDeadPeerFails(t *testing.T) {
+	tc := newTestCluster(t, 2, serverOptions{}, false, false)
+	name := harnessTopicName(5)
+	src := tc.ownerIdx(name)
+	dst := 1 - src
+
+	var sum topicSummary
+	tc.retryJSON("POST", tc.url(src)+"/v1/topics", harnessCreateReq(5), &sum, http.StatusCreated)
+	var br batchResponse
+	tc.retryJSON("POST", tc.url(src)+"/v1/topics/"+name+"/batches", harnessBatch(5, 1), &br, http.StatusOK)
+
+	tc.killShard(dst)
+	code, ec := errCode2(t, tc.noRedirect, "POST", tc.url(src)+"/v1/cluster/move",
+		moveRequest{Topic: name, Target: tc.url(dst)})
+	if code != http.StatusBadGateway || ec != codeMoveFailed {
+		t.Fatalf("move to dead peer: %d %q, want 502 %q", code, ec, codeMoveFailed)
+	}
+
+	// The failed move left the topic served at the source, un-fenced.
+	var info topicSummary
+	tc.retryJSON("GET", tc.url(src)+"/v1/topics/"+name, nil, &info, http.StatusOK)
+	if info.Batches != 1 {
+		t.Fatalf("after failed move: %+v", info)
+	}
+}
+
+// TestProxyToDeadOwnerUnreachable: in proxy mode, a request for a topic
+// whose owning shard cannot be reached at all (connection refused) is
+// answered 502 shard_unreachable by the shard that tried to proxy it.
+func TestProxyToDeadOwnerUnreachable(t *testing.T) {
+	tc := newTestCluster(t, 2, serverOptions{}, true, false)
+	name := harnessTopicName(2)
+	owner := tc.ownerIdx(name)
+	other := 1 - owner
+
+	var sum topicSummary
+	tc.retryJSON("POST", tc.url(other)+"/v1/topics", harnessCreateReq(2), &sum, http.StatusCreated)
+
+	// Take the owner's listener down completely so the proxy dial fails.
+	tc.killShard(owner)
+	tc.shards[owner].hs.Close()
+
+	code, ec := errCode(t, tc.client, "GET", tc.url(other)+"/v1/topics/"+name, nil)
+	if code != http.StatusBadGateway || ec != codeShardUnreachable {
+		t.Fatalf("proxy to dead owner: %d %q, want 502 %q", code, ec, codeShardUnreachable)
+	}
+}

@@ -530,9 +530,9 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, as
 	if async || attempts > r.opts.ShipAttempts {
 		attempts = r.opts.ShipAttempts
 	}
-	epoch := tp.tp.Epoch()
+	epoch := tp.eng().Epoch()
 	if frame == nil {
-		batches, draws = tp.tp.StreamPos()
+		batches, draws = tp.eng().StreamPos()
 	}
 	// The full snapshot is built at most once per ship round and reused
 	// across followers.
@@ -543,7 +543,7 @@ func (s *server) replShip(tp *topic, frame []byte, batches int, draws uint64, as
 			return nil
 		}
 		var buf bytes.Buffer
-		if err := tp.tp.Snapshot(&buf); err != nil {
+		if err := tp.eng().Snapshot(&buf); err != nil {
 			return err
 		}
 		fullSnap = buf.Bytes()
@@ -860,7 +860,7 @@ func (s *server) replicaAppend(w http.ResponseWriter, req *http.Request) {
 	mv, movedOK := s.moved[name]
 	s.mu.RUnlock()
 	if local {
-		if le := tp.tp.Epoch(); le > fr.Epoch {
+		if le := tp.eng().Epoch(); le > fr.Epoch {
 			w.Header().Set(epochHeader, strconv.FormatUint(le, 10))
 			w.Header().Set(shardHeader, s.cluster.self)
 			writeError(w, http.StatusConflict, codeEpochMismatch,
@@ -870,7 +870,7 @@ func (s *server) replicaAppend(w http.ResponseWriter, req *http.Request) {
 			tp.mu.Lock()
 			if !tp.deleted {
 				s.logf("topic %q: replica frame at epoch %d outranks local epoch %d; demoting to follower",
-					name, fr.Epoch, tp.tp.Epoch())
+					name, fr.Epoch, tp.eng().Epoch())
 				s.fenceLocal(tp, fr.Epoch-1, fr.Source)
 			}
 			tp.mu.Unlock()
@@ -1227,7 +1227,8 @@ func (s *server) promoteReplica(name string, rep *replica) error {
 	}
 	newEpoch := rep.meta.Epoch + 1
 	tr.SetEpoch(newEpoch)
-	tp := &topic{name: name, created: time.Now().UTC(), tp: tr}
+	tp := &topic{name: name, created: time.Now().UTC()}
+	tp.engp.Store(tr)
 	if code, err := s.tryRegister(tp, newEpoch); err != nil {
 		return fmt.Errorf("register promoted topic: %s: %w", code, err)
 	}
@@ -1267,7 +1268,7 @@ func (r *replicator) reconcileStartup() {
 			return
 		default:
 		}
-		epoch := tp.tp.Epoch()
+		epoch := tp.eng().Epoch()
 		for _, peer := range r.s.cluster.ring.ReplicaSet(tp.name, len(r.s.cluster.ring.Peers())) {
 			if peer == s.cluster.self {
 				continue
@@ -1364,7 +1365,7 @@ func (r *replicator) health() *replicationHealth {
 	s.mu.RLock()
 	batches := make(map[string]int, len(s.topics))
 	for name, tp := range s.topics {
-		batches[name] = tp.tp.Batches()
+		batches[name] = tp.eng().Batches()
 	}
 	s.mu.RUnlock()
 	r.mu.Lock()

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +47,11 @@ type server struct {
 	// maxBody bounds every request body; 0 selects defaultMaxBody.
 	maxBody int64
 
+	// reads / notModified count read-plane requests and If-None-Match
+	// hits (see readplane.go); atomic because the read path takes no lock.
+	reads       atomic.Uint64
+	notModified atomic.Uint64
+
 	// nameLocks serializes snapshot-file saves and removes per topic
 	// name. Neither the registry lock nor a per-topic mutex can play this
 	// role: a name can be deleted and re-created while an older
@@ -67,8 +71,12 @@ type topic struct {
 	name    string
 	created time.Time
 
-	mu      sync.Mutex // serializes Process + persistence + deletion
-	tp      *triclust.Topic
+	mu sync.Mutex // serializes Process + persistence + deletion
+	// engp holds the engine. All mutations happen under mu, but the
+	// pointer itself is atomic because the lock-free read plane loads
+	// it without mu while failJournalAppend may be swapping in an
+	// engine reloaded from disk (the rollback path). Access via eng().
+	engp    atomic.Pointer[triclust.Topic]
 	deleted bool // set under mu by deleteTopic; no save may follow
 	// jw appends this topic's batch journal (nil before the first
 	// snapshot save, or when journaling is off); jRecords counts the
@@ -85,6 +93,9 @@ type topic struct {
 	// and healthz reports the topic until an append or snapshot succeeds.
 	// Atomic so healthz can read it without the topic lock.
 	degraded atomic.Bool
+	// feat caches the encoded /features response for the current read
+	// view's ETag (see readplane.go); lock-free like the view itself.
+	feat atomic.Pointer[cachedRead]
 }
 
 // serverOptions bundle the daemon's tunables beyond the data directory:
@@ -151,7 +162,8 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 		}
 	}
 	for name, rt := range restored {
-		tp := &topic{name: name, created: time.Now().UTC(), tp: rt.tp, saved: true}
+		tp := &topic{name: name, created: time.Now().UTC(), saved: true}
+		tp.engp.Store(rt.tp)
 		s.topics[name] = tp
 		if rt.replayed > 0 {
 			s.logf("restored topic %q (%d batches, %d users; %d journal records replayed)",
@@ -263,6 +275,10 @@ type healthResponse struct {
 	// peers, held replicas, per-follower shipping lag); absent when
 	// replication is off.
 	Replication *replicationHealth `json:"replication,omitempty"`
+	// ReadPlane reports lock-free read-path traffic (total reads, 304
+	// revalidation hits) and the convergence-state census of the served
+	// topics (see readplane.go).
+	ReadPlane *readPlaneHealth `json:"read_plane"`
 }
 
 type clusterHealth struct {
@@ -277,13 +293,15 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	topics := len(s.topics)
 	movedTopics := len(s.moved)
 	var degraded []string
+	served := make([]*topic, 0, len(s.topics))
 	for name, tp := range s.topics {
+		served = append(served, tp)
 		if tp.degraded.Load() {
 			degraded = append(degraded, name)
 		}
 	}
 	s.mu.RUnlock()
-	resp := healthResponse{Status: "ok", Topics: topics}
+	resp := healthResponse{Status: "ok", Topics: topics, ReadPlane: s.readPlaneHealth(served)}
 	if len(degraded) > 0 {
 		sort.Strings(degraded)
 		resp.Status = "degraded"
@@ -358,15 +376,16 @@ type createTopicRequest struct {
 }
 
 type topicSummary struct {
-	Name       string    `json:"name"`
-	Created    time.Time `json:"created"`
-	Users      int       `json:"users"`
-	Batches    int       `json:"batches"`
-	Skipped    int       `json:"skipped"`
-	KnownUsers int       `json:"known_users"`
-	VocabSize  int       `json:"vocab_size"`
-	Frozen     bool      `json:"frozen"`
-	LastTime   *int      `json:"last_time,omitempty"`
+	Name        string           `json:"name"`
+	Created     time.Time        `json:"created"`
+	Users       int              `json:"users"`
+	Batches     int              `json:"batches"`
+	Skipped     int              `json:"skipped"`
+	KnownUsers  int              `json:"known_users"`
+	VocabSize   int              `json:"vocab_size"`
+	Frozen      bool             `json:"frozen"`
+	LastTime    *int             `json:"last_time,omitempty"`
+	Convergence *convergenceJSON `json:"convergence,omitempty"`
 }
 
 type tweetSpec struct {
@@ -417,8 +436,9 @@ type vocabResponse struct {
 }
 
 type featuresResponse struct {
-	Vocabulary []string        `json:"vocabulary"`
-	Features   []sentimentJSON `json:"features"`
+	Vocabulary  []string         `json:"vocabulary"`
+	Features    []sentimentJSON  `json:"features"`
+	Convergence *convergenceJSON `json:"convergence,omitempty"`
 }
 
 // ——— handlers ———
@@ -473,7 +493,8 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidConfig, err)
 		return
 	}
-	tp := &topic{name: req.Name, created: time.Now().UTC(), tp: tr}
+	tp := &topic{name: req.Name, created: time.Now().UTC()}
+	tp.engp.Store(tr)
 	if !s.register(w, tp, 0) {
 		return
 	}
@@ -511,7 +532,8 @@ func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, snapshotErrorCode(err), err)
 		return
 	}
-	tp := &topic{name: name, created: time.Now().UTC(), tp: tr}
+	tp := &topic{name: name, created: time.Now().UTC()}
+	tp.engp.Store(tr)
 	if !s.register(w, tp, tr.Epoch()) {
 		return
 	}
@@ -570,7 +592,7 @@ func (s *server) saveIfCurrent(tp *topic) (bool, error) {
 	if !current {
 		return false, nil
 	}
-	crc, err := s.store.save(tp.name, tp.tp)
+	crc, err := s.store.save(tp.name, tp.eng())
 	if err != nil {
 		return true, err
 	}
@@ -751,12 +773,6 @@ func (s *server) listTopics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) topicInfo(w http.ResponseWriter, r *http.Request) {
-	if tp := s.lookup(w, r); tp != nil {
-		writeJSON(w, http.StatusOK, tp.summary())
-	}
-}
-
 func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("topic")
 	if !s.routeTopic(w, r, name, nil) {
@@ -789,7 +805,7 @@ func (s *server) deleteTopic(w http.ResponseWriter, r *http.Request) {
 		// Best-effort: tell the followers their cold replicas are garbage.
 		// A follower that misses the drop keeps a stale replica, which the
 		// epoch fence retires if the name is ever re-created.
-		s.repl.dropReplicas(name, tp.tp.Epoch())
+		s.repl.dropReplicas(name, tp.eng().Epoch())
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -915,17 +931,17 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 	if tp.deleted {
 		return nil, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name)
 	}
-	if last, ok := tp.tp.LastTime(); ok && len(tweets) > 0 && ts <= last {
+	if last, ok := tp.eng().LastTime(); ok && len(tweets) > 0 && ts <= last {
 		return nil, http.StatusConflict, codeStaleTimestamp,
 			fmt.Errorf("time %d not after last processed %d", ts, last)
 	}
-	out, err := tp.tp.Process(ts, tweets)
+	out, err := tp.eng().Process(ts, tweets)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, codeInvalidBatch, err
 	}
 	if !out.Skipped && s.store != nil {
 		if tp.jw != nil {
-			batches, draws := tp.tp.StreamPos()
+			batches, draws := tp.eng().StreamPos()
 			rec := journal.Record{Time: ts, Tweets: tweets, Batches: batches, RandDraws: draws}
 			frame, err := journal.EncodeFrame(&rec)
 			if err == nil {
@@ -987,14 +1003,14 @@ func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResu
 		tp.jw.Close()
 		tp.jw = nil
 	}
-	epoch := tp.tp.Epoch()
+	epoch := tp.eng().Epoch()
 	fresh, rerr := s.store.reloadTopic(tp.name, s.logf)
 	if rerr != nil {
 		s.logf("reload %q after failed journal append: %v (in-memory state is ahead of disk until the next save)",
 			tp.name, rerr)
 	} else {
 		fresh.SetEpoch(epoch)
-		tp.tp = fresh
+		tp.engp.Store(fresh)
 	}
 	return nil, http.StatusServiceUnavailable, codeJournalWriteFailed,
 		fmt.Errorf("batch processed but not durable: %w", cause)
@@ -1022,25 +1038,25 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 	}
 	changed := false
 	if len(req.Texts) > 0 {
-		if err := tp.tp.WarmupVocabulary(req.Texts...); err != nil {
+		if err := tp.eng().WarmupVocabulary(req.Texts...); err != nil {
 			writeError(w, http.StatusConflict, codeVocabFrozen, err)
 			return
 		}
 		changed = true
 	}
 	if len(req.Docs) > 0 {
-		if err := tp.tp.WarmupTokenized(req.Docs); err != nil {
+		if err := tp.eng().WarmupTokenized(req.Docs); err != nil {
 			writeError(w, http.StatusConflict, codeVocabFrozen, err)
 			return
 		}
 		changed = true
 	}
 	if req.Freeze {
-		if err := tp.tp.Freeze(); err != nil {
+		if err := tp.eng().Freeze(); err != nil {
 			// Freeze fails for two distinct reasons: the vocabulary is
 			// already frozen (a conflict) or the warm-up counts yield no
 			// words at MinDF (a bad request, fixed by sending more docs).
-			if tp.tp.Frozen() {
+			if tp.eng().Frozen() {
 				writeError(w, http.StatusConflict, codeVocabFrozen, err)
 			} else {
 				writeError(w, http.StatusUnprocessableEntity, codeInvalidRequest, err)
@@ -1070,27 +1086,9 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, vocabResponse{
-		Frozen:    tp.tp.Frozen(),
-		VocabSize: tp.tp.VocabSize(),
+		Frozen:    tp.eng().Frozen(),
+		VocabSize: tp.eng().VocabSize(),
 	})
-}
-
-func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
-	tp := s.lookup(w, r)
-	if tp == nil {
-		return
-	}
-	user, err := strconv.Atoi(r.PathValue("user"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("bad user id: %w", err))
-		return
-	}
-	est, ok := tp.tp.UserEstimate(user)
-	if !ok {
-		writeError(w, http.StatusNotFound, codeUserNotFound, fmt.Errorf("user %d has no history", user))
-		return
-	}
-	writeJSON(w, http.StatusOK, userSentimentJSON{User: user, sentimentJSON: oneJSON(est)})
 }
 
 // exportSnapshot implements GET /v1/topics/{topic}/snapshot: the durable
@@ -1103,7 +1101,7 @@ func (s *server) exportSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", tp.name+".snap"))
-	if err := tp.tp.Snapshot(w); err != nil {
+	if err := tp.eng().Snapshot(w); err != nil {
 		// Headers are committed; all we can do is drop the connection so
 		// the client sees a truncated (checksum-failing) body.
 		s.logf("snapshot %q: %v", tp.name, err)
@@ -1111,18 +1109,15 @@ func (s *server) exportSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// featureSentiments returns the vocabulary with the learned per-word
-// sentiments of the most recent solve (the JSON companion to the binary
-// snapshot). Because it labels the topic's own last factors — which the
-// snapshot carries — it serves the same data after a restart or restore.
-func (s *server) featureSentiments(w http.ResponseWriter, r *http.Request) {
-	tp := s.lookup(w, r)
-	if tp == nil {
-		return
-	}
-	writeJSON(w, http.StatusOK, featuresResponse{
-		Vocabulary: tp.tp.Vocabulary(),
-		Features:   toJSON(tp.tp.FeatureSentiments()),
+// marshalFeatures builds the /features response body for one view: the
+// frozen vocabulary plus the view's feature labels. Called only when the
+// topic's cached body is for a different ETag, i.e. at most once per
+// committed batch per topic.
+func marshalFeatures(tp *topic, v triclust.ReadView) ([]byte, error) {
+	return json.Marshal(featuresResponse{
+		Vocabulary:  tp.eng().Vocabulary(),
+		Features:    toJSON(v.FeatureSentiments()),
+		Convergence: convergenceOf(v),
 	})
 }
 
@@ -1159,17 +1154,25 @@ func (s *server) snapshotAll() error {
 // ——— helpers ———
 
 func (tp *topic) summary() topicSummary {
+	return tp.summaryView(tp.eng().ReadView())
+}
+
+// summaryView builds the summary from one read view, so a handler that
+// already loaded a view (and derived its ETag from it) reports exactly
+// that view's counters, not those of a batch that committed in between.
+func (tp *topic) summaryView(v triclust.ReadView) topicSummary {
 	sum := topicSummary{
-		Name:       tp.name,
-		Created:    tp.created,
-		Users:      tp.tp.Users(),
-		Batches:    tp.tp.Batches(),
-		Skipped:    tp.tp.SkippedBatches(),
-		KnownUsers: tp.tp.KnownUsers(),
+		Name:        tp.name,
+		Created:     tp.created,
+		Users:       v.Users(),
+		Batches:     v.Batches(),
+		Skipped:     v.SkippedBatches(),
+		KnownUsers:  v.KnownUsers(),
+		VocabSize:   v.VocabSize(),
+		Frozen:      v.Frozen(),
+		Convergence: convergenceOf(v),
 	}
-	sum.VocabSize = tp.tp.VocabSize()
-	sum.Frozen = tp.tp.Frozen()
-	if last, ok := tp.tp.LastTime(); ok {
+	if last, ok := v.LastTime(); ok {
 		sum.LastTime = &last
 	}
 	return sum
@@ -1193,3 +1196,8 @@ func appendJSON(dst []sentimentJSON, ss []triclust.Sentiment) []sentimentJSON {
 	}
 	return dst
 }
+
+// eng returns the topic's engine. Writers mutate the engine only under
+// tp.mu; the atomic load lets the lock-free read plane observe the
+// rollback swap in failJournalAppend without a lock.
+func (tp *topic) eng() *triclust.Topic { return tp.engp.Load() }

@@ -70,9 +70,15 @@ func hotTopic(tb testing.TB, batchTweets int) (*triclust.Topic, func() []triclus
 // this measured ~346 allocations per call at this batch shape; the bound
 // asserts the required ≥5× reduction with headroom (measured: ~23).
 func TestProcessSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; absolute counts only hold without -race")
+	}
 	tp, next, ts := hotTopic(t, 20)
 	batch := next()
-	allocs := testing.AllocsPerRun(50, func() {
+	// 200 runs, not 50: a GC landing mid-measurement (likelier when the
+	// whole test tree shares one CPU) clears the pools, and the one-time
+	// refill must amortize below the bound instead of tripping it.
+	allocs := testing.AllocsPerRun(200, func() {
 		for i := range batch {
 			batch[i].Tokens = nil
 		}
@@ -84,6 +90,30 @@ func TestProcessSteadyStateAllocs(t *testing.T) {
 	t.Logf("allocs per Process (warm topic, 20 tweets): %.1f", allocs)
 	if allocs > 64 {
 		t.Fatalf("warm Topic.Process allocates %.1f times per batch, want <= 64 (seed behaviour was ~346)", allocs)
+	}
+}
+
+// TestReadPathAllocs pins the lock-free read path: loading a view and
+// answering a user-estimate query from it is a pointer load plus array
+// indexing — zero heap allocations, even while the topic keeps ingesting
+// between measurements.
+func TestReadPathAllocs(t *testing.T) {
+	tp, next, ts := hotTopic(t, 20)
+	if _, err := tp.Process(*ts, next()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		v := tp.ReadView()
+		for u := 0; u < v.Users(); u++ {
+			if _, ok := v.UserEstimate(u); ok {
+				_ = v.Convergence()
+			}
+		}
+		_, _ = v.StreamPos()
+		_ = v.FeatureSentiments()
+	})
+	if allocs > 0 {
+		t.Fatalf("read path allocates %.1f times per full view scan, want 0", allocs)
 	}
 }
 

@@ -573,6 +573,18 @@ func (o *Online) LastUserEstimate(g int) []float64 {
 // KnownUsers returns the number of users with recorded history.
 func (o *Online) KnownUsers() int { return len(o.userHist) }
 
+// VisitUserEstimates calls fn once per user with recorded history, passing
+// the user's global id and most recent Su row. The row is the solver's own
+// storage: fn must copy what it keeps and must not mutate it. Iteration
+// order is unspecified (map order).
+func (o *Online) VisitUserEstimates(fn func(user int, row []float64)) {
+	for g, hist := range o.userHist {
+		if len(hist) > 0 {
+			fn(g, hist[len(hist)-1].row)
+		}
+	}
+}
+
 // LastTime returns the timestamp of the most recent processed snapshot,
 // or ok = false before the first one. It survives snapshot/restore: the
 // retained feature history always includes the latest snapshot.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package triclust_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// absolute allocation counts are skipped under it (the detector's sync
+// instrumentation allocates and is charged to the measured function).
+const raceEnabled = false

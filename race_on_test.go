@@ -1,0 +1,5 @@
+//go:build race
+
+package triclust_test
+
+const raceEnabled = true

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# error-codes-check.sh — keep the v1 API error-code registry honest.
+#
+# Every code<Name> = "literal" constant in cmd/triclustd/errors.go must
+# be (a) documented in README.md and (b) exercised by at least one test
+# (asserted via the constant identifier or the wire literal in some
+# *_test.go). A code that is neither documented nor tested is a silent
+# API surface; this check fails CI listing the misses.
+#
+# Usage: scripts/error-codes-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ERRORS_GO=cmd/triclustd/errors.go
+fail=0
+total=0
+
+while IFS=$'\t' read -r ident literal; do
+    total=$((total + 1))
+    if ! grep -qF "$literal" README.md; then
+        echo "MISSING DOC:  $ident (\"$literal\") is not documented in README.md" >&2
+        fail=1
+    fi
+    if ! grep -rqF --include='*_test.go' -e "$ident" -e "\"$literal\"" .; then
+        echo "MISSING TEST: $ident (\"$literal\") is not exercised by any *_test.go" >&2
+        fail=1
+    fi
+done < <(awk '
+    /^[ \t]*code[A-Za-z0-9]+[ \t]*=[ \t]*"/ {
+        ident = $1
+        if (match($0, /"[^"]+"/)) {
+            print ident "\t" substr($0, RSTART + 1, RLENGTH - 2)
+        }
+    }
+' "$ERRORS_GO")
+
+if [ "$total" -eq 0 ]; then
+    echo "error-codes-check: extracted no codes from $ERRORS_GO — extraction regex is stale" >&2
+    exit 1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "error-codes-check: FAILED ($total codes checked)" >&2
+    exit 1
+fi
+echo "error-codes-check: OK ($total codes documented and tested)"

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"triclust/internal/codec"
 	"triclust/internal/core"
 	"triclust/internal/engine"
+	"triclust/internal/mat"
 	"triclust/internal/text"
 )
 
@@ -139,6 +141,12 @@ type Topic struct {
 	// epoch is the ownership epoch of sharded deployments (see Epoch). It
 	// travels inside snapshots but never influences the solver.
 	epoch uint64
+	// view is the RCU read plane: an immutable results snapshot republished
+	// with a single pointer swap after every committed batch (and on
+	// restore and epoch changes). Readers load it without touching t.mu, so
+	// an in-flight Process never stalls UserEstimate, FeatureSentiments or
+	// ReadView; writers never wait for readers. Never nil after NewTopic.
+	view atomic.Pointer[engine.View]
 }
 
 // NewTopic creates a topic over a fixed user universe (tweets in later
@@ -161,7 +169,21 @@ func NewTopic(users []User, opts ...Option) (*Topic, error) {
 		return nil, fmt.Errorf("triclust: invalid topic configuration: %w", err)
 	}
 	m := engine.NewModel(s.cfg)
-	return &Topic{model: m, sess: m.NewSession(users)}, nil
+	t := &Topic{model: m, sess: m.NewSession(users)}
+	t.view.Store(t.sess.BuildView(nil, nil, 0))
+	return t, nil
+}
+
+// publishView materializes and atomically publishes a fresh read view.
+// Called under t.mu after any state change (batch, offline fit, restore),
+// so views are published in commit order and each one pairs the solver
+// history with the factors of the same batch.
+func (t *Topic) publishView() {
+	var sf *mat.Dense
+	if t.last != nil {
+		sf = t.last.Sf
+	}
+	t.view.Store(t.sess.BuildView(sf, t.view.Load(), t.epoch))
 }
 
 // Users returns the size of the topic's user universe.
@@ -201,18 +223,14 @@ func (t *Topic) VocabSize() int {
 // Frozen reports whether the vocabulary is fixed.
 func (t *Topic) Frozen() bool { return t.model.Vocabulary() != nil }
 
-// FeatureSentiments labels the per-word sentiment rows of the most
-// recent solve (nil before the first one). Rows follow the vocabulary's
-// feature-index order. Unlike a caller-side cache of the last batch
-// outcome, it survives Snapshot/Restore.
+// FeatureSentiments returns the labeled per-word sentiment rows of the
+// most recent solve (nil before the first one). Rows follow the
+// vocabulary's feature-index order. Unlike a caller-side cache of the
+// last batch outcome, it survives Snapshot/Restore. It is served from
+// the published read view — lock-free, labeled once per committed batch —
+// so the returned slice is shared and must be treated as read-only.
 func (t *Topic) FeatureSentiments() []Sentiment {
-	t.mu.Lock()
-	last := t.last
-	t.mu.Unlock()
-	if last == nil || last.Sf == nil {
-		return nil
-	}
-	return engine.Label(last.Sf)
+	return t.view.Load().Features
 }
 
 // WarmupVocabulary folds raw texts into the pre-freeze document-frequency
@@ -255,6 +273,13 @@ func (t *Topic) Process(ts int, tweets []Tweet) (*StreamResult, error) {
 	if out.Res != nil {
 		t.last = out.Res
 	}
+	if out.Skipped {
+		// Nothing solved, nothing to re-materialize: carry the view over
+		// with only the skip counter bumped.
+		t.view.Store(t.view.Load().WithSkip())
+	} else {
+		t.publishView()
+	}
 	return &StreamResult{
 		Result:      *resultFrom(out, t.model),
 		ActiveUsers: out.Active,
@@ -279,6 +304,7 @@ func (t *Topic) FitCorpus(c *Corpus) (*Result, error) {
 	if out.Res != nil {
 		t.last = out.Res
 	}
+	t.publishView()
 	return resultFrom(out, t.model), nil
 }
 
@@ -305,9 +331,12 @@ func (t *Topic) PredictTokenized(docs [][]string) ([]Sentiment, error) {
 }
 
 // UserEstimate returns the most recent sentiment estimate for a user, or
-// ok = false if the user has never appeared.
+// ok = false if the user has never appeared. It reads the published view,
+// so it never blocks on an in-flight Process and always answers with the
+// estimate of the most recently committed batch — exactly what a
+// quiesced topic at the same batch counter would return.
 func (t *Topic) UserEstimate(user int) (Sentiment, bool) {
-	return t.sess.UserEstimate(user)
+	return t.view.Load().UserEstimate(user)
 }
 
 // Epoch returns the topic's ownership epoch. Epochs fence topic hand-offs
@@ -330,6 +359,9 @@ func (t *Topic) SetEpoch(e uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.epoch = e
+	// Republish so readers (and their cache validators, which embed the
+	// epoch) see the ownership change without waiting for the next batch.
+	t.view.Store(t.view.Load().WithEpoch(e))
 }
 
 // StreamPos returns the topic's replay fingerprint: the non-empty batch
@@ -365,6 +397,97 @@ func (t *Topic) Snapshot(w io.Writer) error {
 	return codec.Encode(w, st)
 }
 
+// ConvergenceState classifies how settled a read view's estimates are:
+// "warming" (vocabulary not frozen or the temporal window not yet full),
+// "converging" (estimates still moving by more than the steady
+// threshold between batches) or "steady".
+type ConvergenceState = engine.ViewState
+
+// Convergence states, re-exported from the engine.
+const (
+	Warming    = engine.ViewWarming
+	Converging = engine.ViewConverging
+	Steady     = engine.ViewSteady
+)
+
+// Convergence is a read view's progress indicator: an answer served
+// mid-stream comes with how many batches produced it and how much the
+// last batch moved it, so clients can use an immediate estimate without
+// mistaking a warm-up answer for a settled one.
+type Convergence struct {
+	// State is the classification (see ConvergenceState).
+	State ConvergenceState
+	// Batches is the number of non-empty batches behind the estimates.
+	Batches int
+	// Delta is the mean absolute per-entry movement of the user estimates
+	// versus the previous view (1 when there was nothing to compare).
+	Delta float64
+}
+
+// ReadView is an immutable, lock-free snapshot of a topic's queryable
+// results, published atomically after every committed batch (RCU style):
+// loading one never blocks on an in-flight Process, and two reads
+// through the same view are guaranteed mutually consistent. The zero
+// ReadView is invalid; obtain one from Topic.ReadView.
+type ReadView struct {
+	v *engine.View
+}
+
+// ReadView returns the topic's current read view. The call is a single
+// atomic pointer load — safe and non-blocking from any goroutine,
+// including while a batch, snapshot export or restore is in flight.
+func (t *Topic) ReadView() ReadView { return ReadView{v: t.view.Load()} }
+
+// Batches returns the number of non-empty batches behind the view.
+func (rv ReadView) Batches() int { return rv.v.Batches }
+
+// SkippedBatches returns the number of empty batches skipped.
+func (rv ReadView) SkippedBatches() int { return rv.v.Skips }
+
+// StreamPos returns the view's stream fingerprint: the batch counter and
+// the solver's random-stream position at publication. Views with equal
+// fingerprints carry bit-identical estimates, on any replica, after any
+// restore or replay — which makes the fingerprint a correct strong cache
+// validator (triclustd derives its ETags from it).
+func (rv ReadView) StreamPos() (batches int, randDraws uint64) {
+	return rv.v.Batches, rv.v.RandDraws
+}
+
+// Epoch returns the ownership epoch the view was published under.
+func (rv ReadView) Epoch() uint64 { return rv.v.Epoch }
+
+// LastTime returns the timestamp of the most recent non-empty batch, or
+// ok = false before the first one.
+func (rv ReadView) LastTime() (int, bool) { return rv.v.LastTime, rv.v.HasTime }
+
+// KnownUsers returns the number of users with recorded history.
+func (rv ReadView) KnownUsers() int { return rv.v.KnownUsers }
+
+// Users returns the size of the topic's user universe.
+func (rv ReadView) Users() int { return rv.v.NumUsers }
+
+// VocabSize returns the frozen vocabulary's size (0 before the freeze).
+func (rv ReadView) VocabSize() int { return rv.v.VocabSize }
+
+// Frozen reports whether the vocabulary was fixed at publication.
+func (rv ReadView) Frozen() bool { return rv.v.Frozen }
+
+// UserEstimate returns the view's sentiment estimate for a user, or
+// ok = false if the user had no history when the view was published.
+func (rv ReadView) UserEstimate(user int) (Sentiment, bool) {
+	return rv.v.UserEstimate(user)
+}
+
+// FeatureSentiments returns the labeled per-word sentiments of the most
+// recent solve (nil before the first one), in vocabulary feature-index
+// order. The slice is shared with the view: treat it as read-only.
+func (rv ReadView) FeatureSentiments() []Sentiment { return rv.v.Features }
+
+// Convergence returns the view's progress indicator.
+func (rv ReadView) Convergence() Convergence {
+	return Convergence{State: rv.v.State, Batches: rv.v.Batches, Delta: rv.v.Delta}
+}
+
 // Restore rebuilds a Topic from a snapshot written by Topic.Snapshot. The
 // snapshot's checksum, magic and format version are verified before any
 // state is applied; a truncated or corrupted snapshot is rejected whole.
@@ -381,5 +504,9 @@ func Restore(r io.Reader) (*Topic, error) {
 	if st.LastFactors != nil {
 		t.last = &core.Result{Factors: *st.LastFactors}
 	}
+	// A restored topic serves reads immediately: publish its view before
+	// the handle escapes, so journal replay and replica promotion answer
+	// progressive estimates while they catch the stream up.
+	t.publishView()
 	return t, nil
 }
