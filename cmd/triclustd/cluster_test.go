@@ -309,8 +309,14 @@ func TestClusterShardingEndToEnd(t *testing.T) {
 		t.Skip("cluster harness is not short")
 	}
 	// Journal every 4 batches so the kill lands between compactions and
-	// restart has a journal tail to replay.
-	tc := newTestCluster(t, 3, serverOptions{journal: journalOptions{Every: 4, MaxBytes: 8 << 20}}, false, true)
+	// restart has a journal tail to replay. The conformance gate runs in
+	// enforce mode: the harness stream is well-formed, so any rejection
+	// is a false quarantine — and the control comparison below proves
+	// enforce leaves snapshots byte-identical to an ungated run.
+	tc := newTestCluster(t, 3, serverOptions{
+		journal: journalOptions{Every: 4, MaxBytes: 8 << 20},
+		conform: triclust.ConformEnforce,
+	}, false, true)
 
 	// Create every topic through a rotating shard: roughly two thirds of
 	// the creates arrive at the wrong shard and must be routed.

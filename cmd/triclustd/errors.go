@@ -12,19 +12,25 @@ import (
 // on message text or HTTP status alone; codes are append-only across
 // releases.
 const (
-	codeInvalidRequest  = "invalid_request" // malformed JSON / missing fields
-	codeInvalidName     = "invalid_topic_name"
-	codeInvalidConfig   = "invalid_config" // rejected by triclust validation
-	codeTopicExists     = "topic_exists"
-	codeTopicNotFound   = "topic_not_found"
-	codeUserNotFound    = "user_not_found"
-	codeInvalidBatch    = "invalid_batch"     // batch rejected by the engine
-	codeStaleTimestamp  = "stale_timestamp"   // batch time not after the last one
-	codeVocabFrozen     = "vocabulary_frozen" // warm-up after the freeze
-	codeInvalidSnapshot = "invalid_snapshot"  // corrupt / truncated snapshot body
-	codeSnapshotVersion = "unsupported_snapshot_version"
-	codeStorage         = "storage_error"  // -data-dir persistence failed
-	codeBodyTooLarge    = "body_too_large" // request body exceeds -max-body-bytes
+	codeInvalidRequest = "invalid_request" // malformed JSON / missing fields
+	codeInvalidName    = "invalid_topic_name"
+	codeInvalidConfig  = "invalid_config" // rejected by triclust validation
+	codeTopicExists    = "topic_exists"
+	codeTopicNotFound  = "topic_not_found"
+	codeUserNotFound   = "user_not_found"
+	codeInvalidBatch   = "invalid_batch"   // batch rejected by the engine
+	codeStaleTimestamp = "stale_timestamp" // batch time not after the last one
+	// codeBatchNonconforming means enforce mode quarantined the batch
+	// against the topic's learned stream profile, before the journal
+	// append — the refused batch is not in durable history, so a
+	// corrected retry is safe. The error body carries the structured
+	// verdict (violated invariants, per-invariant z-scores).
+	codeBatchNonconforming = "batch_nonconforming"
+	codeVocabFrozen        = "vocabulary_frozen" // warm-up after the freeze
+	codeInvalidSnapshot    = "invalid_snapshot"  // corrupt / truncated snapshot body
+	codeSnapshotVersion    = "unsupported_snapshot_version"
+	codeStorage            = "storage_error"  // -data-dir persistence failed
+	codeBodyTooLarge       = "body_too_large" // request body exceeds -max-body-bytes
 	// codeJournalWriteFailed means the batch was processed in memory but
 	// its journal record could not be appended + fsynced (disk full, I/O
 	// error). The batch is rolled back, the on-disk tail truncated to the
@@ -54,6 +60,9 @@ type errorBody struct {
 type errorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Conformance carries the structured verdict of a
+	// batch_nonconforming rejection; absent on every other error.
+	Conformance *verdictJSON `json:"conformance,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {

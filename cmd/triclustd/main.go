@@ -52,6 +52,22 @@
 // strictly increase per topic; an empty batch is a recorded no-op. Batch
 // results are independent of tweet ordering within a batch.
 //
+// # Conformance gate
+//
+// Every topic synthesizes a conformance profile from the batches it has
+// accepted — token rate, OOV rate, tokens-per-tweet shape, user-activity
+// concentration, duplicate rate, timestamp step and in-batch time
+// spread — and scores each incoming batch against it. -conform-mode
+// selects what a verdict does: "off" (default) scores silently, "flag"
+// annotates batch responses (and the healthz census) with verdicts, and
+// "enforce" rejects quarantined batches with 422 batch_nonconforming
+// before the journal append — the refused batch leaves no durable
+// trace, so a corrected retry is safe. The profile is part of the
+// topic's snapshot state and survives restarts, journal replay and
+// replica promotion bit-identically; the mode is a per-shard runtime
+// policy. GET /v1/healthz reports the mode, the enforce-mode rejection
+// count and each topic's drift trend and last violation.
+//
 // # Cluster mode
 //
 // With -peers and -self set, the daemon serves one shard of a
@@ -107,6 +123,7 @@ import (
 	"syscall"
 	"time"
 
+	"triclust"
 	"triclust/internal/par"
 )
 
@@ -142,6 +159,8 @@ func main() {
 		"periodically move held topics back to their ring owners as peers die and return")
 	rebalanceInterval := flag.Duration("rebalance-interval", 10*time.Second,
 		"cadence of the -auto-rebalance convergence check")
+	conformMode := flag.String("conform-mode", "off",
+		"stream-conformance gate: off (score silently), flag (annotate batch responses with verdicts), enforce (reject quarantined batches with 422 batch_nonconforming before the journal append)")
 	drain := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	par.SetProcs(*procs)
@@ -149,9 +168,15 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "triclustd: "+format+"\n", args...)
 	}
+	conform, err := triclust.ParseConformanceMode(*conformMode)
+	if err != nil {
+		logf("startup: %v", err)
+		os.Exit(1)
+	}
 	opts := serverOptions{
 		journal: journalOptions{Every: *journalEvery, MaxBytes: *journalMaxBytes},
 		maxBody: *maxBody,
+		conform: conform,
 	}
 	if *peers != "" || *self != "" {
 		cc, err := newClusterConfig(*self, *peers, *vnodes, *clusterProxy)

@@ -1227,6 +1227,10 @@ func (s *server) promoteReplica(name string, rep *replica) error {
 	}
 	newEpoch := rep.meta.Epoch + 1
 	tr.SetEpoch(newEpoch)
+	// Replay above ran without a conformance mode (recorded batches were
+	// already accepted by the dead primary); the promoted topic enforces
+	// this shard's policy from its first fresh batch.
+	tr.SetConformanceMode(s.conform)
 	tp := &topic{name: name, created: time.Now().UTC()}
 	tp.engp.Store(tr)
 	if code, err := s.tryRegister(tp, newEpoch); err != nil {

@@ -93,6 +93,11 @@ func TestClusterReplicationFailover(t *testing.T) {
 	opts := serverOptions{
 		journal: journalOptions{Every: 4, MaxBytes: 8 << 20},
 		repl:    fastRepl(nil),
+		// Enforce mode rides the failover harness too: replica promotion
+		// replays the tail ungated (the records were already accepted),
+		// re-stamps the mode, and must still match the control run
+		// byte-for-byte — profile included.
+		conform: triclust.ConformEnforce,
 	}
 	tc := newTestCluster(t, 3, opts, false, true)
 	const victim = 1

@@ -52,6 +52,12 @@ type server struct {
 	reads       atomic.Uint64
 	notModified atomic.Uint64
 
+	// conform is the shard-wide -conform-mode policy, stamped onto every
+	// topic this server serves; conformRejected counts enforce-mode batch
+	// rejections (which leave no durable trace — see conform.go).
+	conform         triclust.ConformanceMode
+	conformRejected atomic.Uint64
+
 	// nameLocks serializes snapshot-file saves and removes per topic
 	// name. Neither the registry lock nor a per-topic mutex can play this
 	// role: a name can be deleted and re-created while an older
@@ -96,6 +102,10 @@ type topic struct {
 	// feat caches the encoded /features response for the current read
 	// view's ETag (see readplane.go); lock-free like the view itself.
 	feat atomic.Pointer[cachedRead]
+	// lastViol is the topic's most recent flagged/quarantined verdict,
+	// for the healthz conformance census (see conform.go). Atomic so
+	// healthz reads it without the topic lock.
+	lastViol atomic.Pointer[violationJSON]
 }
 
 // serverOptions bundle the daemon's tunables beyond the data directory:
@@ -110,6 +120,9 @@ type serverOptions struct {
 	// repl enables journal-shipped replication (nil or Factor < 2: off).
 	// Requires cluster mode and a data directory.
 	repl *replOptions
+	// conform is the -conform-mode policy for every topic this shard
+	// serves (zero value: off).
+	conform triclust.ConformanceMode
 }
 
 // newServer builds the registry, restoring every snapshot found under
@@ -135,6 +148,7 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 		logf:      logf,
 		cluster:   opts.cluster,
 		maxBody:   opts.maxBody,
+		conform:   opts.conform,
 		nameLocks: make(map[string]*nameLock),
 	}
 	restored, err := st.loadAll(logf)
@@ -162,6 +176,11 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 		}
 	}
 	for name, rt := range restored {
+		// Journal replay (inside loadAll) ran without a conformance mode:
+		// recorded batches were already accepted once, so replay must
+		// redo them regardless of today's policy. The mode applies to new
+		// batches only, from here on.
+		rt.tp.SetConformanceMode(opts.conform)
 		tp := &topic{name: name, created: time.Now().UTC(), saved: true}
 		tp.engp.Store(rt.tp)
 		s.topics[name] = tp
@@ -279,6 +298,9 @@ type healthResponse struct {
 	// revalidation hits) and the convergence-state census of the served
 	// topics (see readplane.go).
 	ReadPlane *readPlaneHealth `json:"read_plane"`
+	// Conformance reports the shard's conformance mode, enforce-mode
+	// rejection count, and the per-topic drift census (see conform.go).
+	Conformance *conformanceHealth `json:"conformance"`
 }
 
 type clusterHealth struct {
@@ -301,7 +323,12 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.RUnlock()
-	resp := healthResponse{Status: "ok", Topics: topics, ReadPlane: s.readPlaneHealth(served)}
+	resp := healthResponse{
+		Status:      "ok",
+		Topics:      topics,
+		ReadPlane:   s.readPlaneHealth(served),
+		Conformance: s.conformanceHealth(served),
+	}
 	if len(degraded) > 0 {
 		sort.Strings(degraded)
 		resp.Status = "degraded"
@@ -419,6 +446,10 @@ type batchResponse struct {
 	Converged  bool                `json:"converged"`
 	Tweets     []sentimentJSON     `json:"tweets"`
 	Users      []userSentimentJSON `json:"users"`
+	// Conformance is the batch's verdict against the topic's learned
+	// stream profile; present in flag/enforce mode once the profile has
+	// warmed up.
+	Conformance *verdictJSON `json:"conformance,omitempty"`
 }
 
 type vocabRequest struct {
@@ -493,6 +524,7 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidConfig, err)
 		return
 	}
+	tr.SetConformanceMode(s.conform)
 	tp := &topic{name: req.Name, created: time.Now().UTC()}
 	tp.engp.Store(tr)
 	if !s.register(w, tp, 0) {
@@ -532,6 +564,7 @@ func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, snapshotErrorCode(err), err)
 		return
 	}
+	tr.SetConformanceMode(s.conform)
 	tp := &topic{name: name, created: time.Now().UTC()}
 	tp.engp.Store(tr)
 	if !s.register(w, tp, tr.Epoch()) {
@@ -898,6 +931,16 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// A conformance rejection carries its structured verdict in the
+		// error body, so the client sees which invariant broke and by how
+		// many sigma without parsing the message text.
+		var ce *triclust.ConformanceError
+		if errors.As(err, &ce) {
+			writeJSON(w, status, errorBody{Error: errorDetail{
+				Code: code, Message: err.Error(), Conformance: verdictOf(&ce.Verdict),
+			}})
+			return
+		}
 		writeError(w, status, code, err)
 		return
 	}
@@ -906,6 +949,11 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 	sc.resp.Skipped = out.Skipped
 	sc.resp.Iterations = out.Iterations
 	sc.resp.Converged = out.Converged
+	// Flag mode annotates accepted batches with their verdict (off mode
+	// scores too, but surfaces nothing — byte-identical responses).
+	if s.conform != triclust.ConformOff {
+		sc.resp.Conformance = verdictOf(out.Conformance)
+	}
 	sc.resp.Tweets = appendJSON(sc.resp.Tweets, out.TweetSentiments)
 	for i, sen := range out.UserSentiments {
 		sc.resp.Users = append(sc.resp.Users, userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)})
@@ -937,8 +985,22 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 	}
 	out, err := tp.eng().Process(ts, tweets)
 	if err != nil {
+		// An enforce-mode conformance rejection happened before any state
+		// advanced — before the journal append in particular, so the
+		// refused batch is not in durable history and a corrected retry is
+		// safe. It gets its own stable code (the verdict rides in the
+		// error body, see processBatch) and is tracked for healthz.
+		var ce *triclust.ConformanceError
+		if errors.As(err, &ce) {
+			s.conformRejected.Add(1)
+			tp.noteViolation(ts, &ce.Verdict)
+			return nil, http.StatusUnprocessableEntity, codeBatchNonconforming, err
+		}
 		return nil, http.StatusUnprocessableEntity, codeInvalidBatch, err
 	}
+	// Flag-mode bookkeeping: an accepted batch whose verdict was flagged
+	// or quarantined still shows up in the healthz census.
+	tp.noteViolation(ts, out.Conformance)
 	if !out.Skipped && s.store != nil {
 		if tp.jw != nil {
 			batches, draws := tp.eng().StreamPos()
@@ -1010,6 +1072,7 @@ func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResu
 			tp.name, rerr)
 	} else {
 		fresh.SetEpoch(epoch)
+		fresh.SetConformanceMode(s.conform)
 		tp.engp.Store(fresh)
 	}
 	return nil, http.StatusServiceUnavailable, codeJournalWriteFailed,

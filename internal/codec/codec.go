@@ -47,6 +47,7 @@ import (
 	"math"
 	"sort"
 
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/engine"
 	"triclust/internal/mat"
@@ -77,9 +78,9 @@ var (
 )
 
 // Section tags of the snapshot format. Tags 1–7 are unchanged since
-// version 1; tagEpoch was added within version 2 as an optional section
-// (absent = epoch 0), which older version-2 readers skip by the
-// unknown-tag rule.
+// version 1; tagEpoch and tagConform were added within version 2 as
+// optional sections (absent = epoch 0 / empty conformance profile),
+// which older version-2 readers skip by the unknown-tag rule.
 const (
 	tagEnd     = 0
 	tagConfig  = 1
@@ -90,6 +91,7 @@ const (
 	tagOnline  = 6
 	tagFactors = 7
 	tagEpoch   = 8
+	tagConform = 9
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -139,6 +141,13 @@ func Encode(w io.Writer, st *engine.State) error {
 	// equal include-or-omit decisions.
 	if st.Epoch != 0 {
 		enc.section(tagEpoch, func(e *encoder) { e.uint(st.Epoch) })
+	}
+	// Same rule for the conformance profile: an empty default profile is
+	// omitted, so pre-conformance snapshots and snapshots of fresh topics
+	// keep their exact bytes. The profile owns its wire format (versioned
+	// separately inside the section body, see internal/conform/wire.go).
+	if st.Conform != nil && !st.Conform.IsZero() {
+		enc.section(tagConform, func(e *encoder) { e.write(st.Conform.AppendBinary(nil)) })
 	}
 	enc.byte(tagEnd)
 	if enc.err != nil {
@@ -235,6 +244,18 @@ func Decode(r io.Reader) (*engine.State, error) {
 			st.LastFactors = sd.factors()
 		case tagEpoch:
 			st.Epoch = sd.uint()
+		case tagConform:
+			p, err := conform.DecodeProfile(sd.buf)
+			if err != nil {
+				// An unimplemented profile wire version is version skew
+				// (intact snapshot, newer writer), not corruption.
+				if errors.Is(err, conform.ErrProfileVersion) {
+					return nil, fmt.Errorf("%w: %v", ErrVersion, err)
+				}
+				return nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, tag, err)
+			}
+			st.Conform = p
+			sd.buf = nil
 		default:
 			// Unknown section from a newer minor revision: skip.
 			continue

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/engine"
 	"triclust/internal/mat"
@@ -346,5 +347,111 @@ func TestUnknownRNGAlgorithmRejected(t *testing.T) {
 	}
 	if !errors.Is(d.err, ErrVersion) {
 		t.Fatalf("error %v, want ErrVersion", d.err)
+	}
+}
+
+// warmConformProfile builds a profile warmed past its MinSamples gate on
+// a steady synthetic stream, so every counter and metric is non-zero.
+func warmConformProfile() *conform.Profile {
+	p := conform.NewProfile(conform.Params{})
+	for i := 0; i < 12; i++ {
+		obs := conform.Observation{
+			Tweets: 12, Tokens: 36, OOVTokens: 0, OOVValid: true,
+			MaxUserTweets: 1, Dups: 0,
+			TimeStep: 1, StepValid: i > 0, TimeSpread: 0,
+		}
+		if v, ok := p.Score(obs); ok {
+			p.Observe(obs, &v)
+		} else {
+			p.Observe(obs, nil)
+		}
+	}
+	return p
+}
+
+// TestConformSectionOptional pins the conformance section's
+// compatibility story, the same contract as the epoch section: a nil or
+// never-observed profile omits the section entirely — snapshots of
+// topics that predate the conformance gate (and of fresh topics) stay
+// byte-identical to pre-gate builds — while a warmed profile rides along
+// and round-trips bit-exactly.
+func TestConformSectionOptional(t *testing.T) {
+	var nilProf, zeroProf, warm bytes.Buffer
+	if err := Encode(&nilProf, fullState()); err != nil {
+		t.Fatal(err)
+	}
+	zp := fullState()
+	zp.Conform = conform.NewProfile(conform.Params{})
+	if err := Encode(&zeroProf, zp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nilProf.Bytes(), zeroProf.Bytes()) {
+		t.Fatal("zero profile must encode identically to no profile")
+	}
+
+	ws := fullState()
+	ws.Conform = warmConformProfile()
+	if err := Encode(&warm, ws); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() <= nilProf.Len() {
+		t.Fatal("warm profile did not grow the snapshot")
+	}
+	got, err := Decode(bytes.NewReader(warm.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Conform == nil {
+		t.Fatal("decoded state lost the profile")
+	}
+	if !bytes.Equal(got.Conform.AppendBinary(nil), ws.Conform.AppendBinary(nil)) {
+		t.Fatal("profile did not round-trip bit-exactly")
+	}
+}
+
+// TestConformSectionVersionSkew: a profile written by a future wire
+// version inside an otherwise intact snapshot must surface as ErrVersion
+// (the recoverable skew path — startup quarantine, stable error code),
+// while structural damage to the section is ErrCorrupt.
+func TestConformSectionVersionSkew(t *testing.T) {
+	st := fullState()
+	st.Conform = warmConformProfile()
+	forge := func(mutate func(payload []byte)) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		payload := append([]byte(nil), data[18:len(data)-4]...)
+		mutate(payload)
+		out := append([]byte(nil), data[:10]...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+		out = append(out, payload...)
+		return binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	}
+	// mutateConform rewrites one byte at off within the conform section's
+	// payload (off 0 is the profile wire version).
+	mutateConform := func(off int, val byte) func([]byte) {
+		return func(p []byte) {
+			for i := 0; i < len(p); {
+				tag, size := p[i], binary.LittleEndian.Uint64(p[i+1:i+9])
+				if tag == tagConform {
+					p[i+9+off] = val
+					return
+				}
+				if tag == tagEnd {
+					t.Fatal("conform section not found")
+				}
+				i += 9 + int(size)
+			}
+		}
+	}
+	if _, err := Decode(bytes.NewReader(forge(mutateConform(0, 9)))); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future profile version: got %v, want ErrVersion", err)
+	}
+	// Byte 73 is the metric count; an invariant-set mismatch is
+	// corruption, not skew (the wire version pins the set).
+	if _, err := Decode(bytes.NewReader(forge(mutateConform(73, 200)))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("metric-count damage: got %v, want ErrCorrupt", err)
 	}
 }

@@ -1,0 +1,25 @@
+package conform
+
+import "testing"
+
+// BenchmarkConformScore measures the warm-path cost of scoring one
+// 20-tweet batch observation against a ready profile — the per-batch
+// overhead the conformance gate adds to Topic.Process (the observation
+// itself is computed by the engine from buffers it already walks).
+func BenchmarkConformScore(b *testing.B) {
+	p := NewProfile(Params{})
+	for i := 0; i < 32; i++ {
+		o := steadyObs(i > 0)
+		o.Tokens = 60 + i%3
+		p.Observe(o, nil)
+	}
+	o := steadyObs(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok := p.Score(o)
+		if !ok || v.Status != Conforming {
+			b.Fatalf("score: ok=%v status=%s", ok, v.Status)
+		}
+	}
+}

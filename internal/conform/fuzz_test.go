@@ -1,0 +1,54 @@
+package conform
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzProfileDecode drives hostile, truncated and bit-flipped bytes
+// through the profile decoder. Invariants: no panic, every accepted
+// input re-encodes to exactly itself (encode∘decode is a fixed point),
+// and an accepted profile survives a score + observe cycle without
+// breaking its own validation.
+func FuzzProfileDecode(f *testing.F) {
+	// Seed with the golden profile section plus systematic mutations of it.
+	if raw, err := os.ReadFile(filepath.Join("testdata", "golden_profile_v1.bin")); err == nil {
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2])
+		f.Add(append(append([]byte(nil), raw...), 0xff))
+		for _, off := range []int{0, 1, 9, 25, 58, len(raw) - 1} {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	f.Add(NewProfile(Params{MinSamples: 2, FlagZ: 1, QuarantineZ: 2}).AppendBinary(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("decode returned both a profile and an error")
+			}
+			return
+		}
+		re := p.AppendBinary(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %d bytes re-encode to %d different bytes", len(data), len(re))
+		}
+		// An accepted profile must be internally usable: scoring,
+		// observing and reporting a plain batch must not panic, whatever
+		// (finite) values the accepted bytes carried.
+		o := Observation{Tweets: 5, Tokens: 15, OOVValid: true, MaxUserTweets: 1, TimeSpread: 0}
+		if v, ok := p.Score(o); ok {
+			p.Observe(o, &v)
+		} else {
+			p.Observe(o, nil)
+		}
+		_ = p.Report()
+	})
+}

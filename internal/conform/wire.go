@@ -1,0 +1,198 @@
+// Profile wire format. The profile owns its own serialization (the
+// snapshot codec embeds these bytes opaquely in a tagged section), so
+// the format can evolve behind its own version byte without touching the
+// snapshot version, and the fuzz target lives next to the decoder.
+//
+// Layout (little-endian, fixed size):
+//
+//	version      uint8    wire version (currently 1)
+//	minSamples   uint64   params
+//	flagZ        float64
+//	quarantineZ  float64
+//	observed     uint64   counters
+//	scored       uint64
+//	flagged      uint64
+//	quarantined  uint64
+//	drift        float64
+//	prevDrift    float64
+//	metricCount  uint8    must equal the build's invariant count
+//	metrics      metricCount × { n uint64, mean, m2, min, max float64 }
+//
+// Every field the encoder writes is decoded verbatim and re-validated,
+// so encode∘decode is the identity on accepted byte strings (a fixed
+// point — FuzzProfileDecode pins this) and decode∘encode is the identity
+// on valid profiles.
+package conform
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// wireVersion is the profile serialization version. Bump it when the
+// layout or the invariant set changes; decoders reject versions they do
+// not implement with ErrProfileVersion, which the snapshot codec maps to
+// its recoverable version-skew path.
+const wireVersion = 1
+
+// wireSize is the exact encoded size: the format is fixed-width, so a
+// length mismatch is corruption by construction.
+const wireSize = 1 + 3*8 + 4*8 + 2*8 + 1 + numMetrics*5*8
+
+// maxCounter bounds the batch counters a decoder accepts; real streams
+// sit far below it, and the bound keeps hostile counter pairs from
+// overflowing the consistency arithmetic in Validate.
+const maxCounter = 1 << 62
+
+var (
+	// ErrProfile marks profile bytes that fail framing or validation.
+	ErrProfile = errors.New("conform: invalid profile")
+	// ErrProfileVersion marks an intact profile written by a wire version
+	// this build does not implement.
+	ErrProfileVersion = errors.New("conform: unsupported profile version")
+)
+
+// AppendBinary appends the profile's wire encoding to dst. Equal
+// profiles encode to equal bytes (the format has no maps or other
+// iteration-order hazards).
+func (p *Profile) AppendBinary(dst []byte) []byte {
+	dst = append(dst, wireVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.params.MinSamples))
+	dst = appendFloat(dst, p.params.FlagZ)
+	dst = appendFloat(dst, p.params.QuarantineZ)
+	dst = binary.LittleEndian.AppendUint64(dst, p.observed)
+	dst = binary.LittleEndian.AppendUint64(dst, p.scored)
+	dst = binary.LittleEndian.AppendUint64(dst, p.flagged)
+	dst = binary.LittleEndian.AppendUint64(dst, p.quarantined)
+	dst = appendFloat(dst, p.drift)
+	dst = appendFloat(dst, p.prevDrift)
+	dst = append(dst, numMetrics)
+	for i := range p.metrics {
+		m := &p.metrics[i]
+		dst = binary.LittleEndian.AppendUint64(dst, m.n)
+		dst = appendFloat(dst, m.mean)
+		dst = appendFloat(dst, m.m2)
+		dst = appendFloat(dst, m.lo)
+		dst = appendFloat(dst, m.hi)
+	}
+	return dst
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// DecodeProfile parses and validates one profile. Truncated, oversized
+// or internally inconsistent bytes are rejected with ErrProfile; an
+// unknown wire version with ErrProfileVersion. Accepted bytes re-encode
+// to themselves.
+func DecodeProfile(b []byte) (*Profile, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty", ErrProfile)
+	}
+	if b[0] != wireVersion {
+		return nil, fmt.Errorf("%w: profile is wire version %d, this build reads %d",
+			ErrProfileVersion, b[0], wireVersion)
+	}
+	if len(b) != wireSize {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrProfile, len(b), wireSize)
+	}
+	d := wireDecoder{buf: b[1:]}
+	p := &Profile{}
+	p.params.MinSamples = int(d.uint())
+	p.params.FlagZ = d.float()
+	p.params.QuarantineZ = d.float()
+	p.observed = d.uint()
+	p.scored = d.uint()
+	p.flagged = d.uint()
+	p.quarantined = d.uint()
+	p.drift = d.float()
+	p.prevDrift = d.float()
+	if n := d.byte(); n != numMetrics {
+		return nil, fmt.Errorf("%w: %d invariants, this build defines %d", ErrProfile, n, numMetrics)
+	}
+	for i := range p.metrics {
+		m := &p.metrics[i]
+		m.n = d.uint()
+		m.mean = d.float()
+		m.m2 = d.float()
+		m.lo = d.float()
+		m.hi = d.float()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// wireDecoder reads the fixed-width layout; bounds were checked up front
+// (exact size), so the readers cannot run past the buffer.
+type wireDecoder struct{ buf []byte }
+
+func (d *wireDecoder) uint() uint64 {
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *wireDecoder) float() float64 { return math.Float64frombits(d.uint()) }
+
+func (d *wireDecoder) byte() byte {
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+// Validate cross-checks the profile's internals: thresholds the scorer
+// can run with, finite accumulators with consistent shapes, and counters
+// that respect their arithmetic relations. Decoded profiles pass through
+// here, so a valid-checksum but crafted snapshot is rejected at restore
+// instead of producing NaN scores or impossible censuses later.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil profile", ErrProfile)
+	}
+	if p.params != p.params.withDefaults() {
+		return fmt.Errorf("%w: non-canonical params (zero-valued field)", ErrProfile)
+	}
+	if err := p.params.Validate(); err != nil {
+		return err
+	}
+	if p.observed > maxCounter || p.flagged > p.scored || p.quarantined > p.scored ||
+		p.flagged+p.quarantined > p.scored || p.scored > p.observed {
+		return fmt.Errorf("%w: counters out of order (observed=%d scored=%d flagged=%d quarantined=%d)",
+			ErrProfile, p.observed, p.scored, p.flagged, p.quarantined)
+	}
+	if !finite(p.drift) || !finite(p.prevDrift) || p.drift < 0 || p.prevDrift < 0 {
+		return fmt.Errorf("%w: drift not a non-negative finite number", ErrProfile)
+	}
+	for i := range p.metrics {
+		m := &p.metrics[i]
+		if m.n > p.observed {
+			return fmt.Errorf("%w: invariant %s has %d samples over %d observed batches",
+				ErrProfile, metricNames[i], m.n, p.observed)
+		}
+		if m.n == 0 {
+			// Canonical zero: an unobserved invariant carries no stats, so
+			// equal profiles stay byte-equal.
+			if m.mean != 0 || m.m2 != 0 || m.lo != 0 || m.hi != 0 {
+				return fmt.Errorf("%w: invariant %s has stats but no samples", ErrProfile, metricNames[i])
+			}
+			continue
+		}
+		if !finite(m.mean) || !finite(m.m2) || !finite(m.lo) || !finite(m.hi) {
+			return fmt.Errorf("%w: invariant %s has non-finite stats", ErrProfile, metricNames[i])
+		}
+		if m.m2 < 0 {
+			return fmt.Errorf("%w: invariant %s has negative variance accumulator", ErrProfile, metricNames[i])
+		}
+		if m.lo > m.hi {
+			return fmt.Errorf("%w: invariant %s has min %g > max %g", ErrProfile, metricNames[i], m.lo, m.hi)
+		}
+	}
+	return nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

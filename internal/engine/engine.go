@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/lexicon"
 	"triclust/internal/mat"
@@ -54,6 +55,11 @@ type Config struct {
 	MinDF int
 	// Tokenizer controls text normalization for tweets without Tokens.
 	Tokenizer text.TokenizerOptions
+	// Conform tunes the stream-conformance profile every session
+	// accumulates (zero-valued fields select the defaults). The profile
+	// always accumulates and scores; what a verdict does is the session's
+	// runtime conformance mode (Session.SetConformMode).
+	Conform conform.Params
 }
 
 func (c Config) withDefaults() Config {
@@ -105,7 +111,7 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("engine: unknown weighting scheme %d", d.Weighting)
 	}
-	return nil
+	return c.Conform.Validate()
 }
 
 // onlineUnset reports whether every distinguishing field of the online
@@ -126,6 +132,7 @@ type Model struct {
 	weighting text.Weighting
 	minDF     int
 	tok       *text.Tokenizer
+	conformP  conform.Params
 
 	mu    sync.RWMutex
 	vb    *text.VocabBuilder // pre-freeze document-frequency counts
@@ -143,6 +150,7 @@ func NewModel(cfg Config) *Model {
 		weighting: cfg.Weighting,
 		minDF:     cfg.MinDF,
 		tok:       text.NewTokenizer(cfg.Tokenizer),
+		conformP:  cfg.Conform,
 		vb:        text.NewVocabBuilder(),
 	}
 }
@@ -299,6 +307,11 @@ type Outcome struct {
 	// Active maps user-sentiment rows to global user indices (online
 	// only; nil offline, where rows already follow the corpus).
 	Active []int
+	// Conform is the batch's conformance verdict, when the session's
+	// profile had warmed up enough to score it (nil during warm-up and
+	// on the offline path). The batch was applied regardless: an
+	// enforce-mode rejection returns a *conform.BatchError instead.
+	Conform *conform.Verdict
 	// Skipped marks a no-op step (empty batch): no solver ran, no state
 	// advanced, every slice above is empty.
 	Skipped bool

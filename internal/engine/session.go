@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/mat"
 	"triclust/internal/text"
@@ -41,6 +42,12 @@ type Session struct {
 	toks    [][]string // toks[callerIdx] = tokens (caller's or session-owned)
 	tokBufs [][]string // per-index reusable token buffers backing toks
 	sorter  canonSorter
+	userTw  []int // per-user tweet counts (zeroed after every batch)
+
+	// prof is the stream-conformance profile; it accumulates and scores
+	// in every mode, cmode only decides what a quarantine verdict does.
+	prof  *conform.Profile
+	cmode conform.Mode
 
 	batches int
 	skips   int
@@ -54,6 +61,7 @@ func (m *Model) NewSession(users []tgraph.User) *Session {
 		users:  append([]tgraph.User(nil), users...),
 		online: core.NewOnline(m.cfg),
 		in:     text.NewInterner(),
+		prof:   conform.NewProfile(m.conformP),
 	}
 }
 
@@ -146,6 +154,16 @@ func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
 	// Canonical ordering for order-independent batch semantics.
 	s.canonicalize(tweets)
 
+	// Conformance gate: score the batch against the profile of the
+	// batches before it, before any state can advance — an enforce-mode
+	// rejection must leave the vocabulary unfrozen, the timestamp
+	// unconsumed and the profile untouched, so the caller can retry.
+	obs := s.observation(t)
+	verdict, scored := s.prof.Score(obs)
+	if scored && verdict.Status == conform.Quarantined && s.cmode == conform.Enforce {
+		return nil, &conform.BatchError{Verdict: verdict}
+	}
+
 	// Stage 2: the first batch freezes the vocabulary (and the prior).
 	s.docs = s.docs[:0]
 	for _, tw := range s.sorted {
@@ -170,8 +188,83 @@ func (s *Session) Process(t int, tweets []tgraph.Tweet) (*Outcome, error) {
 	res.Sp = permuteRows(res.Sp, s.order)
 
 	s.batches++
+	// The batch was applied: fold it into the conformance profile (and,
+	// when it was scored, the verdict counters — flag-mode semantics
+	// record even quarantine verdicts of applied batches).
+	if scored {
+		s.prof.Observe(obs, &verdict)
+	} else {
+		s.prof.Observe(obs, nil)
+	}
 	// Stage 6: label.
-	return newOutcome(res, snap.Active), nil
+	out := newOutcome(res, snap.Active)
+	if scored {
+		out.Conform = &verdict
+	}
+	return out, nil
+}
+
+// observation reduces the canonicalized batch (s.sorted, already
+// tokenized) to the numbers the conformance invariants watch. Called
+// with the session lock held, before the vocabulary can freeze on this
+// batch — OOV counting starts only once earlier batches froze it.
+func (s *Session) observation(t int) conform.Observation {
+	o := conform.Observation{Tweets: len(s.sorted)}
+	vocab := s.model.Vocabulary()
+	o.OOVValid = vocab != nil
+	for i := range s.sorted {
+		toks := s.sorted[i].Tokens
+		o.Tokens += len(toks)
+		if vocab != nil {
+			for _, tok := range toks {
+				if vocab.ID(tok) < 0 {
+					o.OOVTokens++
+				}
+			}
+		}
+	}
+	if len(s.userTw) < len(s.users) {
+		s.userTw = make([]int, len(s.users))
+	}
+	for i := range s.sorted {
+		u := s.sorted[i].User
+		s.userTw[u]++
+		if s.userTw[u] > o.MaxUserTweets {
+			o.MaxUserTweets = s.userTw[u]
+		}
+	}
+	for i := range s.sorted {
+		s.userTw[s.sorted[i].User] = 0
+	}
+	for i := 1; i < len(s.sorted); i++ {
+		a, b := &s.sorted[i-1], &s.sorted[i]
+		if a.Time == b.Time && a.User == b.User && slices.Equal(a.Tokens, b.Tokens) {
+			o.Dups++
+		}
+	}
+	if last, ok := s.online.LastTime(); ok {
+		o.TimeStep, o.StepValid = t-last, true
+	}
+	// s.sorted is ordered by Time first, so the spread is last minus first.
+	o.TimeSpread = s.sorted[len(s.sorted)-1].Time - s.sorted[0].Time
+	return o
+}
+
+// SetConformMode sets what a quarantine verdict does on this session's
+// ingest path (see conform.Mode). The mode is runtime-only state: it is
+// not exported with the profile, and switching it never changes what the
+// profile accumulates.
+func (s *Session) SetConformMode(m conform.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cmode = m
+}
+
+// ConformMode returns the session's conformance mode.
+func (s *Session) ConformMode() conform.Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cmode
 }
 
 // tokenize fills s.toks[i] with tweet i's feature tokens: the tweet's own

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/lexicon"
 	"triclust/internal/mat"
@@ -62,6 +63,13 @@ type State struct {
 	// fence out stale (pre-move) snapshots; it does not influence the
 	// solver or the session.
 	Epoch uint64
+
+	// Conform is the stream-conformance profile. Nil in states exported
+	// by pre-conformance builds (and tolerated by Restore, which starts a
+	// fresh default profile); the codec omits the section when the
+	// profile carries no information, so such snapshots stay
+	// byte-identical across the upgrade.
+	Conform *conform.Profile
 }
 
 // ExportState deep-copies the session's full state (model + session +
@@ -82,6 +90,7 @@ func (s *Session) ExportState() *State {
 	}
 	st.LexiconHit = s.model.hit
 	st.Lexicon = s.model.lex.Entries()
+	st.Conform = s.prof.Clone()
 
 	s.model.mu.RLock()
 	defer s.model.mu.RUnlock()
@@ -166,11 +175,24 @@ func RestoreSession(st *State) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A pre-conformance state carries no profile: start a fresh default
+	// one (it begins learning from the next batch). A present profile is
+	// re-validated — the codec's CRC does not vouch for semantics.
+	prof := st.Conform
+	if prof == nil {
+		prof = conform.NewProfile(conform.Params{})
+	} else {
+		if err := prof.Validate(); err != nil {
+			return nil, err
+		}
+		prof = prof.Clone()
+	}
 	return &Session{
 		model:   m,
 		users:   append([]tgraph.User(nil), st.Users...),
 		online:  online,
 		in:      text.NewInterner(),
+		prof:    prof,
 		batches: st.Batches,
 		skips:   st.Skips,
 	}, nil

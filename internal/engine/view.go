@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"triclust/internal/conform"
 	"triclust/internal/mat"
 )
 
@@ -75,6 +76,9 @@ type View struct {
 	// classifies it (see ViewState).
 	State ViewState
 	Delta float64
+	// Conform summarizes the stream-conformance profile at publication
+	// (learned invariants, verdict counters, drift trend).
+	Conform *conform.Report
 }
 
 // UserEstimate returns the view's estimate for a user, or ok = false if
@@ -146,6 +150,7 @@ func (s *Session) BuildView(sf *mat.Dense, prev *View, epoch uint64) *View {
 	if sf != nil {
 		v.Features = Label(sf)
 	}
+	v.Conform = s.prof.Report()
 	v.Delta = viewDelta(v, prev)
 	v.State = viewState(v, s.online.Config().Window)
 	return v

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# arch-boundaries-check.sh — keep the layering honest.
+#
+# The package graph encodes the architecture: core is the paper's
+# solver (no knowledge of sessions or serving), engine orchestrates it,
+# and conform is a freestanding statistics library that both the engine
+# and the codec embed — it must never grow a dependency back into the
+# layers that use it, or the "accumulate everywhere, enforce at the
+# engine" design rots into a cycle. go list -deps makes these rules
+# checkable, so a violating import fails CI with the offending edge
+# instead of surviving until a refactor trips over it.
+#
+# Usage: scripts/arch-boundaries-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+forbid() {
+    local pkg=$1 pattern=$2 why=$3
+    local hits
+    hits=$(go list -deps "$pkg" | grep -E -x "$pattern" || true)
+    if [ -n "$hits" ]; then
+        echo "BOUNDARY: $pkg must not depend on: $(echo "$hits" | tr '\n' ' ')" >&2
+        echo "          ($why)" >&2
+        fail=1
+    fi
+}
+
+# The solver core is below the engine; an upward import is a layering
+# inversion.
+forbid triclust/internal/core 'triclust/internal/engine' \
+    "core is the paper's algorithm; engine orchestrates core, never the reverse"
+
+# conform is a leaf statistics library: the engine scores with it and
+# the codec serializes it, so a dependency on either (or on the daemon)
+# would be a cycle through its own consumers.
+forbid triclust/internal/conform 'triclust/internal/engine|triclust/cmd(/.*)?' \
+    "conform is embedded by the engine and the codec; it cannot import its consumers"
+
+# Stronger form of the same rule: conform depends on nothing else in
+# this module at all (stdlib only), so it stays embeddable anywhere.
+leaf_deps=$(go list -deps triclust/internal/conform | grep '^triclust' | grep -v -x 'triclust/internal/conform' || true)
+if [ -n "$leaf_deps" ]; then
+    echo "BOUNDARY: triclust/internal/conform must stay stdlib-only, but depends on: $(echo "$leaf_deps" | tr '\n' ' ')" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "arch-boundaries-check: FAILED" >&2
+    exit 1
+fi
+echo "arch-boundaries-check: OK"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the performance-tracking benchmark suite and emit a
-# machine-readable BENCH_PR7.json artifact, so the perf trajectory across
+# machine-readable BENCH_PR8.json artifact, so the perf trajectory across
 # PRs can be consumed from CI artifacts instead of hand-copied tables.
 #
 # Usage:
@@ -16,13 +16,17 @@
 #                     (default 2s: time-based, so the background ingest
 #                     loop lands several full snapshot+fsync cycles in
 #                     every measurement window)
+#   CONFORM_BENCHTIME -benchtime for the conformance-scoring microbench
+#                     (default 1000x: scoring one batch against a warm
+#                     profile is nanoseconds, so it needs iterations)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR8.json}
 BENCHTIME=${BENCHTIME:-10x}
 DAEMON_BENCHTIME=${DAEMON_BENCHTIME:-500x}
 READ_BENCHTIME=${READ_BENCHTIME:-2s}
+CONFORM_BENCHTIME=${CONFORM_BENCHTIME:-1000x}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -43,6 +47,12 @@ go test -run xxx -bench BenchmarkDaemonBatchPersist -benchtime "$DAEMON_BENCHTIM
 # cores exist for the blocked readers to have run on, so the 4-core rows
 # are the ones the ROADMAP trajectory tracks.
 go test -run xxx -bench BenchmarkReadsUnderIngest -benchtime "$READ_BENCHTIME" -benchmem -cpu 1,4 ./cmd/triclustd/ | tee -a "$RAW"
+# The conformance-gate microbench: scoring one batch observation against
+# a warm profile. This cost sits on every ingest in every mode
+# (accumulation never turns off), so the artifact tracks it per-PR; it
+# must stay noise against the solve (the PR-8 bar caps warm Process
+# overhead at 5%).
+go test -run xxx -bench BenchmarkConformScore -benchtime "$CONFORM_BENCHTIME" -benchmem -cpu 1,4 ./internal/conform/ | tee -a "$RAW"
 
 awk -v out="$OUT" '
 BEGIN { n = 0 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"triclust/internal/codec"
+	"triclust/internal/conform"
 	"triclust/internal/core"
 	"triclust/internal/engine"
 	"triclust/internal/mat"
@@ -99,6 +100,62 @@ func WithTokenizer(opts TokenizerOptions) Option {
 		s.cfg.Tokenizer = opts
 		return nil
 	}
+}
+
+// WithConformance tunes the stream-conformance profile every topic
+// accumulates: when scoring starts (MinSamples) and where the flag and
+// quarantine thresholds sit. Zero-valued fields keep the defaults. The
+// thresholds are part of the topic's durable state (they travel inside
+// snapshots); what a verdict does is the runtime conformance mode, set
+// separately with SetConformanceMode.
+func WithConformance(p ConformanceParams) Option {
+	return func(s *topicSettings) error {
+		s.cfg.Conform = p
+		return nil
+	}
+}
+
+// Stream-conformance types, re-exported from the conformance subsystem.
+type (
+	// ConformanceParams tune the conformance profile (see WithConformance).
+	ConformanceParams = conform.Params
+	// ConformanceMode selects what a quarantine verdict does on ingest.
+	ConformanceMode = conform.Mode
+	// ConformanceVerdict is the structured result of scoring one batch:
+	// a status, per-invariant z-scores and the violated invariants.
+	ConformanceVerdict = conform.Verdict
+	// ConformanceScore is one invariant's z-score within a verdict.
+	ConformanceScore = conform.Score
+	// ConformanceStatus classifies a scored batch.
+	ConformanceStatus = conform.Status
+	// ConformanceReport summarizes a topic's learned stream profile.
+	ConformanceReport = conform.Report
+	// ConformanceError is the typed rejection of a nonconforming batch in
+	// enforce mode. The batch was not applied: no state advanced, no
+	// timestamp was consumed, and the profile is exactly as before.
+	ConformanceError = conform.BatchError
+)
+
+// Conformance modes (see ConformanceMode).
+const (
+	// ConformOff scores and accumulates but surfaces nothing.
+	ConformOff = conform.Off
+	// ConformFlag annotates accepted batches with their verdict.
+	ConformFlag = conform.Flag
+	// ConformEnforce rejects quarantined batches before they are applied.
+	ConformEnforce = conform.Enforce
+)
+
+// Conformance statuses (see ConformanceStatus).
+const (
+	Conforming  = conform.Conforming
+	Flagged     = conform.Flagged
+	Quarantined = conform.Quarantined
+)
+
+// ParseConformanceMode parses "off" (or ""), "flag" or "enforce".
+func ParseConformanceMode(s string) (ConformanceMode, error) {
+	return conform.ParseMode(s)
 }
 
 // defaultTopicSettings makes NewTopic default to the paper's TF-IDF
@@ -284,7 +341,33 @@ func (t *Topic) Process(ts int, tweets []Tweet) (*StreamResult, error) {
 		Result:      *resultFrom(out, t.model),
 		ActiveUsers: out.Active,
 		Skipped:     out.Skipped,
+		Conformance: out.Conform,
 	}, nil
+}
+
+// SetConformanceMode sets what a quarantine verdict does on this topic's
+// ingest path: ConformOff (default) and ConformFlag accept every batch —
+// flag mode additionally reports the verdict in StreamResult.Conformance —
+// while ConformEnforce rejects quarantined batches with a
+// *ConformanceError before any state advances. The mode is runtime-only:
+// the profile accumulates and scores identically in every mode, so
+// topics that differ only in mode produce byte-identical snapshots on a
+// conforming stream, and switching modes never forks the stream.
+func (t *Topic) SetConformanceMode(m ConformanceMode) {
+	t.sess.SetConformMode(m)
+}
+
+// ConformanceMode returns the topic's conformance mode.
+func (t *Topic) ConformanceMode() ConformanceMode {
+	return t.sess.ConformMode()
+}
+
+// ConformanceReport summarizes the topic's learned stream profile —
+// per-invariant distributions, verdict counters and the drift trend — as
+// of the most recently committed batch. It is served from the published
+// read view (lock-free); treat the report as read-only.
+func (t *Topic) ConformanceReport() *ConformanceReport {
+	return t.view.Load().Conform
 }
 
 // FitCorpus runs the offline tri-clustering algorithm (Algorithm 1) over
@@ -486,6 +569,13 @@ func (rv ReadView) FeatureSentiments() []Sentiment { return rv.v.Features }
 // Convergence returns the view's progress indicator.
 func (rv ReadView) Convergence() Convergence {
 	return Convergence{State: rv.v.State, Batches: rv.v.Batches, Delta: rv.v.Delta}
+}
+
+// ConformanceReport returns the stream-conformance summary the view was
+// published with (see Topic.ConformanceReport). The report is shared
+// with the view: treat it as read-only.
+func (rv ReadView) ConformanceReport() *ConformanceReport {
+	return rv.v.Conform
 }
 
 // Restore rebuilds a Topic from a snapshot written by Topic.Snapshot. The

@@ -300,6 +300,12 @@ type StreamResult struct {
 	// well-defined no-op: no solver ran, the vocabulary was not frozen,
 	// the timestamp was not consumed and user history is untouched.
 	Skipped bool
+	// Conformance is the batch's conformance verdict against the topic's
+	// learned stream profile, nil while the profile is still warming up.
+	// The batch was applied regardless of the verdict: in enforce mode a
+	// quarantined batch is rejected with a *ConformanceError instead of
+	// producing a StreamResult.
+	Conformance *ConformanceVerdict
 }
 
 // Stream is the stateful online analyzer (Algorithm 2).
