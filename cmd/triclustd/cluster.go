@@ -254,7 +254,7 @@ func (s *server) setMoved(name string, ts cluster.Tombstone) error {
 	}
 	l := s.lockName(name)
 	defer s.unlockName(name, l)
-	if err := cluster.WriteTombstone(s.store.dir, name, ts); err != nil {
+	if err := cluster.WriteTombstone(s.store.fs, s.store.dir, name, ts); err != nil {
 		return err
 	}
 	return s.store.syncDir()
@@ -270,7 +270,7 @@ func (s *server) clearMoved(name string) {
 	}
 	l := s.lockName(name)
 	defer s.unlockName(name, l)
-	if err := cluster.RemoveTombstone(s.store.dir, name); err != nil {
+	if err := cluster.RemoveTombstone(s.store.fs, s.store.dir, name); err != nil {
 		s.logf("remove tombstone %q: %v", name, err)
 	}
 }
@@ -603,7 +603,7 @@ func (s *server) resumeMove(w http.ResponseWriter, req moveRequest, mv cluster.T
 	}
 	if req.Target != mv.Target {
 		mv = cluster.Tombstone{Epoch: mv.Epoch, Target: req.Target}
-		if err := cluster.WriteTombstone(s.store.dir, req.Topic, mv); err != nil {
+		if err := cluster.WriteTombstone(s.store.fs, s.store.dir, req.Topic, mv); err != nil {
 			writeError(w, http.StatusInternalServerError, codeStorage, err)
 			return
 		}

@@ -825,7 +825,7 @@ func TestClusterInterruptedHandoffResume(t *testing.T) {
 	// Crash mid-hand-off: kill the shard, then write the fencing
 	// tombstone exactly as moveTopic would have just before its PUT.
 	tc.shards[src].sh.kill()
-	if err := cluster.WriteTombstone(tc.shards[src].dir, name, cluster.Tombstone{Epoch: 1, Target: tc.url(dst)}); err != nil {
+	if err := cluster.WriteTombstone(nil, tc.shards[src].dir, name, cluster.Tombstone{Epoch: 1, Target: tc.url(dst)}); err != nil {
 		t.Fatal(err)
 	}
 	tc.boot(src)

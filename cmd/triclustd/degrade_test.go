@@ -1,0 +1,357 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"triclust/internal/fault"
+	"triclust/internal/journal"
+)
+
+// faultServer builds one daemon whose durable writes go through the
+// given fault.FS, with a fast storage probe so degraded-mode tests
+// converge in milliseconds.
+func faultServer(t *testing.T, fs fault.FS, jopts journalOptions, sopts storageOptions) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(t.TempDir(), serverOptions{journal: jopts, fs: fs, storage: sopts}, t.Logf)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	hs := httptest.NewServer(s)
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func degradeCreateReq(name string) createTopicRequest {
+	return createTopicRequest{
+		Name:    name,
+		Users:   []string{"u0", "u1"},
+		Options: topicOptions{MaxIter: 2, Seed: 7, MinDF: 1},
+	}
+}
+
+func degradeBatch(day int) batchRequest {
+	return batchRequest{Time: day, Tweets: []tweetSpec{
+		{Tokens: []string{"w1", "w2"}, User: 0},
+		{Tokens: []string{"w2", "w3"}, User: 1},
+	}}
+}
+
+// awaitStorageState polls healthz until the storage section reaches the
+// wanted state.
+func awaitStorageState(t *testing.T, client *http.Client, base, want string) healthResponse {
+	t.Helper()
+	var hr healthResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		code, err := doJSON(client, "GET", base+"/v1/healthz", nil, &hr)
+		if err == nil && code == http.StatusOK && hr.Storage != nil && hr.Storage.State == want {
+			return hr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("storage never reached state %q (last: %+v)", want, hr.Storage)
+	return hr
+}
+
+// TestDiskDegradedModeENOSPCStorm is the degraded-mode acceptance path:
+// a full disk flips first the failing topics, then the whole shard, into
+// read-only; reads keep answering (marked) from the last durable state;
+// freeing space lets the write probe recover everything without a
+// restart.
+func TestDiskDegradedModeENOSPCStorm(t *testing.T) {
+	script := fault.NewScript()
+	s, hs := faultServer(t, script, journalOptions{Every: 100},
+		storageOptions{ShardAfter: 2, ProbeInterval: 20 * time.Millisecond})
+	client := hs.Client()
+
+	for _, name := range []string{"storm-a", "storm-b"} {
+		if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics", degradeCreateReq(name)); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name, code, ec)
+		}
+		if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(1)); code != http.StatusOK {
+			t.Fatalf("batch %s: %d %s", name, code, ec)
+		}
+	}
+
+	// The disk fills. The first failing batch per topic reports the
+	// append failure itself; ENOSPC degrades the topic immediately.
+	script.SetBudget(0)
+	for _, name := range []string{"storm-a", "storm-b"} {
+		if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(2)); code != http.StatusServiceUnavailable || ec != codeJournalWriteFailed {
+			t.Fatalf("batch %s on full disk: %d %s, want 503 %s", name, code, ec, codeJournalWriteFailed)
+		}
+	}
+
+	// Both topics degraded >= ShardAfter: the shard is read-only. Writes
+	// fail fast with the shard-level code and a Retry-After hint — no
+	// solve, no journal attempt.
+	resp, err := client.Post(hs.URL+"/v1/topics/storm-a/batches", "application/json",
+		strings.NewReader(`{"time":3,"tweets":[{"tokens":["w1"],"user":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	decodeBody(t, resp, &eb)
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Error.Code != codeStorageReadonly {
+		t.Fatalf("write on read-only shard: %d %s, want 503 %s", resp.StatusCode, eb.Error.Code, codeStorageReadonly)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("storage refusal carries no Retry-After")
+	}
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics", degradeCreateReq("storm-c")); code != http.StatusServiceUnavailable || ec != codeStorageReadonly {
+		t.Fatalf("create on read-only shard: %d %s, want 503 %s", code, ec, codeStorageReadonly)
+	}
+
+	// Reads still answer — from the last durable state, marked degraded.
+	rresp, err := client.Get(hs.URL + "/v1/topics/storm-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum topicSummary
+	decodeBody(t, rresp, &sum)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read: %d, want 200", rresp.StatusCode)
+	}
+	if got := rresp.Header.Get(degradedHeader); got != "storage" {
+		t.Fatalf("degraded read marker = %q, want %q", got, "storage")
+	}
+	if sum.Batches != 1 {
+		t.Fatalf("degraded read serves %d batches, want the 1 durable one", sum.Batches)
+	}
+
+	hr := awaitStorageState(t, client, hs.URL, "readonly")
+	if hr.Status != "degraded" {
+		t.Fatalf("healthz status %q, want degraded", hr.Status)
+	}
+	if len(hr.Storage.Degraded) != 2 {
+		t.Fatalf("degraded topics %v, want both", hr.Storage.Degraded)
+	}
+
+	// Space frees: the write probe notices and proves both topics back,
+	// no restart, no operator action.
+	script.SetBudget(-1)
+	hr = awaitStorageState(t, client, hs.URL, "ok")
+	if hr.Storage.Recoveries < 2 {
+		t.Fatalf("recoveries = %d, want >= 2", hr.Storage.Recoveries)
+	}
+	for _, name := range []string{"storm-a", "storm-b"} {
+		if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(2)); code != http.StatusOK {
+			t.Fatalf("batch %s after recovery: %d %s", name, code, ec)
+		}
+	}
+	if code, _ := errCode(t, client, "POST", hs.URL+"/v1/topics", degradeCreateReq("storm-c")); code != http.StatusCreated {
+		t.Fatalf("create after recovery: %d", code)
+	}
+
+	// The recovered state must be exactly what a restart would serve.
+	s2, err := newServer(s.store.dir, serverOptions{journal: journalOptions{Every: 100}}, t.Logf)
+	if err != nil {
+		t.Fatalf("re-open after recovery: %v", err)
+	}
+	defer s2.Close()
+	for _, name := range []string{"storm-a", "storm-b"} {
+		b1, d1 := s.topics[name].eng().StreamPos()
+		b2, d2 := s2.topics[name].eng().StreamPos()
+		if b1 != b2 || d1 != d2 {
+			t.Fatalf("%s: recovered position (%d,%d) != restart position (%d,%d)", name, b1, d1, b2, d2)
+		}
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// TestParkedTopicAfterFailedRollback is the regression test for the
+// failJournalAppend latent bug: when the disk refuses the append AND the
+// rollback reload fails, the daemon holds no state disk vouches for —
+// it must park the topic (refuse reads and writes), not keep serving
+// the in-memory state that is ahead of durable history as if it were
+// current.
+func TestParkedTopicAfterFailedRollback(t *testing.T) {
+	injectAppend := errors.New("injected append failure")
+	injectRead := errors.New("injected snapshot read failure")
+	script := fault.NewScript(
+		// The second append fails (the first is batch 1, which must land)...
+		fault.Rule{Site: "journal.append.sync", Hit: 2, Err: injectAppend},
+		// ...and the rollback cannot re-read the snapshot either.
+		fault.Rule{Site: "persist.snap.read", Err: injectRead},
+	)
+	s, hs := faultServer(t, script, journalOptions{Every: 100},
+		storageOptions{ProbeInterval: 20 * time.Millisecond})
+	client := hs.Client()
+
+	const name = "parked"
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics", degradeCreateReq(name)); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, ec)
+	}
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(1)); code != http.StatusOK {
+		t.Fatalf("batch 1: %d %s", code, ec)
+	}
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(2)); code != http.StatusServiceUnavailable || ec != codeStorageDegraded {
+		t.Fatalf("batch 2 (append + rollback both fail): %d %s, want 503 %s", code, ec, codeStorageDegraded)
+	}
+
+	// Parked: the in-memory engine ran batch 2, but disk only vouches
+	// for batch 1 — so nothing may be served, reads included.
+	for _, url := range []string{
+		hs.URL + "/v1/topics/" + name,
+		hs.URL + "/v1/topics/" + name + "/users/0",
+		hs.URL + "/v1/topics/" + name + "/features",
+		hs.URL + "/v1/topics/" + name + "/snapshot",
+	} {
+		if code, ec := errCode(t, client, "GET", url, nil); code != http.StatusServiceUnavailable || ec != codeStorageDegraded {
+			t.Fatalf("parked read %s: %d %s, want 503 %s", url, code, ec, codeStorageDegraded)
+		}
+	}
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(3)); code != http.StatusServiceUnavailable || ec != codeStorageDegraded {
+		t.Fatalf("parked write: %d %s, want 503 %s", code, ec, codeStorageDegraded)
+	}
+	var hr healthResponse
+	if code, err := doJSON(client, "GET", hs.URL+"/v1/healthz", nil, &hr); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz: %d %v", code, err)
+	}
+	if hr.Storage == nil || len(hr.Storage.Parked) != 1 || hr.Storage.Parked[0] != name {
+		t.Fatalf("healthz parked = %+v, want [%s]", hr.Storage, name)
+	}
+
+	// The disk heals: the probe reloads the topic from durable state and
+	// proves it back with a compaction save.
+	script.ClearRules()
+	awaitStorageState(t, client, hs.URL, "ok")
+
+	var sum topicSummary
+	if code, err := doJSON(client, "GET", hs.URL+"/v1/topics/"+name, nil, &sum); err != nil || code != http.StatusOK {
+		t.Fatalf("read after recovery: %d %v", code, err)
+	}
+	if sum.Batches != 1 {
+		t.Fatalf("recovered topic serves %d batches, want 1: the failed batch must not leak back", sum.Batches)
+	}
+	// The rolled-back batch retries cleanly onto the recovered state.
+	if code, ec := errCode(t, client, "POST", hs.URL+"/v1/topics/"+name+"/batches", degradeBatch(2)); code != http.StatusOK {
+		t.Fatalf("retry after recovery: %d %s", code, ec)
+	}
+	if s.topics[name].eng().Batches() != 2 {
+		t.Fatalf("batches after retry = %d, want 2", s.topics[name].eng().Batches())
+	}
+}
+
+// TestDegradedRecoveryReconvergesReplication: a replicated primary whose
+// disk fills keeps its follower at the last durable frame; once space
+// frees and the probe recovers the topic, the recovery re-ships a fresh
+// base, and subsequent batches replicate normally — the follower ends
+// bit-aligned with the primary's stream position.
+func TestDegradedRecoveryReconvergesReplication(t *testing.T) {
+	handlers := [2]*shardHandler{{}, {}}
+	var hss [2]*httptest.Server
+	var urls []string
+	for i := range handlers {
+		hss[i] = httptest.NewServer(handlers[i])
+		defer hss[i].Close()
+		urls = append(urls, hss[i].URL)
+	}
+	script := fault.NewScript()
+	fss := [2]fault.FS{script, nil}
+	var servers [2]*server
+	for i := range servers {
+		cc, err := newClusterConfig(urls[i], strings.Join(urls, ","), 32, false)
+		if err != nil {
+			t.Fatalf("cluster config %d: %v", i, err)
+		}
+		s, err := newServer(t.TempDir(), serverOptions{
+			journal: journalOptions{Every: 100},
+			cluster: cc,
+			repl:    &replOptions{Factor: 2, ProbeInterval: time.Hour},
+			fs:      fss[i],
+			storage: storageOptions{ProbeInterval: 20 * time.Millisecond},
+		}, t.Logf)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		s.start()
+		defer s.Close()
+		servers[i] = s
+		handlers[i].swap(s)
+	}
+	// A topic owned by shard 0, so shard 1 holds its replica.
+	name := ""
+	for i := 0; i < 100; i++ {
+		n := fmt.Sprintf("rconv%02d", i)
+		if servers[0].cluster.ring.Owner(n) == urls[0] {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no topic name owned by shard 0")
+	}
+	client := hss[0].Client()
+	if code, ec := errCode(t, client, "POST", urls[0]+"/v1/topics", degradeCreateReq(name)); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, ec)
+	}
+	for day := 1; day <= 3; day++ {
+		if code, ec := errCode(t, client, "POST", urls[0]+"/v1/topics/"+name+"/batches", degradeBatch(day)); code != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", day, code, ec)
+		}
+	}
+	if b, d := replicaPos(t, servers[1], name); b != 3 {
+		t.Fatalf("replica at (%d,%d) before the storm, want batches 3", b, d)
+	}
+
+	script.SetBudget(0)
+	if code, ec := errCode(t, client, "POST", urls[0]+"/v1/topics/"+name+"/batches", degradeBatch(4)); code != http.StatusServiceUnavailable || ec != codeJournalWriteFailed {
+		t.Fatalf("batch on full disk: %d %s", code, ec)
+	}
+	// The refused batch shipped nothing: the follower still sits at the
+	// last durable frame.
+	if b, _ := replicaPos(t, servers[1], name); b != 3 {
+		t.Fatalf("replica moved to %d batches during the storm, want 3", b)
+	}
+
+	script.SetBudget(-1)
+	awaitStorageState(t, client, urls[0], "ok")
+	if code, ec := errCode(t, client, "POST", urls[0]+"/v1/topics/"+name+"/batches", degradeBatch(4)); code != http.StatusOK {
+		t.Fatalf("batch after recovery: %d %s", code, ec)
+	}
+	pb, pd := servers[0].topics[name].eng().StreamPos()
+	rb, rd := replicaPos(t, servers[1], name)
+	if pb != rb || pd != rd {
+		t.Fatalf("replication diverged after recovery: primary (%d,%d), replica (%d,%d)", pb, pd, rb, rd)
+	}
+}
+
+// replicaPos reads a follower's durable replica position from disk: the
+// base snapshot's fingerprint advanced by the fsynced tail frames.
+func replicaPos(t *testing.T, s *server, name string) (int, uint64) {
+	t.Helper()
+	data, err := os.ReadFile(s.store.replMetaPath(name))
+	if err != nil {
+		t.Fatalf("replica meta %s: %v", name, err)
+	}
+	var meta replMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatalf("replica meta %s: %v", name, err)
+	}
+	batches, draws := meta.Batches, meta.RandDraws
+	j, err := journal.Load(s.store.fs, s.store.replJournalPath(name))
+	if err != nil {
+		t.Fatalf("replica journal %s: %v", name, err)
+	}
+	for _, rec := range j.Records {
+		batches, draws = rec.Batches, rec.RandDraws
+	}
+	return batches, draws
+}

@@ -37,6 +37,19 @@ const (
 	// last intact record, and the topic marked degraded in healthz until a
 	// later append or snapshot succeeds. Retryable once disk recovers.
 	codeJournalWriteFailed = "journal_write_failed"
+	// codeStorageDegraded means the topic's storage gave up: either
+	// repeated durable-write failures flipped it read-only (reads still
+	// answer from the last durable state, marked by an
+	// X-Triclust-Degraded header), or — parked — the rollback re-read
+	// after a failed write also failed, so the daemon holds no state disk
+	// vouches for and refuses reads too. Retry after the Retry-After
+	// hint; a background write probe recovers the topic automatically.
+	codeStorageDegraded = "storage_degraded"
+	// codeStorageReadonly means enough topics degraded that the whole
+	// shard refuses writes (a disk failing across topics is about to fail
+	// the next one too). Reads still work. Retryable like
+	// storage_degraded.
+	codeStorageReadonly = "storage_readonly"
 
 	// Cluster-mode codes.
 	codeNotClustered     = "not_clustered"     // cluster endpoint without -peers/-self

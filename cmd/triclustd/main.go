@@ -161,6 +161,12 @@ func main() {
 		"cadence of the -auto-rebalance convergence check")
 	conformMode := flag.String("conform-mode", "off",
 		"stream-conformance gate: off (score silently), flag (annotate batch responses with verdicts), enforce (reject quarantined batches with 422 batch_nonconforming before the journal append)")
+	degradeAfter := flag.Int("degrade-after", 3,
+		"consecutive durable-write failures before a topic turns read-only with 503 storage_degraded (ENOSPC degrades immediately)")
+	shardDegradeAfter := flag.Int("shard-degrade-after", 2,
+		"degraded topics before the whole shard refuses writes with 503 storage_readonly")
+	storageProbeInterval := flag.Duration("storage-probe-interval", 5*time.Second,
+		"write-probe cadence while storage is degraded (also the Retry-After hint on refused writes)")
 	drain := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	par.SetProcs(*procs)
@@ -177,6 +183,11 @@ func main() {
 		journal: journalOptions{Every: *journalEvery, MaxBytes: *journalMaxBytes},
 		maxBody: *maxBody,
 		conform: conform,
+		storage: storageOptions{
+			DegradeAfter:  *degradeAfter,
+			ShardAfter:    *shardDegradeAfter,
+			ProbeInterval: *storageProbeInterval,
+		},
 	}
 	if *peers != "" || *self != "" {
 		cc, err := newClusterConfig(*self, *peers, *vnodes, *clusterProxy)

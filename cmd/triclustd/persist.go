@@ -12,6 +12,7 @@ import (
 
 	"triclust"
 	"triclust/internal/codec"
+	"triclust/internal/fault"
 	"triclust/internal/journal"
 )
 
@@ -43,6 +44,11 @@ type journalOptions struct {
 type store struct {
 	dir  string
 	opts journalOptions
+	// fs is the failpoint layer every durable syscall of this store (and
+	// of the journals, tombstones, and replica files under its dir) goes
+	// through — fault.OS in production, a fault.Script in the crash-point
+	// matrix and the degraded-mode tests.
+	fs fault.FS
 	// quarantined counts the files the loader refused to serve —
 	// quarantined snapshots/journals plus unreadable or unrecognized
 	// strays. Mostly written by the startup scan, but a cluster move
@@ -54,14 +60,17 @@ type store struct {
 	quarantined atomic.Int64
 }
 
-func newStore(dir string, opts journalOptions) (*store, error) {
+func newStore(dir string, opts journalOptions, fsys fault.FS) (*store, error) {
 	if dir == "" {
 		return nil, nil
+	}
+	if fsys == nil {
+		fsys = fault.OS
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("create data dir: %w", err)
 	}
-	return &store{dir: dir, opts: opts}, nil
+	return &store{dir: dir, opts: opts, fs: fsys}, nil
 }
 
 // journaling reports whether the amortized journal mode is on.
@@ -101,24 +110,24 @@ func (st *store) save(name string, tp *triclust.Topic) (uint32, error) {
 	if st == nil {
 		return 0, nil
 	}
-	tmp, err := os.CreateTemp(st.dir, name+".snap.tmp*")
+	tmp, err := st.fs.CreateTemp("persist.snap.tmp", st.dir, name+".snap.tmp*")
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name())
-	cw := journal.NewCRCWriter(tmp)
+	defer st.fs.Remove("persist.snap.cleanup", tmp.Name())
+	cw := journal.NewCRCWriter(fault.SiteWriter(tmp, "persist.snap.write"))
 	if err := tp.Snapshot(cw); err != nil {
 		tmp.Close()
 		return 0, err
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := tmp.Sync("persist.snap.sync"); err != nil {
 		tmp.Close()
 		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp.Name(), st.path(name)); err != nil {
+	if err := st.fs.Rename("persist.snap.rename", tmp.Name(), st.path(name)); err != nil {
 		return 0, err
 	}
 	// The rename itself must be durable too: fsync the directory so the
@@ -132,12 +141,7 @@ func (st *store) save(name string, tp *triclust.Topic) (uint32, error) {
 // syncDir fsyncs the data directory, making renames and newly created
 // journal files durable.
 func (st *store) syncDir() error {
-	d, err := os.Open(st.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return st.fs.SyncDir("persist.dir.sync", st.dir)
 }
 
 // quarantineName returns the first unoccupied quarantine filename for
@@ -166,7 +170,7 @@ func (st *store) quarantine(name, suffix string, warn func(format string, args .
 		warn("skipping %s: %v (no free quarantine name)", name, cause)
 		return
 	}
-	if err := os.Rename(filepath.Join(st.dir, name), filepath.Join(st.dir, q)); err != nil {
+	if err := st.fs.Rename("persist.quarantine.rename", filepath.Join(st.dir, name), filepath.Join(st.dir, q)); err != nil {
 		warn("skipping %s: %v (quarantine failed: %v)", name, cause, err)
 		return
 	}
@@ -176,8 +180,8 @@ func (st *store) quarantine(name, suffix string, warn func(format string, args .
 // remove deletes a topic's snapshot and journal (if any).
 func (st *store) remove(name string) {
 	if st != nil {
-		_ = os.Remove(st.path(name))
-		_ = os.Remove(st.journalPath(name))
+		_ = st.fs.Remove("persist.remove.snap", st.path(name))
+		_ = st.fs.Remove("persist.remove.journal", st.journalPath(name))
 	}
 }
 
@@ -193,7 +197,7 @@ func (st *store) snapExists(name string) bool {
 
 // readSnap returns a topic's on-disk snapshot bytes.
 func (st *store) readSnap(name string) ([]byte, error) {
-	return os.ReadFile(st.path(name))
+	return st.fs.ReadFile("persist.snap.read", st.path(name))
 }
 
 // restoredTopic is one topic recovered at startup: the live topic plus
@@ -231,7 +235,7 @@ func (st *store) loadAll(warn func(format string, args ...any)) (map[string]*res
 			warn("skipping %s: %v", e.Name(), err)
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
+		data, err := st.fs.ReadFile("persist.snap.read", filepath.Join(st.dir, e.Name()))
 		if err != nil {
 			st.quarantined.Add(1)
 			warn("skipping %s: %v", e.Name(), err)
@@ -290,7 +294,7 @@ func (st *store) reloadTopic(name string, warn func(format string, args ...any))
 // bytes if replay had already touched it.
 func (st *store) recoverJournal(name string, rt *restoredTopic, snapData []byte, warn func(format string, args ...any)) int {
 	jp := st.journalPath(name)
-	j, err := journal.Load(jp)
+	j, err := journal.Load(st.fs, jp)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0

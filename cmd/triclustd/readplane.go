@@ -142,7 +142,7 @@ type cachedRead struct {
 // encoding scratch; an If-None-Match hit costs no encoding at all.
 func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
-	if tp == nil {
+	if tp == nil || !s.readGate(w, tp) {
 		return
 	}
 	user, err := strconv.Atoi(r.PathValue("user"))
@@ -189,7 +189,7 @@ func (s *server) userEstimate(w http.ResponseWriter, r *http.Request) {
 // polls at an unchanged batch counter re-serve bytes (or 304).
 func (s *server) featureSentiments(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
-	if tp == nil {
+	if tp == nil || !s.readGate(w, tp) {
 		return
 	}
 	s.reads.Add(1)
@@ -221,7 +221,7 @@ func (s *server) featureSentiments(w http.ResponseWriter, r *http.Request) {
 // the view with the same ETag contract as the other read endpoints.
 func (s *server) topicInfo(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
-	if tp == nil {
+	if tp == nil || !s.readGate(w, tp) {
 		return
 	}
 	s.reads.Add(1)

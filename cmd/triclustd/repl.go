@@ -735,7 +735,7 @@ func (r *replicator) loadReplicas() {
 
 func (r *replicator) loadReplica(name string) (*replica, error) {
 	st := r.s.store
-	data, err := os.ReadFile(st.replMetaPath(name))
+	data, err := st.fs.ReadFile("repl.meta.read", st.replMetaPath(name))
 	if err != nil {
 		return nil, err
 	}
@@ -743,14 +743,14 @@ func (r *replicator) loadReplica(name string) (*replica, error) {
 	if err := json.Unmarshal(data, &meta); err != nil {
 		return nil, fmt.Errorf("meta undecodable: %w", err)
 	}
-	snap, err := os.ReadFile(st.replSnapPath(name))
+	snap, err := st.fs.ReadFile("repl.snap.read", st.replSnapPath(name))
 	if err != nil {
 		return nil, err
 	}
 	if crc := codec.Checksum(snap); crc != meta.SnapCRC {
 		return nil, fmt.Errorf("base snapshot CRC %08x does not match meta %08x", crc, meta.SnapCRC)
 	}
-	j, err := journal.Load(st.replJournalPath(name))
+	j, err := journal.Load(st.fs, st.replJournalPath(name))
 	if err != nil {
 		return nil, fmt.Errorf("tail journal: %w", err)
 	}
@@ -794,23 +794,23 @@ func (st *store) writeReplMeta(name string, meta replMeta) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(st.dir, name+".rmeta.tmp*")
+	tmp, err := st.fs.CreateTemp("repl.meta.tmp", st.dir, name+".rmeta.tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	defer st.fs.Remove("repl.meta.cleanup", tmp.Name())
+	if _, err := tmp.Write("repl.meta.write", data); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := tmp.Sync("repl.meta.sync"); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), st.replMetaPath(name)); err != nil {
+	if err := st.fs.Rename("repl.meta.rename", tmp.Name(), st.replMetaPath(name)); err != nil {
 		return err
 	}
 	return st.syncDir()
@@ -919,18 +919,18 @@ func (s *server) installReplica(w http.ResponseWriter, rep *replica, name string
 			fmt.Errorf("shipped tail does not extend the shipped base: %w", err))
 		return
 	}
-	tmp, err := os.CreateTemp(st.dir, name+".rsnap.tmp*")
+	tmp, err := st.fs.CreateTemp("repl.snap.tmp", st.dir, name+".rsnap.tmp*")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(fr.Snapshot); err != nil {
+	defer st.fs.Remove("repl.snap.cleanup", tmp.Name())
+	if _, err := tmp.Write("repl.snap.write", fr.Snapshot); err != nil {
 		tmp.Close()
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := tmp.Sync("repl.snap.sync"); err != nil {
 		tmp.Close()
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
@@ -939,7 +939,7 @@ func (s *server) installReplica(w http.ResponseWriter, rep *replica, name string
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
 	}
-	if err := os.Rename(tmp.Name(), st.replSnapPath(name)); err != nil {
+	if err := st.fs.Rename("repl.snap.rename", tmp.Name(), st.replSnapPath(name)); err != nil {
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
 	}
@@ -947,7 +947,7 @@ func (s *server) installReplica(w http.ResponseWriter, rep *replica, name string
 		rep.jw.Close()
 		rep.jw = nil
 	}
-	jw, err := journal.Create(st.replJournalPath(name), fr.SnapCRC)
+	jw, err := journal.Create(st.fs, st.replJournalPath(name), fr.SnapCRC)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeStorage, err)
 		return
@@ -1007,7 +1007,7 @@ func (s *server) appendReplica(w http.ResponseWriter, rep *replica, name string,
 		return
 	}
 	if rep.jw == nil {
-		jw, _, err := journal.Open(s.store.replJournalPath(name))
+		jw, _, err := journal.Open(s.store.fs, s.store.replJournalPath(name))
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, codeStorage, err)
 			return
@@ -1067,9 +1067,9 @@ func (s *server) replicaDrop(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *server) removeReplicaFiles(name string) {
-	_ = os.Remove(s.store.replSnapPath(name))
-	_ = os.Remove(s.store.replJournalPath(name))
-	_ = os.Remove(s.store.replMetaPath(name))
+	_ = s.store.fs.Remove("repl.remove.snap", s.store.replSnapPath(name))
+	_ = s.store.fs.Remove("repl.remove.journal", s.store.replJournalPath(name))
+	_ = s.store.fs.Remove("repl.remove.meta", s.store.replMetaPath(name))
 }
 
 // ——— failover: promotion ———
@@ -1184,7 +1184,7 @@ func (r *replicator) maybePromote(name, source string) {
 // replica files. rep.mu held.
 func (s *server) promoteReplica(name string, rep *replica) error {
 	st := s.store
-	snapData, err := os.ReadFile(st.replSnapPath(name))
+	snapData, err := st.fs.ReadFile("repl.snap.read", st.replSnapPath(name))
 	if err != nil {
 		return err
 	}
@@ -1203,7 +1203,7 @@ func (s *server) promoteReplica(name string, rep *replica) error {
 		rep.jw.Close()
 		rep.jw = nil
 	}
-	j, err := journal.Load(st.replJournalPath(name))
+	j, err := journal.Load(st.fs, st.replJournalPath(name))
 	if err != nil {
 		return fmt.Errorf("tail journal: %w", err)
 	}

@@ -230,7 +230,7 @@ func TestReplicaFrameSequence(t *testing.T) {
 	}
 
 	// 7. The replica journal holds exactly the accepted records.
-	j, err := journal.Load(s.store.replJournalPath(name))
+	j, err := journal.Load(s.store.fs, s.store.replJournalPath(name))
 	if err != nil {
 		t.Fatalf("load replica journal: %v", err)
 	}

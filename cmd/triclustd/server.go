@@ -13,6 +13,7 @@ import (
 
 	"triclust"
 	"triclust/internal/cluster"
+	"triclust/internal/fault"
 	"triclust/internal/journal"
 )
 
@@ -44,6 +45,9 @@ type server struct {
 	// topics' journals to ring successors and holds cold replicas for
 	// peers (see repl.go).
 	repl *replicator
+	// storage runs the disk-degraded state machine (see degrade.go);
+	// non-nil exactly when store is.
+	storage *storageMonitor
 	// maxBody bounds every request body; 0 selects defaultMaxBody.
 	maxBody int64
 
@@ -99,6 +103,12 @@ type topic struct {
 	// and healthz reports the topic until an append or snapshot succeeds.
 	// Atomic so healthz can read it without the topic lock.
 	degraded atomic.Bool
+	// storage is the topic's disk-degraded state (stOK/stDegraded/
+	// stParked) and storFails its consecutive durable-write failure
+	// count; both driven by the storageMonitor (degrade.go). Atomic so
+	// the write gate and read plane check them without the topic lock.
+	storage   atomic.Int32
+	storFails atomic.Int32
 	// feat caches the encoded /features response for the current read
 	// view's ETag (see readplane.go); lock-free like the view itself.
 	feat atomic.Pointer[cachedRead]
@@ -123,6 +133,12 @@ type serverOptions struct {
 	// conform is the -conform-mode policy for every topic this shard
 	// serves (zero value: off).
 	conform triclust.ConformanceMode
+	// fs is the filesystem every durable write goes through (nil:
+	// fault.OS). Tests inject a fault.Script here to exercise crash
+	// points and degraded mode.
+	fs fault.FS
+	// storage tunes the disk-degraded state machine (see degrade.go).
+	storage storageOptions
 }
 
 // newServer builds the registry, restoring every snapshot found under
@@ -137,7 +153,7 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	st, err := newStore(dataDir, opts.journal)
+	st, err := newStore(dataDir, opts.journal, opts.fs)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +166,9 @@ func newServer(dataDir string, opts serverOptions, logf func(format string, args
 		maxBody:   opts.maxBody,
 		conform:   opts.conform,
 		nameLocks: make(map[string]*nameLock),
+	}
+	if st != nil {
+		s.storage = newStorageMonitor(s, opts.storage)
 	}
 	restored, err := st.loadAll(logf)
 	if err != nil {
@@ -250,6 +269,7 @@ func (s *server) Close() error {
 	if s.repl != nil {
 		s.repl.close()
 	}
+	s.storage.close()
 	return nil
 }
 
@@ -294,6 +314,11 @@ type healthResponse struct {
 	// peers, held replicas, per-follower shipping lag); absent when
 	// replication is off.
 	Replication *replicationHealth `json:"replication,omitempty"`
+	// Storage reports the disk-degraded state machine: which topics are
+	// read-only or parked, the shard-level read-only switch, and the
+	// failure/probe/recovery counters (see degrade.go). Absent without a
+	// data directory.
+	Storage *storageHealth `json:"storage,omitempty"`
 	// ReadPlane reports lock-free read-path traffic (total reads, 304
 	// revalidation hits) and the convergence-state census of the served
 	// topics (see readplane.go).
@@ -336,6 +361,12 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		resp.Quarantined = int(s.store.quarantined.Load())
+	}
+	if sh := s.storage.health(served); sh != nil {
+		resp.Storage = sh
+		if sh.State != "ok" {
+			resp.Status = "degraded"
+		}
 	}
 	if c := s.cluster; c != nil {
 		resp.Cluster = &clusterHealth{
@@ -508,6 +539,11 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 	if !s.routeTopic(w, r, req.Name, body) {
 		return
 	}
+	if status, code, err := s.storage.shardGate(); code != "" {
+		s.retryAfter(w, code)
+		writeError(w, status, code, err)
+		return
+	}
 	if len(req.Users) == 0 {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, errors.New("missing user universe"))
 		return
@@ -557,6 +593,11 @@ func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.routeTopic(w, r, name, body) {
+		return
+	}
+	if status, code, err := s.storage.shardGate(); code != "" {
+		s.retryAfter(w, code)
+		writeError(w, status, code, err)
 		return
 	}
 	tr, err := triclust.Restore(bytes.NewReader(body))
@@ -627,8 +668,10 @@ func (s *server) saveIfCurrent(tp *topic) (bool, error) {
 	}
 	crc, err := s.store.save(tp.name, tp.eng())
 	if err != nil {
+		s.storage.noteFailure(tp, err)
 		return true, err
 	}
+	s.storage.noteSuccess(tp)
 	tp.saved = true
 	s.rotateJournal(tp, crc)
 	return true, nil
@@ -654,7 +697,7 @@ func (s *server) rotateJournal(tp *topic, snapCRC uint32) {
 			tp.jw = nil
 		}
 	}
-	jw, err := journal.Create(s.store.journalPath(tp.name), snapCRC)
+	jw, err := journal.Create(s.store.fs, s.store.journalPath(tp.name), snapCRC)
 	if err != nil {
 		s.logf("journal create %q: %v (falling back to snapshot-per-batch)", tp.name, err)
 		return
@@ -766,7 +809,7 @@ func (s *server) tryRegister(tp *topic, epoch uint64) (string, error) {
 	s.mu.Unlock()
 	if wasMoved && s.store != nil {
 		l := s.lockName(tp.name)
-		if err := cluster.RemoveTombstone(s.store.dir, tp.name); err != nil {
+		if err := cluster.RemoveTombstone(s.store.fs, s.store.dir, tp.name); err != nil {
 			s.logf("remove tombstone %q: %v", tp.name, err)
 		}
 		s.unlockName(tp.name, l)
@@ -941,6 +984,7 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 			}})
 			return
 		}
+		s.retryAfter(w, code)
 		writeError(w, status, code, err)
 		return
 	}
@@ -979,6 +1023,12 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 	if tp.deleted {
 		return nil, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name)
 	}
+	// Fail fast while storage is degraded: the disk already proved it
+	// drops writes, so don't burn a solve (or worse, another rollback
+	// reload) on a batch that cannot be made durable.
+	if status, code, err := s.storage.writeGate(tp); code != "" {
+		return nil, status, code, err
+	}
 	if last, ok := tp.eng().LastTime(); ok && len(tweets) > 0 && ts <= last {
 		return nil, http.StatusConflict, codeStaleTimestamp,
 			fmt.Errorf("time %d not after last processed %d", ts, last)
@@ -1013,6 +1063,7 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 				return s.failJournalAppend(tp, err)
 			}
 			tp.degraded.Store(false)
+			s.storage.noteSuccess(tp)
 			tp.jRecords++
 			if tp.jRecords < s.store.opts.Every && tp.jw.Size() < s.store.opts.MaxBytes {
 				// The frame just fsynced locally ships to the followers
@@ -1055,6 +1106,14 @@ func (s *server) runBatch(tp *topic, ts int, tweets []triclust.Tweet) (*triclust
 // ambiguous torn frame for recovery to guess about, and the batch fails
 // with 503 journal_write_failed. The topic stays served (reads, retries)
 // but is reported degraded by healthz until an append or save succeeds.
+//
+// If the rollback reload itself fails, the in-memory engine is ahead of
+// anything disk vouches for and there is no trustworthy state to fall
+// back to: the topic is parked — reads and writes both refuse — until a
+// storage probe re-reads disk successfully. (File-level quarantine of
+// undecodable snapshots/journals already happens inside reloadTopic;
+// parking covers the unreadable-disk case, where renaming files aside
+// could destroy a perfectly good snapshot over a transient read error.)
 func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResult, int, string, error) {
 	tp.degraded.Store(true)
 	if terr := tp.jw.TruncateTail(); terr != nil {
@@ -1068,13 +1127,18 @@ func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResu
 	epoch := tp.eng().Epoch()
 	fresh, rerr := s.store.reloadTopic(tp.name, s.logf)
 	if rerr != nil {
-		s.logf("reload %q after failed journal append: %v (in-memory state is ahead of disk until the next save)",
-			tp.name, rerr)
-	} else {
-		fresh.SetEpoch(epoch)
-		fresh.SetConformanceMode(s.conform)
-		tp.engp.Store(fresh)
+		if tp.jw != nil {
+			tp.jw.Close()
+			tp.jw = nil
+		}
+		s.storage.park(tp, rerr)
+		return nil, http.StatusServiceUnavailable, codeStorageDegraded,
+			fmt.Errorf("batch processed but not durable, and the rollback re-read failed (%v): %w", rerr, cause)
 	}
+	fresh.SetEpoch(epoch)
+	fresh.SetConformanceMode(s.conform)
+	tp.engp.Store(fresh)
+	s.storage.noteFailure(tp, cause)
 	return nil, http.StatusServiceUnavailable, codeJournalWriteFailed,
 		fmt.Errorf("batch processed but not durable: %w", cause)
 }
@@ -1097,6 +1161,11 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 	defer tp.mu.Unlock()
 	if tp.deleted {
 		writeError(w, http.StatusNotFound, codeTopicNotFound, fmt.Errorf("topic %q was deleted", tp.name))
+		return
+	}
+	if status, code, err := s.storage.writeGate(tp); code != "" {
+		s.retryAfter(w, code)
+		writeError(w, status, code, err)
 		return
 	}
 	changed := false
@@ -1160,6 +1229,9 @@ func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
 func (s *server) exportSnapshot(w http.ResponseWriter, r *http.Request) {
 	tp := s.lookup(w, r)
 	if tp == nil {
+		return
+	}
+	if !s.readGate(w, tp) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

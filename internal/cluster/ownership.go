@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"triclust/internal/fault"
 )
 
 // Tombstone records that a topic was handed off to another shard at a
@@ -47,28 +49,33 @@ func TombstonePath(dir, topic string) string {
 
 // WriteTombstone atomically persists a hand-off marker (temp file +
 // rename, then directory-durable via the caller's dir sync if required).
-func WriteTombstone(dir, topic string, ts Tombstone) error {
+// All syscalls go through fsys: the tombstone write is the hand-off's
+// fencing point, so its crash states are part of the fault matrix.
+func WriteTombstone(fsys fault.FS, dir, topic string, ts Tombstone) error {
+	if fsys == nil {
+		fsys = fault.OS
+	}
 	data, err := json.Marshal(ts)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, topic+tombstoneSuffix+".tmp*")
+	tmp, err := fsys.CreateTemp("tombstone.tmp", dir, topic+tombstoneSuffix+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	defer fsys.Remove("tombstone.cleanup", tmp.Name())
+	if _, err := tmp.Write("tombstone.write", data); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := tmp.Sync("tombstone.sync"); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), TombstonePath(dir, topic))
+	return fsys.Rename("tombstone.rename", tmp.Name(), TombstonePath(dir, topic))
 }
 
 // ReadTombstone loads a topic's hand-off marker. It returns os.ErrNotExist
@@ -90,8 +97,11 @@ func ReadTombstone(dir, topic string) (Tombstone, error) {
 
 // RemoveTombstone deletes a topic's hand-off marker; missing is not an
 // error.
-func RemoveTombstone(dir, topic string) error {
-	err := os.Remove(TombstonePath(dir, topic))
+func RemoveTombstone(fsys fault.FS, dir, topic string) error {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	err := fsys.Remove("tombstone.remove", TombstonePath(dir, topic))
 	if os.IsNotExist(err) {
 		return nil
 	}

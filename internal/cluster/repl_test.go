@@ -250,7 +250,7 @@ func TestPlanRebalance(t *testing.T) {
 // warning (counted, not fatal), and intact markers still load.
 func TestLoadTombstonesDamagedMarkers(t *testing.T) {
 	dir := t.TempDir()
-	if err := WriteTombstone(dir, "good", Tombstone{Epoch: 3, Target: "http://b"}); err != nil {
+	if err := WriteTombstone(nil, dir, "good", Tombstone{Epoch: 3, Target: "http://b"}); err != nil {
 		t.Fatalf("WriteTombstone: %v", err)
 	}
 	damaged := map[string]string{

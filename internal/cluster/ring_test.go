@@ -176,7 +176,7 @@ func TestRingValidation(t *testing.T) {
 func TestTombstoneRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	ts := Tombstone{Epoch: 3, Target: "http://shard-b:8547"}
-	if err := WriteTombstone(dir, "prop37", ts); err != nil {
+	if err := WriteTombstone(nil, dir, "prop37", ts); err != nil {
 		t.Fatalf("WriteTombstone: %v", err)
 	}
 	got, err := ReadTombstone(dir, "prop37")
@@ -207,10 +207,10 @@ func TestTombstoneRoundTrip(t *testing.T) {
 		t.Fatal("corrupt tombstone did not warn")
 	}
 
-	if err := RemoveTombstone(dir, "prop37"); err != nil {
+	if err := RemoveTombstone(nil, dir, "prop37"); err != nil {
 		t.Fatal(err)
 	}
-	if err := RemoveTombstone(dir, "prop37"); err != nil {
+	if err := RemoveTombstone(nil, dir, "prop37"); err != nil {
 		t.Fatalf("second remove: %v", err)
 	}
 	if _, err := ReadTombstone(dir, "prop37"); !os.IsNotExist(err) {

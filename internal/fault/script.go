@@ -1,0 +1,371 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// TailMode selects what happens to bytes written but not yet fsynced
+// when a scripted Crash fires — the page-cache model of the simulated
+// power cut.
+type TailMode int
+
+const (
+	// KeepTail leaves every written byte in place: the kernel flushed
+	// the page cache before the machine died. The optimistic crash.
+	KeepTail TailMode = iota
+	// DropTail truncates every open scripted file back to its size at
+	// its last successful Sync: everything unfsynced is lost. The
+	// pessimistic crash, and the one the append protocol must survive.
+	DropTail
+	// TornTail keeps half of the unsynced tail — a partially flushed
+	// page cache, the torn-record crash signature.
+	TornTail
+)
+
+// A Rule scripts one site's behaviour. The zero value matches nothing;
+// a Rule fires when its Site is crossed on the matching hit.
+type Rule struct {
+	// Site names the failpoint this rule applies to.
+	Site string
+	// Hit fires the rule on the Nth crossing of Site (1-based);
+	// 0 fires on every crossing.
+	Hit int
+	// Err, when non-nil, is returned from the operation without
+	// performing it (after Short bytes for writes).
+	Err error
+	// Short, for Write sites, is how many leading bytes actually reach
+	// the file before Err is returned — a short write.
+	Short int
+	// Crash, when true, panics with *Crash instead of returning: the
+	// simulated kill between two syscalls. The operation does not run —
+	// a crash at "x.sync" models dying after the write, before the
+	// fsync took effect.
+	Crash bool
+	// Tail is the page-cache model applied to open files when Crash
+	// fires.
+	Tail TailMode
+}
+
+// Crash is the panic value of a scripted crash point. Harnesses recover
+// it (see AsCrash), abandon the faulted store, and re-open the data
+// directory with a passthrough FS — the in-process analogue of
+// kill -9 + restart.
+type Crash struct {
+	Site string
+	Hit  int
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("fault: scripted crash at %s (hit %d)", c.Site, c.Hit)
+}
+
+// AsCrash reports whether a recovered panic value is a scripted crash.
+func AsCrash(v any) (*Crash, bool) {
+	c, ok := v.(*Crash)
+	return c, ok
+}
+
+// ErrCrashed is returned by every operation after a scripted crash has
+// fired: the process is "dead", so nothing may touch the disk again.
+// This keeps deferred cleanups and stray goroutines of the abandoned
+// store from mutating the post-crash directory image the harness is
+// about to recover from.
+var ErrCrashed = fmt.Errorf("fault: store already crashed")
+
+// Script is the injecting FS: passthrough to the real filesystem until
+// a Rule fires. It also counts every site crossing, which is how the
+// crash-point matrix discovers the full failpoint set — run the
+// workload once under a rule-less Script and read Sites().
+//
+// A single mutex serializes all operations; Scripts are built for
+// deterministic tests, not throughput.
+type Script struct {
+	mu      sync.Mutex
+	rules   []Rule
+	hits    map[string]int
+	open    map[*scriptFile]struct{}
+	crashed bool
+	// budget, when active, is the bytes remaining before the disk is
+	// "full": a write that does not fit writes the prefix that fits and
+	// returns ENOSPC, and every later write keeps failing until
+	// SetBudget lifts it. Syncs still succeed — a full disk fails
+	// writes, not flushes.
+	budget       int64
+	budgetActive bool
+}
+
+// NewScript returns a Script with the given rules. With no rules it is
+// a pure recorder: passthrough behaviour plus site accounting.
+func NewScript(rules ...Rule) *Script {
+	return &Script{rules: rules, hits: make(map[string]int), open: make(map[*scriptFile]struct{})}
+}
+
+// AddRule appends a rule at runtime (e.g. degrade mid-workload).
+func (s *Script) AddRule(r Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// ClearRules drops all rules, keeping hit counts and open-file state.
+func (s *Script) ClearRules() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = nil
+}
+
+// SetBudget arms (or re-arms) the ENOSPC byte budget: after n more
+// written bytes the disk is full. A negative n disarms it.
+func (s *Script) SetBudget(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget, s.budgetActive = n, n >= 0
+}
+
+// Sites returns every site crossed so far, sorted — the discovered
+// failpoint set.
+func (s *Script) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.hits))
+	for site := range s.hits {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits returns how many times a site has been crossed.
+func (s *Script) Hits(site string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[site]
+}
+
+// Crashed reports whether a scripted crash has fired.
+func (s *Script) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// enter records a site crossing and returns the first matching rule
+// (nil for passthrough). A Crash rule panics with *Crash after applying
+// its tail mode; the deferred unlocks on the way out keep the Script
+// usable for the post-crash ErrCrashed answers. Must be called with
+// s.mu held.
+func (s *Script) enter(site string) (*Rule, error) {
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	s.hits[site]++
+	n := s.hits[site]
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Site != site || (r.Hit != 0 && r.Hit != n) {
+			continue
+		}
+		if r.Crash {
+			s.applyTail(r.Tail)
+			s.crashed = true
+			panic(&Crash{Site: site, Hit: n})
+		}
+		return r, nil
+	}
+	return nil, nil
+}
+
+// applyTail applies a crash's page-cache model to every open scripted
+// file: files keep only what their last successful Sync made durable
+// (DropTail), half the unsynced tail (TornTail), or everything
+// (KeepTail). Truncates and renames are modelled as immediately
+// durable — lost directory metadata is constructed by hand in the
+// journal fixture tests instead.
+func (s *Script) applyTail(mode TailMode) {
+	if mode == KeepTail {
+		return
+	}
+	for sf := range s.open {
+		st, err := sf.f.Stat()
+		if err != nil {
+			continue
+		}
+		size := st.Size()
+		if size <= sf.synced {
+			continue
+		}
+		keep := sf.synced
+		if mode == TornTail {
+			keep += (size - sf.synced) / 2
+		}
+		_ = sf.f.Truncate(keep)
+	}
+}
+
+// op runs fn under the script lock when no error rule fires at site.
+func (s *Script) op(site string, fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.enter(site)
+	if err != nil {
+		return err
+	}
+	if r != nil && r.Err != nil {
+		return r.Err
+	}
+	return fn()
+}
+
+func (s *Script) OpenFile(site, name string, flag int, perm os.FileMode) (File, error) {
+	var out File
+	err := s.op(site, func() error {
+		f, err := os.OpenFile(name, flag, perm)
+		if err != nil {
+			return err
+		}
+		sf := &scriptFile{s: s, f: f}
+		if flag&os.O_TRUNC == 0 {
+			// An existing file's current contents are durable as far as
+			// this script is concerned: only writes it observes can be
+			// lost by a scripted crash.
+			if st, serr := f.Stat(); serr == nil {
+				sf.synced = st.Size()
+			}
+		}
+		s.open[sf] = struct{}{}
+		out = sf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Script) CreateTemp(site, dir, pattern string) (File, error) {
+	var out File
+	err := s.op(site, func() error {
+		f, err := os.CreateTemp(dir, pattern)
+		if err != nil {
+			return err
+		}
+		sf := &scriptFile{s: s, f: f}
+		s.open[sf] = struct{}{}
+		out = sf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Script) Rename(site, oldpath, newpath string) error {
+	return s.op(site, func() error { return os.Rename(oldpath, newpath) })
+}
+
+func (s *Script) Remove(site, name string) error {
+	return s.op(site, func() error { return os.Remove(name) })
+}
+
+func (s *Script) ReadFile(site, name string) ([]byte, error) {
+	var out []byte
+	err := s.op(site, func() error {
+		b, err := os.ReadFile(name)
+		out = b
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Script) SyncDir(site, dir string) error {
+	return s.op(site, func() error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	})
+}
+
+// scriptFile tracks the durable watermark (size at last successful
+// Sync) of one open file, so a DropTail/TornTail crash can take back
+// the unfsynced suffix.
+type scriptFile struct {
+	s      *Script
+	f      *os.File
+	synced int64
+}
+
+func (sf *scriptFile) Write(site string, p []byte) (int, error) {
+	sf.s.mu.Lock()
+	defer sf.s.mu.Unlock()
+	r, err := sf.s.enter(site)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil && r.Err != nil {
+		n := 0
+		if r.Short > 0 && r.Short < len(p) {
+			n, _ = sf.f.Write(p[:r.Short])
+		}
+		return n, r.Err
+	}
+	if sf.s.budgetActive {
+		if sf.s.budget <= 0 {
+			return 0, syscall.ENOSPC
+		}
+		if int64(len(p)) > sf.s.budget {
+			n, _ := sf.f.Write(p[:sf.s.budget])
+			sf.s.budget = 0
+			return n, syscall.ENOSPC
+		}
+		sf.s.budget -= int64(len(p))
+	}
+	return sf.f.Write(p)
+}
+
+func (sf *scriptFile) Sync(site string) error {
+	return sf.s.op(site, func() error {
+		if err := sf.f.Sync(); err != nil {
+			return err
+		}
+		if st, err := sf.f.Stat(); err == nil {
+			sf.synced = st.Size()
+		}
+		return nil
+	})
+}
+
+func (sf *scriptFile) Truncate(site string, size int64) error {
+	return sf.s.op(site, func() error {
+		if err := sf.f.Truncate(size); err != nil {
+			return err
+		}
+		if sf.synced > size {
+			sf.synced = size
+		}
+		return nil
+	})
+}
+
+func (sf *scriptFile) Seek(off int64, whence int) (int64, error) {
+	return sf.f.Seek(off, whence)
+}
+
+func (sf *scriptFile) Close() error {
+	sf.s.mu.Lock()
+	delete(sf.s.open, sf)
+	sf.s.mu.Unlock()
+	return sf.f.Close()
+}
+
+func (sf *scriptFile) Name() string { return sf.f.Name() }

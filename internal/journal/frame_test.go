@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"triclust/internal/fault"
 )
 
 // TestFrameRoundTrip: EncodeFrame/DecodeFrame are inverses, and the
@@ -119,7 +121,7 @@ func TestOpenResumesAfterLastIntactRecord(t *testing.T) {
 	}
 	f.Close()
 
-	w, j, err := Open(path)
+	w, j, err := Open(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -132,7 +134,7 @@ func TestOpenResumesAfterLastIntactRecord(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	reloaded, err := Load(path)
+	reloaded, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -153,7 +155,7 @@ func TestLoadSizeIsConsumedOffset(t *testing.T) {
 	recs := testRecords()
 	writeTestJournal(t, path, 42, recs)
 
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -174,7 +176,7 @@ func TestLoadSizeIsConsumedOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if j, err = Load(path); err != nil {
+	if j, err = Load(fault.OS, path); err != nil {
 		t.Fatalf("Load torn: %v", err)
 	}
 	if !j.Torn || j.Size != intact {
@@ -183,7 +185,7 @@ func TestLoadSizeIsConsumedOffset(t *testing.T) {
 }
 
 func TestOpenMissingFile(t *testing.T) {
-	if _, _, err := Open(filepath.Join(t.TempDir(), "absent.journal")); err == nil {
+	if _, _, err := Open(fault.OS, filepath.Join(t.TempDir(), "absent.journal")); err == nil {
 		t.Fatal("Open of a missing journal succeeded")
 	}
 }
@@ -195,7 +197,7 @@ func TestTruncateTailDiscardsFailedAppend(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.journal")
 	recs := testRecords()
-	w, err := Create(path, 9)
+	w, err := Create(fault.OS, path, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +228,7 @@ func TestTruncateTailDiscardsFailedAppend(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -242,7 +244,7 @@ func TestAppendFramesMultipleAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.journal")
 	recs := testRecords()
-	w, err := Create(path, 5)
+	w, err := Create(fault.OS, path, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestAppendFramesMultipleAtomic(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"triclust/internal/fault"
 )
 
 // seedJournalBytes builds a well-formed journal in a scratch file and
@@ -12,7 +14,7 @@ import (
 func seedJournalBytes(f *testing.F, snapCRC uint32, recs []*Record) []byte {
 	f.Helper()
 	path := filepath.Join(f.TempDir(), "seed.journal")
-	w, err := Create(path, snapCRC)
+	w, err := Create(fault.OS, path, snapCRC)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -48,6 +50,15 @@ func FuzzJournalLoad(f *testing.F) {
 	f.Add(seedJournalBytes(f, 0, nil))
 	f.Add([]byte("TRICJRNL"))
 	f.Add([]byte{})
+	// Rotate-interrupted shapes: a crash mid-Rotate leaves either a
+	// truncated header (the re-header write died half-way) or a fresh
+	// header sitting on top of stale record bytes a lost truncate should
+	// have removed. Both must resolve to quarantine or a clean prefix,
+	// never a misparse.
+	f.Add(full[:10])
+	rehdr := seedJournalBytes(f, 0xFEEDF00D, nil)
+	f.Add(append(append([]byte(nil), rehdr...), full[18:]...))
+	f.Add(append(append([]byte(nil), rehdr...), full[18:len(full)-5]...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -55,7 +66,7 @@ func FuzzJournalLoad(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		j, err := Load(path)
+		j, err := Load(fault.OS, path)
 		if err != nil {
 			return // undecodable header — quarantined by callers
 		}
@@ -63,7 +74,7 @@ func FuzzJournalLoad(f *testing.F) {
 		// bit-for-bit: the records a journal yields are the records a
 		// journal written from them yields again.
 		rt := filepath.Join(dir, "roundtrip.journal")
-		w, err := Create(rt, j.SnapCRC)
+		w, err := Create(fault.OS, rt, j.SnapCRC)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +86,7 @@ func FuzzJournalLoad(f *testing.F) {
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		j2, err := Load(rt)
+		j2, err := Load(fault.OS, rt)
 		if err != nil {
 			t.Fatalf("re-written journal does not load: %v", err)
 		}

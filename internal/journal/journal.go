@@ -43,6 +43,7 @@ import (
 	"os"
 
 	"triclust/internal/codec"
+	"triclust/internal/fault"
 	"triclust/internal/tgraph"
 )
 
@@ -108,27 +109,34 @@ func decodeHeader(buf []byte) (snapCRC uint32, rest []byte, err error) {
 }
 
 // Writer appends CRC-framed records to a journal file, fsyncing each
-// append so an acknowledged record survives a crash.
+// append so an acknowledged record survives a crash. All file I/O goes
+// through the fault.FS the Writer was created with, so every durable
+// syscall here is a named failpoint the crash-point matrix can hit.
 type Writer struct {
-	f    *os.File
+	f    fault.File
 	size int64
-	buf  bytes.Buffer
+	// broken latches after a failed Rotate or TruncateTail: the file's
+	// contents no longer match w.size (a re-header or truncate died
+	// half-way), so further appends would land at an unknowable offset.
+	// The only way forward is Close + Create (or quarantine at the next
+	// Load, whose header checksum catches the half-written state).
+	broken bool
 }
 
 // Create truncates (or creates) the journal at path, writes a header
 // naming the snapshot it extends, and fsyncs it. The caller owns syncing
 // the directory if the file is new.
-func Create(path string, snapCRC uint32) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func Create(fsys fault.FS, path string, snapCRC uint32) (*Writer, error) {
+	f, err := fsys.OpenFile("journal.create.open", path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	hdr := encodeHeader(snapCRC)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := f.Write("journal.create.write", hdr); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if err := f.Sync(); err != nil {
+	if err := f.Sync("journal.create.sync"); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -188,10 +196,13 @@ func (w *Writer) AppendFrames(frames []byte) error {
 	if w.f == nil {
 		return errors.New("journal: writer is closed")
 	}
-	if _, err := w.f.Write(frames); err != nil {
+	if w.broken {
+		return errors.New("journal: writer broken by a failed rotate/truncate")
+	}
+	if _, err := w.f.Write("journal.append.write", frames); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.f.Sync("journal.append.sync"); err != nil {
 		return err
 	}
 	w.size += int64(len(frames))
@@ -207,13 +218,15 @@ func (w *Writer) TruncateTail() error {
 	if w.f == nil {
 		return errors.New("journal: writer is closed")
 	}
-	if err := w.f.Truncate(w.size); err != nil {
+	if err := w.f.Truncate("journal.truncate.truncate", w.size); err != nil {
+		w.broken = true
 		return err
 	}
 	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.broken = true
 		return err
 	}
-	return w.f.Sync()
+	return w.f.Sync("journal.truncate.sync")
 }
 
 // Size returns the current journal file size in bytes.
@@ -233,17 +246,29 @@ func (w *Writer) Rotate(snapCRC uint32) error {
 	if w.f == nil {
 		return errors.New("journal: writer is closed")
 	}
+	if w.broken {
+		return errors.New("journal: writer broken by a failed rotate/truncate")
+	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	if err := w.f.Truncate(0); err != nil {
+	// From the truncate on, a failure leaves the file half re-headered —
+	// mark the writer broken so no append can extend a file whose real
+	// length diverged from w.size. Every such half-state is undecodable
+	// to Load (truncated or checksum-failing header, or a header whose
+	// snapCRC no longer matches any snapshot), so recovery quarantines
+	// it rather than misparsing — see TestRotateInterruptedStates.
+	if err := w.f.Truncate("journal.rotate.truncate", 0); err != nil {
+		w.broken = true
 		return err
 	}
 	hdr := encodeHeader(snapCRC)
-	if _, err := w.f.Write(hdr); err != nil {
+	if _, err := w.f.Write("journal.rotate.write", hdr); err != nil {
+		w.broken = true
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.f.Sync("journal.rotate.sync"); err != nil {
+		w.broken = true
 		return err
 	}
 	w.size = int64(len(hdr))
@@ -266,17 +291,17 @@ func (w *Writer) Close() error {
 // away so appended frames always follow intact ones. This is the replica
 // store's restart path: a follower resumes appending a primary's shipped
 // frames to the tail it already holds.
-func Open(path string) (*Writer, *Journal, error) {
-	j, err := Load(path)
+func Open(fsys fault.FS, path string) (*Writer, *Journal, error) {
+	j, err := Load(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile("journal.open.open", path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
 	if j.Torn {
-		if err := f.Truncate(j.Size); err != nil {
+		if err := f.Truncate("journal.open.truncate", j.Size); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
@@ -311,8 +336,8 @@ type Journal struct {
 // with ErrBadMagic/ErrVersion/ErrCorrupt only when the header itself is
 // undecodable (the caller should quarantine such a file); record-level
 // corruption truncates instead, per the append-only crash model.
-func Load(path string) (*Journal, error) {
-	data, err := os.ReadFile(path)
+func Load(fsys fault.FS, path string) (*Journal, error) {
+	data, err := fsys.ReadFile("journal.load.read", path)
 	if err != nil {
 		return nil, err
 	}

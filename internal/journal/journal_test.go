@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"triclust/internal/fault"
 	"triclust/internal/tgraph"
 )
 
@@ -33,7 +34,7 @@ func testRecords() []*Record {
 
 func writeTestJournal(t *testing.T, path string, snapCRC uint32, recs []*Record) {
 	t.Helper()
-	w, err := Create(path, snapCRC)
+	w, err := Create(fault.OS, path, snapCRC)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	recs := testRecords()
 	writeTestJournal(t, path, 0xDEADBEEF, recs)
 
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -78,7 +79,7 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestJournalEmpty(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.journal")
 	writeTestJournal(t, path, 7, nil)
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		j, err := Load(torn)
+		j, err := Load(fault.OS, torn)
 		if err != nil {
 			t.Fatalf("cut %d: Load: %v", cut, err)
 		}
@@ -144,7 +145,7 @@ func TestJournalBitFlips(t *testing.T) {
 		if err := os.WriteFile(flip, mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		j, err := Load(flip)
+		j, err := Load(fault.OS, flip)
 		if off < 18 {
 			// Header corruption must be rejected outright.
 			if err == nil {
@@ -175,7 +176,7 @@ func TestJournalHeaderRejections(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("NOTAJRNLxxxxxxxxxx"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(bad); !errors.Is(err, ErrBadMagic) {
+	if _, err := Load(fault.OS, bad); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("bad magic: got %v", err)
 	}
 
@@ -183,7 +184,7 @@ func TestJournalHeaderRejections(t *testing.T) {
 	if err := os.WriteFile(short, []byte("TRICJRNL"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(short); !errors.Is(err, ErrCorrupt) {
+	if _, err := Load(fault.OS, short); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("short header: got %v", err)
 	}
 }
@@ -194,7 +195,7 @@ func TestJournalHeaderRejections(t *testing.T) {
 // stream must cost exactly as many bytes as the first one.
 func TestJournalAppendIsOBatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.journal")
-	w, err := Create(path, 1)
+	w, err := Create(fault.OS, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestJournalAppendIsOBatch(t *testing.T) {
 func TestJournalRotate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "topic.journal")
 	recs := testRecords()
-	w, err := Create(path, 0x1111)
+	w, err := Create(fault.OS, path, 0x1111)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -245,7 +246,7 @@ func TestJournalRotate(t *testing.T) {
 	if w.Size() >= before {
 		t.Fatalf("rotation did not shrink the journal: %d -> %d", before, w.Size())
 	}
-	j, err := Load(path)
+	j, err := Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load after rotate: %v", err)
 	}
@@ -258,7 +259,7 @@ func TestJournalRotate(t *testing.T) {
 	if err := w.Append(recs[1]); err != nil {
 		t.Fatalf("Append after rotate: %v", err)
 	}
-	j, err = Load(path)
+	j, err = Load(fault.OS, path)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

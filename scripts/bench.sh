@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the performance-tracking benchmark suite and emit a
-# machine-readable BENCH_PR8.json artifact, so the perf trajectory across
+# machine-readable BENCH_PR9.json artifact, so the perf trajectory across
 # PRs can be consumed from CI artifacts instead of hand-copied tables.
 #
 # Usage:
@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR8.json}
+OUT=${1:-BENCH_PR9.json}
 BENCHTIME=${BENCHTIME:-10x}
 DAEMON_BENCHTIME=${DAEMON_BENCHTIME:-500x}
 READ_BENCHTIME=${READ_BENCHTIME:-2s}
