@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// recorder accumulates one op-kind's outcomes for one run. Latencies are
+// recorded in microseconds from the op's *scheduled* arrival time (open
+// loop) or its issue time (closed loop); measuring open-loop latency
+// from the scheduled arrival includes the queueing delay a saturated
+// server imposes, which is exactly the coordinated-omission error a
+// closed-loop measurement hides.
+type recorder struct {
+	mu   sync.Mutex
+	lat  []float64
+	errs map[string]int
+}
+
+func newRecorder() *recorder {
+	return &recorder{errs: make(map[string]int)}
+}
+
+// add records one completed op: its latency and, for a non-2xx/304
+// response, the stable error code (or synthesized status key) it failed
+// with. Failed ops count toward latency too — a slow failure is not a
+// fast success.
+func (r *recorder) add(us float64, errKey string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lat = append(r.lat, us)
+	if errKey != "" {
+		r.errs[errKey]++
+	}
+}
+
+// latencySummary is the histogram digest of one op-kind.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// opReport is the artifact entry for one op-kind of one run.
+type opReport struct {
+	Count          int            `json:"count"`
+	Errors         int            `json:"errors"`
+	ErrorCodes     map[string]int `json:"error_codes,omitempty"`
+	ThroughputPerS float64        `json:"throughput_per_s"`
+	LatencyMicros  latencySummary `json:"latency_us"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// report digests the recorder into its artifact entry. durationS is the
+// run's measured wall-clock, from which the achieved throughput derives.
+func (r *recorder) report(durationS float64) opReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sorted := append([]float64(nil), r.lat...)
+	sort.Float64s(sorted)
+	nerr := 0
+	for _, n := range r.errs {
+		nerr += n
+	}
+	rep := opReport{
+		Count:  len(sorted),
+		Errors: nerr,
+		LatencyMicros: latencySummary{
+			P50:  percentile(sorted, 0.50),
+			P99:  percentile(sorted, 0.99),
+			P999: percentile(sorted, 0.999),
+			Max:  percentile(sorted, 1.0),
+		},
+	}
+	if durationS > 0 {
+		rep.ThroughputPerS = float64(len(sorted)) / durationS
+	}
+	if len(r.errs) > 0 {
+		rep.ErrorCodes = make(map[string]int, len(r.errs))
+		for k, v := range r.errs {
+			rep.ErrorCodes[k] = v
+		}
+	}
+	return rep
+}
+
+// runReport is one (format, mode) leg of the comparison.
+type runReport struct {
+	Format      string              `json:"format"`       // json | binary
+	Mode        string              `json:"mode"`         // closed | open
+	OfferedRate float64             `json:"offered_rate"` // ops/s; 0 in closed mode
+	DurationS   float64             `json:"duration_s"`
+	Ops         map[string]opReport `json:"ops"`
+}
+
+func (rr runReport) batch() opReport { return rr.Ops["batch"] }
+
+func (rr runReport) errorCount() int {
+	n := 0
+	for _, op := range rr.Ops {
+		n += op.Errors
+	}
+	return n
+}
+
+// comparison is the headline JSON-vs-binary digest ROADMAP reads.
+type comparison struct {
+	// IngestThroughputRatio is binary over JSON closed-loop batch
+	// throughput (higher is better for binary).
+	IngestThroughputRatio float64 `json:"ingest_throughput_ratio,omitempty"`
+	// P99Ratio is JSON over binary open-loop batch p99 at the same
+	// offered rate (higher means binary's tail is that many times lower).
+	P99Ratio float64 `json:"p99_ratio,omitempty"`
+}
+
+type artifact struct {
+	Schema     string      `json:"schema"`
+	Config     configJSON  `json:"config"`
+	Runs       []runReport `json:"runs"`
+	Comparison *comparison `json:"comparison,omitempty"`
+}
+
+const artifactSchema = "triclust-loadgen/v1"
+
+type configJSON struct {
+	Targets        []string `json:"targets"`
+	Topics         int      `json:"topics"`
+	Users          int      `json:"users"`
+	TweetsPerBatch int      `json:"tweets_per_batch"`
+	Batches        int      `json:"batches"`
+	ReadRatio      float64  `json:"read_ratio"`
+	SnapshotRatio  float64  `json:"snapshot_ratio"`
+	Seed           int64    `json:"seed"`
+}
+
+// validateArtifact checks a written artifact against the schema contract
+// the loadgen-smoke CI job asserts: schema id, at least one run, and for
+// every run a batch op with a positive count and a coherent histogram.
+func validateArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return fmt.Errorf("artifact is not valid JSON: %w", err)
+	}
+	if a.Schema != artifactSchema {
+		return fmt.Errorf("schema %q, want %q", a.Schema, artifactSchema)
+	}
+	if len(a.Runs) == 0 {
+		return fmt.Errorf("artifact has no runs")
+	}
+	for i, run := range a.Runs {
+		if run.Format != "json" && run.Format != "binary" {
+			return fmt.Errorf("run %d: format %q", i, run.Format)
+		}
+		if run.Mode != "closed" && run.Mode != "open" {
+			return fmt.Errorf("run %d: mode %q", i, run.Mode)
+		}
+		b, ok := run.Ops["batch"]
+		if !ok || b.Count == 0 {
+			return fmt.Errorf("run %d (%s/%s): no batch ops", i, run.Format, run.Mode)
+		}
+		ls := b.LatencyMicros
+		if !(ls.P50 > 0 && ls.P50 <= ls.P99 && ls.P99 <= ls.P999 && ls.P999 <= ls.Max) {
+			return fmt.Errorf("run %d (%s/%s): incoherent batch histogram %+v", i, run.Format, run.Mode, ls)
+		}
+		if b.ThroughputPerS <= 0 {
+			return fmt.Errorf("run %d (%s/%s): no batch throughput", i, run.Format, run.Mode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"triclust/internal/codec"
+	"triclust/internal/synth"
+	"triclust/internal/tgraph"
+)
+
+// ltopic is one topic's pre-built traffic: the same logical batch
+// stream encoded once per wire format, so client-side encoding cost is
+// excluded from every measured run and the JSON and binary legs offer
+// byte-for-byte-comparable work to the server.
+type ltopic struct {
+	name    string
+	users   []string
+	vocab   [][]string // warmup docs (unique token universe)
+	warmup  []byte     // day-0 JSON batch touching every user
+	dayJSON [][]byte   // dayJSON[d] is the day d+1 batch, JSON-encoded
+	dayBin  [][]byte   // same batches, binary-framed
+}
+
+// buildTopics derives deterministic per-topic workloads from the synth
+// generator. Each topic gets its own seeded dataset so shards see
+// distinct vocabularies and user graphs, like real multi-topic traffic.
+func buildTopics(cfg configJSON, prefix string) ([]*ltopic, error) {
+	batchesPer := (cfg.Batches + cfg.Topics - 1) / cfg.Topics
+	topics := make([]*ltopic, 0, cfg.Topics)
+	remaining := cfg.Batches
+	for i := 0; i < cfg.Topics; i++ {
+		n := batchesPer
+		if n > remaining {
+			n = remaining
+		}
+		if n == 0 {
+			break
+		}
+		remaining -= n
+		sc := synth.DefaultConfig()
+		sc.Seed = cfg.Seed + int64(i)
+		sc.NumUsers = cfg.Users
+		ds, err := synth.Generate(sc)
+		if err != nil {
+			return nil, fmt.Errorf("synth topic %d: %w", i, err)
+		}
+		tp, err := buildTopic(fmt.Sprintf("%s-t%d", prefix, i), ds, n, cfg.TweetsPerBatch)
+		if err != nil {
+			return nil, fmt.Errorf("build topic %d: %w", i, err)
+		}
+		topics = append(topics, tp)
+	}
+	return topics, nil
+}
+
+func buildTopic(name string, ds *synth.Dataset, batches, perBatch int) (*ltopic, error) {
+	corpus := ds.Corpus
+	tp := &ltopic{name: name}
+	tp.users = make([]string, len(corpus.Users))
+	for i, u := range corpus.Users {
+		tp.users[i] = u.Name
+	}
+
+	// Unique token universe, sorted for determinism: one warmup doc per
+	// 64 words keeps individual docs modest while covering everything.
+	seen := make(map[string]bool)
+	for _, tw := range corpus.Tweets {
+		for _, tok := range tw.Tokens {
+			seen[tok] = true
+		}
+	}
+	words := make([]string, 0, len(seen))
+	for w := range seen {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for off := 0; off < len(words); off += 64 {
+		end := min(off+64, len(words))
+		tp.vocab = append(tp.vocab, words[off:end])
+	}
+
+	// Day-0 warmup batch: one tweet per user so every subsequent read
+	// of any user index resolves (no user starts cold at 404-adjacent
+	// "never seen" states) — it is part of setup, never measured.
+	warm := make([]tgraph.Tweet, len(tp.users))
+	for u := range warm {
+		warm[u] = tgraph.Tweet{
+			Tokens:    []string{words[u%len(words)], words[(u*7)%len(words)]},
+			User:      u,
+			Time:      0,
+			RetweetOf: -1,
+			Label:     tgraph.NoLabel,
+		}
+	}
+	var err error
+	if tp.warmup, err = jsonBatchBody(0, warm); err != nil {
+		return nil, err
+	}
+
+	// Measured batches: chunk the corpus into perBatch groups, cycling
+	// when the stream outlives the dataset. Labels are stripped (the
+	// binary frame rejects labeled tweets by design) and retweet links
+	// cleared — cross-batch retweet indices would not survive
+	// re-chunking. Tokens are kept so the JSON leg pays the
+	// token-array decode the binary frame is designed to undercut.
+	pos := 0
+	for d := 1; d <= batches; d++ {
+		chunk := make([]tgraph.Tweet, perBatch)
+		for j := range chunk {
+			src := corpus.Tweets[pos%len(corpus.Tweets)]
+			pos++
+			chunk[j] = tgraph.Tweet{
+				Tokens:    src.Tokens,
+				User:      src.User,
+				Time:      d,
+				RetweetOf: -1,
+				Label:     tgraph.NoLabel,
+			}
+		}
+		jb, err := jsonBatchBody(d, chunk)
+		if err != nil {
+			return nil, err
+		}
+		bb, err := codec.EncodeBatchRequest(d, chunk)
+		if err != nil {
+			return nil, err
+		}
+		tp.dayJSON = append(tp.dayJSON, jb)
+		tp.dayBin = append(tp.dayBin, bb)
+	}
+	return tp, nil
+}
+
+// jsonBatchBody mirrors the daemon's batchRequest schema.
+func jsonBatchBody(day int, tweets []tgraph.Tweet) ([]byte, error) {
+	type tweetSpec struct {
+		Tokens []string `json:"tokens,omitempty"`
+		Text   string   `json:"text,omitempty"`
+		User   int      `json:"user"`
+		Time   *int     `json:"time,omitempty"`
+	}
+	type batchRequest struct {
+		Time   int         `json:"time"`
+		Tweets []tweetSpec `json:"tweets"`
+	}
+	req := batchRequest{Time: day, Tweets: make([]tweetSpec, len(tweets))}
+	for i, tw := range tweets {
+		t := tw.Time
+		req.Tweets[i] = tweetSpec{Tokens: tw.Tokens, Text: tw.Text, User: tw.User, Time: &t}
+	}
+	return json.Marshal(req)
+}
+
+// client wraps target selection and request issuing.
+type client struct {
+	http    *http.Client
+	targets []string
+}
+
+func newClient(targets []string) *client {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &client{
+		http:    &http.Client{Transport: tr, Timeout: 60 * time.Second},
+		targets: targets,
+	}
+}
+
+// target spreads connections across the cluster round-robin by key; the
+// daemons' own routing (307 redirects or proxying) lands each request on
+// the owning shard regardless of which one we hit.
+func (c *client) target(key int) string {
+	return c.targets[key%len(c.targets)]
+}
+
+// errorKey classifies a response: "" for success (2xx and 304), the
+// body's stable error code when one decodes, else a synthetic status
+// key. The body is always drained so connections are reused.
+func errorKey(resp *http.Response) string {
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 == 2 || resp.StatusCode == http.StatusNotModified {
+		return ""
+	}
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+		return eb.Error.Code
+	}
+	return fmt.Sprintf("status_%d", resp.StatusCode)
+}
+
+func (c *client) do(method, url, contentType, accept string, body []byte) (string, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return "", err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	return errorKey(resp), nil
+}
+
+// setup creates the run's topics on the cluster: create, vocabulary
+// warmup + freeze, then the day-0 batch. Any failure aborts the run —
+// measuring against a half-created fleet would be noise.
+func (c *client) setup(topics []*ltopic, opts topicOptions) error {
+	for i, tp := range topics {
+		base := c.target(i)
+		create := struct {
+			Name    string       `json:"name"`
+			Users   []string     `json:"users"`
+			Options topicOptions `json:"options"`
+		}{Name: tp.name, Users: tp.users, Options: opts}
+		cb, err := json.Marshal(create)
+		if err != nil {
+			return err
+		}
+		if err := c.mustOK("POST", base+"/v1/topics", mtJSON, cb); err != nil {
+			return fmt.Errorf("create %s: %w", tp.name, err)
+		}
+		vb, err := json.Marshal(struct {
+			Docs   [][]string `json:"docs"`
+			Freeze bool       `json:"freeze"`
+		}{Docs: tp.vocab, Freeze: true})
+		if err != nil {
+			return err
+		}
+		if err := c.mustOK("POST", base+"/v1/topics/"+tp.name+"/vocab", mtJSON, vb); err != nil {
+			return fmt.Errorf("vocab %s: %w", tp.name, err)
+		}
+		if err := c.mustOK("POST", base+"/v1/topics/"+tp.name+"/batches", mtJSON, tp.warmup); err != nil {
+			return fmt.Errorf("warmup %s: %w", tp.name, err)
+		}
+	}
+	return nil
+}
+
+func (c *client) mustOK(method, url, contentType string, body []byte) error {
+	key, err := c.do(method, url, contentType, "", body)
+	if err != nil {
+		return err
+	}
+	if key != "" {
+		return fmt.Errorf("server error %s", key)
+	}
+	return nil
+}
+
+// topicOptions mirrors the daemon's create options; loadgen keeps the
+// solve cheap and deterministic so measured cost is dominated by the
+// request path, not solver iterations.
+type topicOptions struct {
+	MaxIter int   `json:"max_iter,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	MinDF   int   `json:"min_df,omitempty"`
+}
+
+const (
+	mtJSON  = "application/json"
+	mtBatch = "application/x-triclust-batch"
+)
+
+// op is one scheduled request of a run.
+type op struct {
+	kind  string // batch | read | snapshot
+	topic *ltopic
+	day   int // batch: index into dayJSON/dayBin
+	user  int // read: user index
+	seq   int // target-spreading key
+	// prev/done chain batches of one topic: a batch may not be issued
+	// before its predecessor completed (timestamps must be strictly
+	// increasing), but its latency still counts from its scheduled
+	// arrival — under saturation that chain wait IS the latency.
+	prev, done chan struct{}
+}
+
+// buildOps lays out one run's schedule: every topic's batches in global
+// round-robin day order, with reads and snapshots spliced in at evenly
+// spaced positions, targets and users drawn from a seeded RNG.
+func buildOps(topics []*ltopic, readRatio, snapRatio float64, seed int64) []*op {
+	rng := rand.New(rand.NewSource(seed))
+	var batches []*op
+	maxDays := 0
+	for _, tp := range topics {
+		if len(tp.dayJSON) > maxDays {
+			maxDays = len(tp.dayJSON)
+		}
+	}
+	chains := make(map[*ltopic]chan struct{}, len(topics))
+	ready := make(chan struct{})
+	close(ready)
+	for _, tp := range topics {
+		chains[tp] = ready
+	}
+	for d := 0; d < maxDays; d++ {
+		for _, tp := range topics {
+			if d >= len(tp.dayJSON) {
+				continue
+			}
+			done := make(chan struct{})
+			batches = append(batches, &op{
+				kind: "batch", topic: tp, day: d,
+				prev: chains[tp], done: done,
+			})
+			chains[tp] = done
+		}
+	}
+
+	nb := len(batches)
+	batchFrac := 1 - readRatio - snapRatio
+	total := nb
+	if batchFrac > 0 {
+		total = int(float64(nb) / batchFrac)
+	}
+	nr := int(float64(total) * readRatio)
+	ns := total - nb - nr
+
+	extras := make([]*op, 0, nr+ns)
+	for i := 0; i < nr; i++ {
+		tp := topics[rng.Intn(len(topics))]
+		extras = append(extras, &op{kind: "read", topic: tp, user: rng.Intn(len(tp.users))})
+	}
+	for i := 0; i < ns; i++ {
+		extras = append(extras, &op{kind: "snapshot", topic: topics[rng.Intn(len(topics))]})
+	}
+
+	// Merge: keep batch order, spread extras evenly through the tail.
+	ops := make([]*op, 0, nb+len(extras))
+	ei := 0
+	for i, b := range batches {
+		ops = append(ops, b)
+		want := (i + 1) * len(extras) / nb
+		for ei < want {
+			ops = append(ops, extras[ei])
+			ei++
+		}
+	}
+	ops = append(ops, extras[ei:]...)
+	for i, o := range ops {
+		o.seq = i
+	}
+	return ops
+}
+
+// issue sends one op and returns its error key.
+func (c *client) issue(o *op, format string) (string, error) {
+	base := c.target(o.seq)
+	switch o.kind {
+	case "batch":
+		url := base + "/v1/topics/" + o.topic.name + "/batches"
+		if format == "binary" {
+			return c.do("POST", url, mtBatch, mtBatch, o.topic.dayBin[o.day])
+		}
+		return c.do("POST", url, mtJSON, "", o.topic.dayJSON[o.day])
+	case "read":
+		return c.do("GET", fmt.Sprintf("%s/v1/topics/%s/users/%d", base, o.topic.name, o.user), "", "", nil)
+	default: // snapshot
+		return c.do("GET", base+"/v1/topics/"+o.topic.name+"/snapshot", "", "", nil)
+	}
+}

@@ -219,8 +219,14 @@ func (s *server) forward(w http.ResponseWriter, r *http.Request, target string, 
 		return
 	}
 	req.Header.Set(forwardedHeader, strings.Join(append(hops, s.cluster.self), ","))
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
+	// Content-Type selects the request format and Accept the response
+	// format on the owning shard, so both must survive the hop — a
+	// binary batch proxied without them would decode as JSON and answer
+	// in the wrong format.
+	for _, h := range []string{"Content-Type", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
 	}
 	resp, err := s.cluster.client.Do(req)
 	if err != nil {
@@ -300,6 +306,9 @@ type moveResponse struct {
 // operator may address any shard; the shard currently holding the topic
 // performs the drain → compact → export → install → drop sequence.
 func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
+	if _, ok := requireMediaType(w, r, mediaTypeJSON); !ok {
+		return
+	}
 	if s.cluster == nil {
 		writeError(w, http.StatusConflict, codeNotClustered,
 			errors.New("this daemon is not running in cluster mode (-peers/-self)"))
@@ -310,7 +319,7 @@ func (s *server) moveTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req moveRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}

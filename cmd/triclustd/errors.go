@@ -31,6 +31,12 @@ const (
 	codeSnapshotVersion    = "unsupported_snapshot_version"
 	codeStorage            = "storage_error"  // -data-dir persistence failed
 	codeBodyTooLarge       = "body_too_large" // request body exceeds -max-body-bytes
+	// codeUnsupportedMediaType means the request's Content-Type names a
+	// format the endpoint does not decode (415). Body-carrying endpoints
+	// accept their default format when the header is absent; the batch
+	// endpoint additionally accepts application/x-triclust-batch. Fix the
+	// header (or the body format), don't retry as-is.
+	codeUnsupportedMediaType = "unsupported_media_type"
 	// codeJournalWriteFailed means the batch was processed in memory but
 	// its journal record could not be appended + fsynced (disk full, I/O
 	// error). The batch is rolled back, the on-disk tail truncated to the

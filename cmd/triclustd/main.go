@@ -27,6 +27,16 @@
 //
 //	{"error":{"code":"stale_timestamp","message":"time 3 not after last processed 4"}}
 //
+// Body-carrying endpoints validate Content-Type (415
+// unsupported_media_type otherwise; an absent header selects the
+// endpoint's default), and JSON request decoding is strict — trailing
+// bytes after the JSON value are a 400. The batches endpoint also
+// accepts application/x-triclust-batch, a CRC-framed binary batch
+// request (see internal/codec), with identical semantics and error
+// codes to the JSON form; Accept: application/x-triclust-batch selects
+// the binary response frame on success. cmd/loadgen measures the two
+// formats against each other over real HTTP.
+//
 // With -data-dir set the daemon is durable: every accepted batch (and
 // create/restore/warm-up) is persisted before the response is sent, the
 // files are reloaded on startup, and SIGINT/SIGTERM triggers a graceful

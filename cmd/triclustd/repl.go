@@ -830,6 +830,9 @@ func (s *server) replicaAppend(w http.ResponseWriter, req *http.Request) {
 			errors.New("this daemon does not run replication (-replication-factor)"))
 		return
 	}
+	if _, ok := requireMediaType(w, req, mediaTypeSnapshot); !ok {
+		return
+	}
 	name := req.PathValue("topic")
 	if err := validTopicName(name); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidName, err)

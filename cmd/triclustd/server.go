@@ -13,6 +13,7 @@ import (
 
 	"triclust"
 	"triclust/internal/cluster"
+	"triclust/internal/codec"
 	"triclust/internal/fault"
 	"triclust/internal/journal"
 )
@@ -520,6 +521,9 @@ func (s *server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, 
 }
 
 func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
+	if _, ok := requireMediaType(w, r, mediaTypeJSON); !ok {
+		return
+	}
 	// The topic name lives in the body, so routing needs the body decoded
 	// first; it is buffered so a mis-routed create can be proxied onward
 	// intact.
@@ -528,7 +532,7 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req createTopicRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
@@ -580,6 +584,9 @@ func (s *server) createTopic(w http.ResponseWriter, r *http.Request) {
 // ring placement. Either way the snapshot's ownership epoch must beat any
 // tombstone this shard holds for the name.
 func (s *server) restoreTopic(w http.ResponseWriter, r *http.Request) {
+	if _, ok := requireMediaType(w, r, mediaTypeSnapshot); !ok {
+		return
+	}
 	name := r.PathValue("topic")
 	if err := validTopicName(name); err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidName, err)
@@ -897,6 +904,12 @@ type batchScratch struct {
 	req    batchRequest
 	tweets []triclust.Tweet
 	resp   batchResponse
+	// Binary-response scratch (Accept: application/x-triclust-batch):
+	// the encoded frame and the sentiment slices it is built from. No
+	// reset needed — every use rebuilds from [:0].
+	bin  []byte
+	binT []codec.BatchSentiment
+	binU []codec.BatchUserSentiment
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -924,6 +937,14 @@ func (sc *batchScratch) reset() {
 }
 
 func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation happens before routing so a request in a format
+	// no shard decodes is refused here instead of bouncing off the owner;
+	// every shard runs the same build, so local validation is cluster
+	// validation.
+	format, ok := requireMediaType(w, r, mediaTypeJSON, mediaTypeBatch)
+	if !ok {
+		return
+	}
 	tp := s.lookup(w, r)
 	if tp == nil {
 		return
@@ -936,30 +957,47 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, fmt.Errorf("read body: %w", err))
 		return
 	}
-	if err := json.Unmarshal(sc.body.Bytes(), &sc.req); err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
-		return
-	}
-	req := &sc.req
-	for _, ts := range req.Tweets {
-		tw := triclust.Tweet{
-			Text:      ts.Text,
-			Tokens:    ts.Tokens,
-			User:      ts.User,
-			Time:      req.Time,
-			RetweetOf: -1,
-			Label:     triclust.NoLabel,
+	var batchTime int
+	if format == mediaTypeBatch {
+		// The binary frame carries ready-to-solve tweets: no tweetSpec
+		// intermediary, no per-field defaulting. Decode appends fully
+		// assigned elements into the pooled slice, so scratch reuse across
+		// formats cannot surface a prior request's tokens. Every decode
+		// failure — truncation, bit flip, version skew, trailing bytes —
+		// is the same 400 the JSON path gives malformed bodies.
+		ts, tweets, err := codec.DecodeBatchRequest(sc.body.Bytes(), sc.tweets[:0])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode batch frame: %w", err))
+			return
 		}
-		if ts.Time != nil {
-			tw.Time = *ts.Time
+		batchTime, sc.tweets = ts, tweets
+	} else {
+		if err := decodeStrict(sc.body.Bytes(), &sc.req); err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
+			return
 		}
-		if ts.RetweetOf != nil {
-			tw.RetweetOf = *ts.RetweetOf
+		req := &sc.req
+		batchTime = req.Time
+		for _, ts := range req.Tweets {
+			tw := triclust.Tweet{
+				Text:      ts.Text,
+				Tokens:    ts.Tokens,
+				User:      ts.User,
+				Time:      req.Time,
+				RetweetOf: -1,
+				Label:     triclust.NoLabel,
+			}
+			if ts.Time != nil {
+				tw.Time = *ts.Time
+			}
+			if ts.RetweetOf != nil {
+				tw.RetweetOf = *ts.RetweetOf
+			}
+			sc.tweets = append(sc.tweets, tw)
 		}
-		sc.tweets = append(sc.tweets, tw)
 	}
 
-	out, status, code, err := s.runBatch(tp, req.Time, sc.tweets)
+	out, status, code, err := s.runBatch(tp, batchTime, sc.tweets)
 	if err != nil {
 		// A batch can lose the race against a hand-off: lookup succeeded,
 		// then the move committed while the batch waited on the topic
@@ -989,7 +1027,11 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sc.resp.Time = req.Time
+	if acceptsBatch(r) {
+		writeBatchBinary(w, sc, out, batchTime)
+		return
+	}
+	sc.resp.Time = batchTime
 	sc.resp.Skipped = out.Skipped
 	sc.resp.Iterations = out.Iterations
 	sc.resp.Converged = out.Converged
@@ -1003,6 +1045,35 @@ func (s *server) processBatch(w http.ResponseWriter, r *http.Request) {
 		sc.resp.Users = append(sc.resp.Users, userSentimentJSON{User: out.ActiveUsers[i], sentimentJSON: oneJSON(sen)})
 	}
 	writeJSON(w, http.StatusOK, &sc.resp)
+}
+
+// writeBatchBinary writes the Accept-negotiated binary batch response:
+// the same fields the JSON body carries (class names derive from the
+// class index on the client side; the flag-mode conformance annotation
+// is JSON-only, as documented in the README's wire-format section).
+func writeBatchBinary(w http.ResponseWriter, sc *batchScratch, out *triclust.StreamResult, batchTime int) {
+	sc.binT = sc.binT[:0]
+	for _, sen := range out.TweetSentiments {
+		sc.binT = append(sc.binT, codec.BatchSentiment{Class: sen.Class, Confidence: sen.Confidence})
+	}
+	sc.binU = sc.binU[:0]
+	for i, sen := range out.UserSentiments {
+		sc.binU = append(sc.binU, codec.BatchUserSentiment{
+			User: out.ActiveUsers[i], Class: sen.Class, Confidence: sen.Confidence,
+		})
+	}
+	res := codec.BatchResult{
+		Time:       batchTime,
+		Skipped:    out.Skipped,
+		Converged:  out.Converged,
+		Iterations: out.Iterations,
+		Tweets:     sc.binT,
+		Users:      sc.binU,
+	}
+	sc.bin = codec.AppendBatchResponse(sc.bin[:0], &res)
+	w.Header().Set("Content-Type", mediaTypeBatch)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.bin)
 }
 
 // runBatch solves one batch under the topic lock. On failure it returns
@@ -1147,14 +1218,24 @@ func (s *server) failJournalAppend(tp *topic, cause error) (*triclust.StreamResu
 // documents into the vocabulary before the first batch freezes it, and
 // optionally freeze it explicitly.
 func (s *server) warmupVocab(w http.ResponseWriter, r *http.Request) {
+	if _, ok := requireMediaType(w, r, mediaTypeJSON); !ok {
+		return
+	}
 	tp := s.lookup(w, r)
 	if tp == nil {
 		return
 	}
+	// Buffer-then-decodeStrict, like every JSON endpoint: the streaming
+	// json.Decoder this handler used to construct stopped at the first
+	// complete value and silently accepted trailing garbage, a laxness no
+	// other endpoint shared.
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req vocabRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		status, code := requestErrorStatus(err)
-		writeError(w, status, code, fmt.Errorf("decode: %w", err))
+	if err := decodeStrict(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
 	tp.mu.Lock()

@@ -58,8 +58,10 @@ echo
 echo "==> creating topics through shard A; the ring routes each to its owner"
 for t in prop30 prop37 election2012 obama romney; do
   # -L follows the 307 to the owning shard, re-sending the body (HTTP/1.1
-  # 307 semantics); clients need zero ring awareness.
-  curl -fsSL -X POST "$A/v1/topics" -d '{
+  # 307 semantics); clients need zero ring awareness. The explicit
+  # Content-Type matters: bare curl -d sends form-urlencoded, which the
+  # daemon rejects with 415 unsupported_media_type.
+  curl -fsSL -X POST "$A/v1/topics" -H 'Content-Type: application/json' -d '{
     "name": "'"$t"'",
     "users": ["ann", "bob", "cyn", "dan"],
     "options": {"max_iter": 10, "seed": 7, "min_df": 1}
@@ -71,7 +73,7 @@ done
 echo
 echo "==> feeding prop37 three batches (again via shard A, routed)"
 for day in 1 2 3; do
-  curl -fsSL -X POST "$A/v1/topics/prop37/batches" -d '{
+  curl -fsSL -X POST "$A/v1/topics/prop37/batches" -H 'Content-Type: application/json' -d '{
     "time": '"$day"',
     "tweets": [
       {"text": "love the win on prop37", "user": 0},
@@ -93,7 +95,7 @@ curl -sS -o /dev/null -D - "$WRONG/v1/topics/prop37" | grep -iE '^(HTTP|location
 
 echo
 echo "==> moving prop37 to $TARGET (drain -> compact -> fence -> install -> drop)"
-curl -fsSL -X POST "$A/v1/cluster/move" \
+curl -fsSL -X POST "$A/v1/cluster/move" -H 'Content-Type: application/json' \
   -d '{"topic": "prop37", "target": "'"$TARGET"'"}' | pretty
 
 echo "==> the old owner now redirects prop37 (persisted tombstone):"
@@ -104,12 +106,12 @@ echo "==> epoch fence: installing a stale snapshot on a shard that handed the to
 curl -fsSL "$TARGET/v1/topics/prop37/snapshot" -o "$WORK/prop37.snap"
 echo "    (snapshot exported from $TARGET at epoch 1)"
 echo "    moving it back to $OWNER bumps to epoch 2:"
-curl -fsSL -X POST "$TARGET/v1/cluster/move" \
+curl -fsSL -X POST "$TARGET/v1/cluster/move" -H 'Content-Type: application/json' \
   -d '{"topic": "prop37", "target": "'"$OWNER"'"}' | pretty
 echo "    re-installing the now-stale epoch-1 snapshot on $TARGET fails:"
 # The hand-off header addresses the fencing shard itself (a plain PUT
 # would just be redirected onward to the current owner).
-curl -sS -X PUT -H "X-Triclust-Handoff: 1" \
+curl -sS -X PUT -H "X-Triclust-Handoff: 1" -H 'Content-Type: application/octet-stream' \
   "$TARGET/v1/topics/prop37" --data-binary @"$WORK/prop37.snap" | pretty
 
 echo
@@ -121,7 +123,7 @@ echo "    B is back:"; curl -fsS "$B/v1/healthz" | pretty
 
 echo
 echo "==> stream continues on the moved topic (back on $OWNER) after all of that"
-curl -fsSL -X POST "$A/v1/topics/prop37/batches" -d '{
+curl -fsSL -X POST "$A/v1/topics/prop37/batches" -H 'Content-Type: application/json' -d '{
   "time": 4,
   "tweets": [{"text": "prop37 still winning", "user": 3}]}' | pretty
 

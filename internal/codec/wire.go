@@ -47,6 +47,9 @@ func (e *WireEncoder) Int(v int64) { e.enc.int(v) }
 // Bool writes a single 0/1 byte.
 func (e *WireEncoder) Bool(v bool) { e.enc.bool(v) }
 
+// Float writes a float64 as its IEEE-754 bits, little-endian.
+func (e *WireEncoder) Float(v float64) { e.enc.float(v) }
+
 // String writes a length-prefixed string.
 func (e *WireEncoder) String(s string) { e.enc.string(s) }
 
@@ -101,6 +104,9 @@ func (d *WireDecoder) Int() int64 { return d.dec.int() }
 
 // Bool reads a 0/1 byte.
 func (d *WireDecoder) Bool() bool { return d.dec.bool() }
+
+// Float reads a float64 written by WireEncoder.Float.
+func (d *WireDecoder) Float() float64 { return d.dec.float() }
 
 // String reads a length-prefixed string.
 func (d *WireDecoder) String() string { return d.dec.string() }

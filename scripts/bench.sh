@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the performance-tracking benchmark suite and emit a
-# machine-readable BENCH_PR9.json artifact, so the perf trajectory across
-# PRs can be consumed from CI artifacts instead of hand-copied tables.
+# machine-readable BENCH_PR10.json artifact, so the perf trajectory
+# across PRs can be consumed from CI artifacts instead of hand-copied
+# tables. Since PR 10 the artifact is an object: "benchmarks" holds the
+# go-test microbenchmark rows (same shape as the PR-9 array), and
+# "loadgen" embeds the cmd/loadgen JSON-vs-binary wire-format comparison
+# measured against a real daemon over HTTP.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -19,17 +23,32 @@
 #   CONFORM_BENCHTIME -benchtime for the conformance-scoring microbench
 #                     (default 1000x: scoring one batch against a warm
 #                     profile is nanoseconds, so it needs iterations)
+#   LOADGEN_BATCHES   total batches per loadgen run (default 500: the
+#                     same 500-batch daemon stream the persistence
+#                     comparison tracks)
+#   LOADGEN_TWEETS    tweets per batch (default 300)
+#   LOADGEN_PORT      loopback port for the loadgen target daemon
+#                     (default 8590)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR9.json}
+OUT=${1:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-10x}
 DAEMON_BENCHTIME=${DAEMON_BENCHTIME:-500x}
 READ_BENCHTIME=${READ_BENCHTIME:-2s}
 CONFORM_BENCHTIME=${CONFORM_BENCHTIME:-1000x}
+LOADGEN_BATCHES=${LOADGEN_BATCHES:-500}
+LOADGEN_TWEETS=${LOADGEN_TWEETS:-300}
+LOADGEN_PORT=${LOADGEN_PORT:-8590}
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$RAW" "$WORK"
+}
+trap cleanup EXIT
 
 LIB_BENCHES='BenchmarkProcessWarm|BenchmarkOnlineStep|BenchmarkOfflineFit|BenchmarkTable4TweetComparison|BenchmarkTable5UserComparison|BenchmarkTokenizePipeline|BenchmarkGraphBuild'
 
@@ -54,7 +73,29 @@ go test -run xxx -bench BenchmarkReadsUnderIngest -benchtime "$READ_BENCHTIME" -
 # overhead at 5%).
 go test -run xxx -bench BenchmarkConformScore -benchtime "$CONFORM_BENCHTIME" -benchmem -cpu 1,4 ./internal/conform/ | tee -a "$RAW"
 
-awk -v out="$OUT" '
+# ——— loadgen stage: the wire-format comparison over real HTTP ———
+# A persistent single-shard daemon takes the same 500-batch stream in
+# both wire formats: closed-loop legs measure ingest capacity per
+# format, then -rate auto replays both formats open-loop at the JSON
+# capacity, which is where the p99-at-equal-offered-load gap shows.
+go build -o "$WORK/triclustd" ./cmd/triclustd
+go build -o "$WORK/loadgen" ./cmd/loadgen
+"$WORK/triclustd" -addr "127.0.0.1:$LOADGEN_PORT" -data-dir "$WORK/data" \
+    >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 50); do
+    curl -fsS "http://127.0.0.1:$LOADGEN_PORT/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$WORK/loadgen" -targets "http://127.0.0.1:$LOADGEN_PORT" \
+    -topics 4 -users 60 -tweets-per-batch "$LOADGEN_TWEETS" \
+    -batches "$LOADGEN_BATCHES" -rate auto -format both \
+    -topic-prefix bench -out "$WORK/loadgen.json"
+kill "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+awk -v out="$WORK/benchmarks.json" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -90,5 +131,13 @@ END {
     printf "]\n" >> out
 }
 ' "$RAW"
+
+{
+    printf '{\n"schema": "triclust-bench/v2",\n"benchmarks":\n'
+    cat "$WORK/benchmarks.json"
+    printf ',\n"loadgen":\n'
+    cat "$WORK/loadgen.json"
+    printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT ($(wc -c < "$OUT") bytes)"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# loadgen-smoke.sh — CI gate for the load harness itself: boot one
+# persistent shard, drive a small mixed JSON+binary workload through
+# cmd/loadgen at a modest open-loop rate, and require (a) zero
+# non-2xx/304 responses (-strict) and (b) a schema-valid
+# triclust-loadgen/v1 artifact (-validate). This catches regressions in
+# the generator, the binary wire path, and the daemon's content
+# negotiation without the cost of a full bench run.
+#
+# Usage:
+#   scripts/loadgen-smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${1:-8591}
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/triclustd" ./cmd/triclustd
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+"$WORK/triclustd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data" \
+    >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 50); do
+    curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null
+
+# Closed-loop legs (both formats), then open-loop legs at a low fixed
+# rate with reads and snapshots mixed in. -strict fails the script on
+# any error response in any leg.
+"$WORK/loadgen" -targets "http://127.0.0.1:$PORT" \
+    -topics 2 -users 30 -tweets-per-batch 50 -batches 60 \
+    -rate 0 -format both -topic-prefix smoke-closed \
+    -out "$WORK/closed.json" -strict
+"$WORK/loadgen" -targets "http://127.0.0.1:$PORT" \
+    -topics 2 -users 30 -tweets-per-batch 50 -batches 60 \
+    -rate 80 -format both -topic-prefix smoke-open \
+    -out "$WORK/open.json" -strict
+
+"$WORK/loadgen" -validate "$WORK/closed.json"
+"$WORK/loadgen" -validate "$WORK/open.json"
+
+echo "loadgen-smoke: OK"
